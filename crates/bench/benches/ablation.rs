@@ -1,0 +1,76 @@
+//! Ablation benchmarks (DESIGN.md §6): design knobs the paper mentions but
+//! does not sweep — checkpoint granularity (§3), beacon interval (§5.3), and
+//! causal-chain bound (§2.2).
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use defined_core::{DefinedConfig, RbNetwork};
+use netsim::{NodeId, SimDuration, SimTime};
+use routing::ospf::{OspfConfig, OspfProcess};
+use topology::canonical;
+
+fn run(cfg: DefinedConfig, jitter: f64) -> defined_core::RbMetrics {
+    let g = canonical::ring(8, SimDuration::from_millis(4));
+    let f = OspfProcess::for_graph(&g, OspfConfig::stress(8));
+    let spawn: Vec<OspfProcess> = (0..8).map(|i| f(NodeId(i as u32))).collect();
+    let mut net = RbNetwork::new(&g, cfg, 3, jitter, move |id| spawn[id.index()].clone());
+    net.run_until(SimTime::from_secs(4));
+    net.total_metrics()
+}
+
+fn bench_checkpoint_every(c: &mut Criterion) {
+    let mut group = c.benchmark_group("ablation_checkpoint_every");
+    group.sample_size(10);
+    for k in [1u32, 4, 16] {
+        group.bench_with_input(BenchmarkId::from_parameter(k), &k, |b, &k| {
+            b.iter(|| {
+                let cfg = DefinedConfig {
+                    checkpoint_every: k,
+                    strategy: checkpoint::Strategy::MemIntercept,
+                    commit_horizon: Some(SimDuration::from_secs(2)),
+                    ..DefinedConfig::default()
+                };
+                run(cfg, 0.8).rollbacks
+            });
+        });
+    }
+    group.finish();
+}
+
+fn bench_beacon_interval(c: &mut Criterion) {
+    let mut group = c.benchmark_group("ablation_beacon_interval");
+    group.sample_size(10);
+    for ms in [125u64, 250, 500] {
+        group.bench_with_input(BenchmarkId::from_parameter(ms), &ms, |b, &ms| {
+            b.iter(|| {
+                let cfg = DefinedConfig {
+                    beacon_interval: SimDuration::from_millis(ms),
+                    commit_horizon: Some(SimDuration::from_secs(2)),
+                    ..DefinedConfig::default()
+                };
+                run(cfg, 0.6).rollbacks
+            });
+        });
+    }
+    group.finish();
+}
+
+fn bench_chain_bound(c: &mut Criterion) {
+    let mut group = c.benchmark_group("ablation_chain_bound");
+    group.sample_size(10);
+    for bound in [4u32, 24, 64] {
+        group.bench_with_input(BenchmarkId::from_parameter(bound), &bound, |b, &bound| {
+            b.iter(|| {
+                let cfg = DefinedConfig {
+                    chain_bound: bound,
+                    commit_horizon: Some(SimDuration::from_secs(2)),
+                    ..DefinedConfig::default()
+                };
+                run(cfg, 0.6).rollbacks
+            });
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_checkpoint_every, bench_beacon_interval, bench_chain_bound);
+criterion_main!(benches);

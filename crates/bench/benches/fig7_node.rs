@@ -1,0 +1,160 @@
+//! Real microbenchmarks behind Fig. 7: checkpoint and restore costs of the
+//! FK / MI / clone strategies over a converged, realistically-sized OSPF
+//! state, plus per-packet processing under the three fork timings.
+
+use checkpoint::{Checkpointer, Snapshotable, Strategy};
+use criterion::{criterion_group, criterion_main, BatchSize, Criterion};
+use defined_core::snapshot::NodeSnapshot;
+use netsim::{NodeId, SimDuration, SimTime};
+use routing::ospf::{OspfConfig, OspfMsg, OspfProcess};
+use routing::{ControlPlane, Outbox};
+use topology::rocketfuel::{self, Isp};
+
+/// Runs the baseline protocol to convergence and returns one node's state.
+fn converged_state() -> OspfProcess {
+    let g = rocketfuel::build(Isp::Ebone);
+    let n = g.node_count();
+    let f = OspfProcess::for_graph(&g, OspfConfig::stress(n));
+    let spawn: Vec<OspfProcess> = (0..n).map(|i| f(NodeId(i as u32))).collect();
+    let mut sim = defined_core::harness::baseline_network(
+        &g,
+        SimDuration::from_millis(250),
+        1,
+        0.2,
+        move |id| spawn[id.index()].clone(),
+    );
+    sim.run_until(SimTime::from_secs(12));
+    sim.process(NodeId(0)).control_plane().clone()
+}
+
+fn bench_checkpoint(c: &mut Criterion) {
+    let cp = converged_state();
+    let snap = NodeSnapshot::new(cp);
+    let mut group = c.benchmark_group("fig7_checkpoint");
+    group.sample_size(30);
+
+    group.bench_function("clone", |b| {
+        let mut store = Checkpointer::new(Strategy::CloneState);
+        b.iter(|| store.checkpoint(&snap));
+    });
+    group.bench_function("fork_full_image", |b| {
+        let mut store = Checkpointer::new(Strategy::Fork);
+        b.iter(|| store.checkpoint(&snap));
+    });
+    group.bench_function("mem_intercept_diff", |b| {
+        let mut store = Checkpointer::new(Strategy::MemIntercept);
+        store.checkpoint(&snap); // Base image so diffs are incremental.
+        b.iter(|| store.checkpoint(&snap));
+    });
+    group.finish();
+}
+
+fn bench_restore(c: &mut Criterion) {
+    let cp = converged_state();
+    let snap = NodeSnapshot::new(cp);
+    let mut group = c.benchmark_group("fig7_restore");
+    group.sample_size(30);
+
+    for (name, strategy) in [
+        ("clone", Strategy::CloneState),
+        ("fork_full_image", Strategy::Fork),
+        ("mem_intercept", Strategy::MemIntercept),
+    ] {
+        let mut store = Checkpointer::new(strategy);
+        let id = store.checkpoint(&snap);
+        group.bench_function(name, |b| {
+            b.iter(|| store.restore(id).expect("restores"));
+        });
+    }
+    group.finish();
+}
+
+fn bench_packet_processing(c: &mut Criterion) {
+    let cp = converged_state();
+    let mut group = c.benchmark_group("fig7_per_packet");
+    group.sample_size(30);
+
+    let hello = OspfMsg::Hello;
+    let from = cp.up_neighbors().first().copied().unwrap_or(NodeId(1));
+
+    // XORP: bare processing.
+    group.bench_function("xorp_bare", |b| {
+        b.iter_batched(
+            || cp.clone(),
+            |mut state| {
+                let mut out = Outbox::new();
+                state.on_message(from, &hello, &mut out);
+                state
+            },
+            BatchSize::SmallInput,
+        );
+    });
+
+    // TF: the full checkpoint lands on the critical path before processing.
+    group.bench_function("tf_fork_on_arrival", |b| {
+        let mut store = Checkpointer::new(Strategy::Fork);
+        b.iter_batched(
+            || NodeSnapshot::new(cp.clone()),
+            |mut snap| {
+                store.checkpoint(&snap);
+                let mut out = Outbox::new();
+                snap.cp.on_message(from, &hello, &mut out);
+                snap
+            },
+            BatchSize::SmallInput,
+        );
+    });
+
+    // PF/TM: the checkpoint happened during idle; the critical path pays
+    // only the residual (bookkeeping + dirty-page diff for MI).
+    group.bench_function("pf_prefork_residual", |b| {
+        let mut store = Checkpointer::new(Strategy::MemIntercept);
+        store.checkpoint(&NodeSnapshot::new(cp.clone()));
+        b.iter_batched(
+            || NodeSnapshot::new(cp.clone()),
+            |mut snap| {
+                // Residual: incremental dirty-page diff against the prefork.
+                store.checkpoint(&snap);
+                let mut out = Outbox::new();
+                snap.cp.on_message(from, &hello, &mut out);
+                snap
+            },
+            BatchSize::SmallInput,
+        );
+    });
+    group.bench_function("tm_touch_memory", |b| {
+        b.iter_batched(
+            || NodeSnapshot::new(cp.clone()),
+            |mut snap| {
+                let mut out = Outbox::new();
+                snap.cp.on_message(from, &hello, &mut out);
+                snap
+            },
+            BatchSize::SmallInput,
+        );
+    });
+    group.finish();
+}
+
+fn bench_encode(c: &mut Criterion) {
+    let cp = converged_state();
+    let mut group = c.benchmark_group("fig7_encode");
+    group.sample_size(50);
+    group.bench_function("encode_state", |b| {
+        let mut buf = Vec::with_capacity(1 << 16);
+        b.iter(|| {
+            buf.clear();
+            cp.encode(&mut buf);
+            buf.len()
+        });
+    });
+    group.bench_function("decode_state", |b| {
+        let mut buf = Vec::new();
+        cp.encode(&mut buf);
+        b.iter(|| OspfProcess::decode(&buf).expect("decodes"));
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench_checkpoint, bench_restore, bench_packet_processing, bench_encode);
+criterion_main!(benches);

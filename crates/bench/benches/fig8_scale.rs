@@ -1,0 +1,45 @@
+//! Scalability benchmarks behind Fig. 8: RB run cost vs network size and vs
+//! ordering function, on BRITE-style graphs.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use defined_core::{DefinedConfig, OrderingMode, RbNetwork};
+use netsim::{NodeId, SimDuration, SimTime};
+use routing::ospf::{OspfConfig, OspfProcess};
+use topology::brite;
+
+fn rb_run(n: usize, ordering: OrderingMode, seconds: u64) -> u64 {
+    let g = brite::barabasi_albert(n, 2, 80 + n as u64);
+    let f = OspfProcess::for_graph(&g, OspfConfig::stress(n));
+    let spawn: Vec<OspfProcess> = (0..n).map(|i| f(NodeId(i as u32))).collect();
+    let cfg = DefinedConfig {
+        ordering,
+        strategy: checkpoint::Strategy::MemIntercept,
+        commit_horizon: Some(SimDuration::from_secs(2)),
+        ..DefinedConfig::default()
+    };
+    let mut net = RbNetwork::new(&g, cfg, 5, 0.3, move |id| spawn[id.index()].clone());
+    net.run_until(SimTime::from_secs(seconds));
+    net.total_metrics().rollbacks
+}
+
+fn bench_sizes(c: &mut Criterion) {
+    let mut group = c.benchmark_group("fig8_size");
+    group.sample_size(10);
+    for n in [20usize, 40] {
+        group.bench_with_input(BenchmarkId::new("rb_oo_2s", n), &n, |b, &n| {
+            b.iter(|| rb_run(n, OrderingMode::Optimized, 2));
+        });
+    }
+    group.finish();
+}
+
+fn bench_ordering(c: &mut Criterion) {
+    let mut group = c.benchmark_group("fig8_ordering");
+    group.sample_size(10);
+    group.bench_function("optimized", |b| b.iter(|| rb_run(20, OrderingMode::Optimized, 2)));
+    group.bench_function("random", |b| b.iter(|| rb_run(20, OrderingMode::Random, 2)));
+    group.finish();
+}
+
+criterion_group!(benches, bench_sizes, bench_ordering);
+criterion_main!(benches);

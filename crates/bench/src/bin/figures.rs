@@ -1,0 +1,68 @@
+//! Prints the data behind every figure of the DEFINED evaluation.
+//!
+//! Usage:
+//!
+//! ```text
+//! figures [--full] [6a 6b 6c 7a 7b 7c 8a 8b 8c 8d]
+//! ```
+//!
+//! With no figure ids, all panels are generated. `--full` uses the paper's
+//! topology sizes (Sprintlink 43 nodes, BRITE 20–80); the default quick mode
+//! shrinks the workloads so the whole suite finishes in about a minute.
+
+use defined_bench::figures::{self, FigureData, Scale};
+
+fn main() {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let full = args.iter().any(|a| a == "--full");
+    let wanted: Vec<&str> = args.iter().filter(|a| !a.starts_with("--")).map(|s| s.as_str()).collect();
+    let scale = Scale { quick: !full };
+    let all = wanted.is_empty();
+    let want = |id: &str| all || wanted.contains(&id);
+
+    let mut rendered: Vec<FigureData> = Vec::new();
+    if want("6a") || want("6b") {
+        let (a, b) = figures::fig6ab(scale);
+        if want("6a") {
+            rendered.push(a);
+        }
+        if want("6b") {
+            rendered.push(b);
+        }
+    }
+    if want("6c") {
+        rendered.push(figures::fig6c(scale));
+    }
+    if want("7a") {
+        rendered.push(figures::fig7a(scale));
+    }
+    if want("7b") {
+        rendered.push(figures::fig7b(scale));
+    }
+    if want("7c") {
+        rendered.push(figures::fig7c(scale));
+    }
+    if want("8a") || want("8b") {
+        let (a, b) = figures::fig8ab(scale);
+        if want("8a") {
+            rendered.push(a);
+        }
+        if want("8b") {
+            rendered.push(b);
+        }
+    }
+    if want("8c") {
+        rendered.push(figures::fig8c(scale));
+    }
+    if want("8d") {
+        rendered.push(figures::fig8d(scale));
+    }
+
+    for f in &rendered {
+        println!("{}", f.render());
+    }
+    println!("===== summaries =====");
+    for f in &rendered {
+        print!("{}", f.summary());
+    }
+}

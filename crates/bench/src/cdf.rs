@@ -1,0 +1,137 @@
+//! Cumulative distribution functions, the presentation format of every
+//! figure in the paper.
+
+/// An empirical CDF over `f64` samples.
+///
+/// # Examples
+///
+/// ```
+/// use defined_bench::cdf::Cdf;
+///
+/// let c = Cdf::new(vec![3.0, 1.0, 2.0, 4.0]);
+/// assert_eq!(c.median(), Some(2.0));
+/// assert_eq!(c.fraction_at(3.0), 0.75);
+/// assert_eq!(c.max(), Some(4.0));
+/// ```
+#[derive(Clone, Debug)]
+pub struct Cdf {
+    sorted: Vec<f64>,
+}
+
+impl Cdf {
+    /// Builds a CDF from samples (NaNs are dropped).
+    pub fn new(mut samples: Vec<f64>) -> Self {
+        samples.retain(|x| x.is_finite());
+        samples.sort_by(|a, b| a.partial_cmp(b).unwrap());
+        Cdf { sorted: samples }
+    }
+
+    /// Number of samples.
+    pub fn len(&self) -> usize {
+        self.sorted.len()
+    }
+
+    /// Whether the CDF is empty.
+    pub fn is_empty(&self) -> bool {
+        self.sorted.is_empty()
+    }
+
+    /// The `p`-th percentile (`0 <= p <= 100`), or `None` when empty.
+    pub fn percentile(&self, p: f64) -> Option<f64> {
+        if self.sorted.is_empty() {
+            return None;
+        }
+        let rank = (p / 100.0 * (self.sorted.len() - 1) as f64).floor() as usize;
+        Some(self.sorted[rank.min(self.sorted.len() - 1)])
+    }
+
+    /// Median.
+    pub fn median(&self) -> Option<f64> {
+        self.percentile(50.0)
+    }
+
+    /// Arithmetic mean.
+    pub fn mean(&self) -> Option<f64> {
+        if self.sorted.is_empty() {
+            None
+        } else {
+            Some(self.sorted.iter().sum::<f64>() / self.sorted.len() as f64)
+        }
+    }
+
+    /// Maximum sample.
+    pub fn max(&self) -> Option<f64> {
+        self.sorted.last().copied()
+    }
+
+    /// Fraction of samples `<= x`.
+    pub fn fraction_at(&self, x: f64) -> f64 {
+        if self.sorted.is_empty() {
+            return 0.0;
+        }
+        let n = self.sorted.partition_point(|&v| v <= x);
+        n as f64 / self.sorted.len() as f64
+    }
+
+    /// Downsampled `(value, cumulative fraction)` curve with at most
+    /// `points` points, suitable for plotting or table output.
+    pub fn curve(&self, points: usize) -> Vec<(f64, f64)> {
+        if self.sorted.is_empty() {
+            return Vec::new();
+        }
+        let n = self.sorted.len();
+        let step = (n.max(points) / points.max(1)).max(1);
+        let mut out = Vec::new();
+        let mut i = 0;
+        while i < n {
+            out.push((self.sorted[i], (i + 1) as f64 / n as f64));
+            i += step;
+        }
+        if out.last().map(|&(v, _)| v) != self.sorted.last().copied() {
+            out.push((self.sorted[n - 1], 1.0));
+        }
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn percentiles_on_known_data() {
+        let c = Cdf::new((1..=100).map(|i| i as f64).collect());
+        assert_eq!(c.len(), 100);
+        assert_eq!(c.median(), Some(50.0));
+        assert_eq!(c.percentile(0.0), Some(1.0));
+        assert_eq!(c.percentile(100.0), Some(100.0));
+        assert_eq!(c.max(), Some(100.0));
+        assert!((c.mean().unwrap() - 50.5).abs() < 1e-9);
+    }
+
+    #[test]
+    fn fraction_at_boundaries() {
+        let c = Cdf::new(vec![1.0, 2.0, 3.0, 4.0]);
+        assert_eq!(c.fraction_at(0.5), 0.0);
+        assert_eq!(c.fraction_at(2.0), 0.5);
+        assert_eq!(c.fraction_at(10.0), 1.0);
+    }
+
+    #[test]
+    fn empty_and_nan_handling() {
+        let c = Cdf::new(vec![f64::NAN, f64::INFINITY]);
+        assert!(c.is_empty());
+        assert_eq!(c.median(), None);
+        assert!(c.curve(10).is_empty());
+        assert_eq!(c.fraction_at(1.0), 0.0);
+    }
+
+    #[test]
+    fn curve_is_monotonic_and_bounded() {
+        let c = Cdf::new((0..1000).map(|i| (i % 97) as f64).collect());
+        let curve = c.curve(20);
+        assert!(curve.len() <= 22);
+        assert!(curve.windows(2).all(|w| w[0].1 <= w[1].1));
+        assert_eq!(curve.last().unwrap().1, 1.0);
+    }
+}

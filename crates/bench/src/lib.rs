@@ -1,0 +1,17 @@
+//! Benchmark harness regenerating every figure of the DEFINED evaluation
+//! (paper §5).
+//!
+//! Each `figN*` function in [`figures`] produces the data series of one
+//! figure panel; the `figures` binary prints them as text tables, and the
+//! Criterion benches under `benches/` measure the underlying primitives.
+//! EXPERIMENTS.md records paper-vs-measured shapes.
+
+#![warn(missing_docs)]
+#![warn(rust_2018_idioms)]
+
+pub mod cdf;
+pub mod figures;
+pub mod ospf_run;
+
+pub use cdf::Cdf;
+pub use figures::{FigureData, Scale, Series};

@@ -1,0 +1,97 @@
+//! Checkpoint/rollback substrate for DEFINED-RB.
+//!
+//! The paper checkpoints routing daemons with `fork()` (copy-on-write) and,
+//! as an optimisation, intercepts memory writes through `/proc/<pid>/mem` to
+//! copy only changed bytes (§3, §5.2). Neither mechanism is portable or safe
+//! in-process, so this crate recreates their *cost and memory structure* over
+//! explicit state snapshots:
+//!
+//! * [`Strategy::Fork`] (FK) — stores a full encoded image per checkpoint, as
+//!   a fork's address-space copy would.
+//! * [`Strategy::MemIntercept`] (MI) — stores a page-granular diff against
+//!   the previous checkpoint; unchanged 4 KiB pages are shared via `Arc`,
+//!   exactly the sharing copy-on-write provides.
+//! * [`Strategy::CloneState`] — a plain deep clone; the fastest functional
+//!   baseline, used when only correctness (not cost modelling) matters.
+//!
+//! Memory accounting distinguishes **virtual** bytes (what `fork()` maps:
+//! every checkpoint's full image — the paper's VM curve in Fig. 7c) from
+//! **physical** bytes (unique pages actually materialised — the PM curve).
+//!
+//! The [`ForkTiming`] enum models *when* the checkpoint cost is paid relative
+//! to packet processing (Fig. 7b): at arrival (TF), pre-forked during idle
+//! (PF), or pre-forked with memory pre-touched (TM).
+
+#![warn(missing_docs)]
+#![warn(rust_2018_idioms)]
+
+mod cost;
+mod pages;
+mod store;
+
+pub use cost::{CostModel, ForkTiming};
+pub use pages::{PageImage, PAGE_SIZE};
+pub use store::{CheckpointId, Checkpointer, MemStats, Strategy};
+
+/// FNV-1a digest over bytes; the cheap state-comparison primitive used
+/// throughout the workspace.
+pub fn fnv1a(bytes: &[u8]) -> u64 {
+    let mut h: u64 = 0xcbf2_9ce4_8422_2325;
+    for &b in bytes {
+        h ^= b as u64;
+        h = h.wrapping_mul(0x1_0000_01b3);
+    }
+    h
+}
+
+/// A state that can be checkpointed: deep-clonable and round-trippable
+/// through a stable byte encoding.
+pub trait Snapshotable: Clone {
+    /// Appends a stable, self-delimiting byte encoding of the full state.
+    fn encode(&self, buf: &mut Vec<u8>);
+
+    /// Reconstructs a state from [`Snapshotable::encode`] output.
+    ///
+    /// Returns `None` on malformed input.
+    fn decode(bytes: &[u8]) -> Option<Self>;
+
+    /// A 64-bit digest of the encoded state.
+    fn digest(&self) -> u64 {
+        let mut buf = Vec::with_capacity(256);
+        self.encode(&mut buf);
+        fnv1a(&buf)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn fnv_distinguishes() {
+        assert_ne!(fnv1a(b"abc"), fnv1a(b"abd"));
+    }
+
+    #[derive(Clone, Debug, PartialEq)]
+    struct Blob(Vec<u8>);
+    impl Snapshotable for Blob {
+        fn encode(&self, buf: &mut Vec<u8>) {
+            buf.extend_from_slice(&(self.0.len() as u64).to_le_bytes());
+            buf.extend_from_slice(&self.0);
+        }
+        fn decode(bytes: &[u8]) -> Option<Self> {
+            let len = u64::from_le_bytes(bytes.get(..8)?.try_into().ok()?) as usize;
+            Some(Blob(bytes.get(8..8 + len)?.to_vec()))
+        }
+    }
+
+    #[test]
+    fn snapshotable_round_trip_and_digest() {
+        let b = Blob(vec![1, 2, 3]);
+        let mut buf = Vec::new();
+        b.encode(&mut buf);
+        assert_eq!(Blob::decode(&buf), Some(b.clone()));
+        assert_eq!(b.digest(), Blob(vec![1, 2, 3]).digest());
+        assert_ne!(b.digest(), Blob(vec![1, 2, 4]).digest());
+    }
+}

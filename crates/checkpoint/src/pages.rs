@@ -1,0 +1,152 @@
+//! Page-granular state images with copy-on-write sharing.
+
+use std::sync::Arc;
+
+/// The page granularity used for diffing; matches the 4 KiB pages the
+/// kernel's copy-on-write operates on.
+pub const PAGE_SIZE: usize = 4096;
+
+type Page = Arc<Vec<u8>>;
+
+/// A byte image split into `Arc`-shared pages.
+///
+/// Deriving one image from another shares every unchanged page, which is the
+/// in-process analogue of `fork()`'s copy-on-write: virtual size is the full
+/// image, physical size is only the pages this image materialised anew.
+#[derive(Clone, Debug)]
+pub struct PageImage {
+    pages: Vec<Page>,
+    len: usize,
+}
+
+impl PageImage {
+    /// Builds an image from raw bytes (every page freshly materialised).
+    pub fn from_bytes(bytes: &[u8]) -> Self {
+        let pages = bytes
+            .chunks(PAGE_SIZE)
+            .map(|c| Arc::new(c.to_vec()))
+            .collect();
+        PageImage { pages, len: bytes.len() }
+    }
+
+    /// Builds an image of `bytes` sharing unchanged pages with `prev`.
+    ///
+    /// Returns the image and the number of pages that had to be copied
+    /// (the dirty-page count, which is what memory interception pays for).
+    pub fn diff_from(prev: &PageImage, bytes: &[u8]) -> (Self, usize) {
+        let mut pages = Vec::with_capacity(bytes.len().div_ceil(PAGE_SIZE));
+        let mut dirty = 0;
+        for (i, chunk) in bytes.chunks(PAGE_SIZE).enumerate() {
+            match prev.pages.get(i) {
+                Some(p) if p.as_slice() == chunk => pages.push(Arc::clone(p)),
+                _ => {
+                    pages.push(Arc::new(chunk.to_vec()));
+                    dirty += 1;
+                }
+            }
+        }
+        (PageImage { pages, len: bytes.len() }, dirty)
+    }
+
+    /// Reassembles the raw bytes.
+    pub fn to_bytes(&self) -> Vec<u8> {
+        let mut out = Vec::with_capacity(self.len);
+        for p in &self.pages {
+            out.extend_from_slice(p);
+        }
+        out
+    }
+
+    /// Logical (virtual) size in bytes.
+    pub fn len(&self) -> usize {
+        self.len
+    }
+
+    /// Whether the image is empty.
+    pub fn is_empty(&self) -> bool {
+        self.len == 0
+    }
+
+    /// Number of pages.
+    pub fn page_count(&self) -> usize {
+        self.pages.len()
+    }
+
+    /// Appends each page's identity (allocation address) and byte length to
+    /// `sink`; used to compute unique physical bytes across many images.
+    pub fn visit_pages(&self, sink: &mut impl FnMut(usize, usize)) {
+        for p in &self.pages {
+            sink(Arc::as_ptr(p) as usize, p.len());
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::collections::HashMap;
+
+    fn physical_bytes(images: &[PageImage]) -> usize {
+        let mut seen: HashMap<usize, usize> = HashMap::new();
+        for img in images {
+            img.visit_pages(&mut |ptr, len| {
+                seen.insert(ptr, len);
+            });
+        }
+        seen.values().sum()
+    }
+
+    #[test]
+    fn round_trip() {
+        let data: Vec<u8> = (0..10_000).map(|i| (i % 251) as u8).collect();
+        let img = PageImage::from_bytes(&data);
+        assert_eq!(img.to_bytes(), data);
+        assert_eq!(img.len(), 10_000);
+        assert_eq!(img.page_count(), 3);
+        assert!(!img.is_empty());
+    }
+
+    #[test]
+    fn empty_image() {
+        let img = PageImage::from_bytes(&[]);
+        assert!(img.is_empty());
+        assert_eq!(img.page_count(), 0);
+        assert_eq!(img.to_bytes(), Vec::<u8>::new());
+    }
+
+    #[test]
+    fn diff_shares_unchanged_pages() {
+        let mut data: Vec<u8> = vec![7; 5 * PAGE_SIZE];
+        let base = PageImage::from_bytes(&data);
+        // Touch one byte in page 2.
+        data[2 * PAGE_SIZE + 10] = 9;
+        let (next, dirty) = PageImage::diff_from(&base, &data);
+        assert_eq!(dirty, 1);
+        assert_eq!(next.to_bytes(), data);
+        // Physical cost of holding both: 5 pages + 1 dirty page.
+        assert_eq!(physical_bytes(&[base, next]), 6 * PAGE_SIZE);
+    }
+
+    #[test]
+    fn diff_handles_growth_and_shrink() {
+        let base = PageImage::from_bytes(&vec![1; 2 * PAGE_SIZE]);
+        let grown: Vec<u8> = vec![1; 3 * PAGE_SIZE + 7];
+        let (g, dirty_g) = PageImage::diff_from(&base, &grown);
+        assert_eq!(g.to_bytes(), grown);
+        assert_eq!(dirty_g, 2, "one new full page + one tail page");
+        let shrunk: Vec<u8> = vec![1; PAGE_SIZE / 2];
+        let (s, dirty_s) = PageImage::diff_from(&base, &shrunk);
+        assert_eq!(s.to_bytes(), shrunk);
+        // The final partial page differs in length from the full base page.
+        assert_eq!(dirty_s, 1);
+    }
+
+    #[test]
+    fn identical_diff_is_all_shared() {
+        let data = vec![3; 4 * PAGE_SIZE];
+        let base = PageImage::from_bytes(&data);
+        let (next, dirty) = PageImage::diff_from(&base, &data);
+        assert_eq!(dirty, 0);
+        assert_eq!(physical_bytes(&[base, next]), 4 * PAGE_SIZE);
+    }
+}

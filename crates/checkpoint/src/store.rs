@@ -1,0 +1,388 @@
+//! The checkpoint store: ordered snapshots with rollback truncation and
+//! commit-horizon garbage collection.
+
+use crate::pages::PageImage;
+use crate::Snapshotable;
+use std::collections::HashMap;
+use std::collections::VecDeque;
+
+/// Identifier of one checkpoint; strictly increasing per [`Checkpointer`].
+#[derive(Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Debug)]
+pub struct CheckpointId(pub u64);
+
+/// Snapshot storage strategy (paper §3 / §5.2).
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum Strategy {
+    /// Deep-clone the state object (fast functional baseline).
+    CloneState,
+    /// FK: store the full encoded image per checkpoint.
+    Fork,
+    /// MI: store a page-granular diff against the previous checkpoint.
+    MemIntercept,
+}
+
+enum Stored<S> {
+    Clone(S),
+    Full(Vec<u8>),
+    Paged(PageImage),
+}
+
+/// Memory and activity statistics for a [`Checkpointer`].
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub struct MemStats {
+    /// Checkpoints currently retained.
+    pub retained: usize,
+    /// Checkpoints ever taken.
+    pub taken: u64,
+    /// Restores ever performed.
+    pub restores: u64,
+    /// Sum of full logical image sizes over retained checkpoints (the VM
+    /// curve of Fig. 7c). Zero for `CloneState`.
+    pub virtual_bytes: usize,
+    /// Unique materialised bytes over retained checkpoints (the PM curve).
+    /// Equals `virtual_bytes` for `Fork`; much smaller for `MemIntercept`.
+    pub physical_bytes: usize,
+    /// Dirty pages copied by the most recent checkpoint (MI only).
+    pub last_dirty_pages: usize,
+    /// Total dirty pages copied since creation (MI only).
+    pub total_dirty_pages: u64,
+}
+
+/// An ordered store of state checkpoints.
+///
+/// Supports the three operations DEFINED-RB needs: `checkpoint` before each
+/// speculative delivery, `restore` + `truncate_from` on rollback, and
+/// `release_before` when the commit horizon advances (§2.2: "an entry in the
+/// history can be removed after all messages that might be ordered before it
+/// have arrived").
+pub struct Checkpointer<S> {
+    strategy: Strategy,
+    entries: VecDeque<(CheckpointId, Stored<S>)>,
+    next: u64,
+    taken: u64,
+    restores: u64,
+    last_dirty: usize,
+    total_dirty: u64,
+    /// Incrementally maintained so the hot path never scans entries.
+    virtual_bytes: usize,
+    encode_buf: Vec<u8>,
+}
+
+impl<S> Stored<S> {
+    fn logical_len(&self) -> usize {
+        match self {
+            Stored::Clone(_) => 0,
+            Stored::Full(b) => b.len(),
+            Stored::Paged(img) => img.len(),
+        }
+    }
+}
+
+impl<S: Snapshotable> Checkpointer<S> {
+    /// Creates an empty store with the given strategy.
+    pub fn new(strategy: Strategy) -> Self {
+        Checkpointer {
+            strategy,
+            entries: VecDeque::new(),
+            next: 0,
+            taken: 0,
+            restores: 0,
+            last_dirty: 0,
+            total_dirty: 0,
+            virtual_bytes: 0,
+            encode_buf: Vec::new(),
+        }
+    }
+
+    /// The configured strategy.
+    pub fn strategy(&self) -> Strategy {
+        self.strategy
+    }
+
+    /// Records a checkpoint of `state`, returning its id.
+    pub fn checkpoint(&mut self, state: &S) -> CheckpointId {
+        let id = CheckpointId(self.next);
+        self.next += 1;
+        self.taken += 1;
+        let stored = match self.strategy {
+            Strategy::CloneState => Stored::Clone(state.clone()),
+            Strategy::Fork => {
+                let mut buf = Vec::new();
+                state.encode(&mut buf);
+                Stored::Full(buf)
+            }
+            Strategy::MemIntercept => {
+                self.encode_buf.clear();
+                state.encode(&mut self.encode_buf);
+                let prev = self.entries.iter().rev().find_map(|(_, s)| match s {
+                    Stored::Paged(img) => Some(img),
+                    _ => None,
+                });
+                let (img, dirty) = match prev {
+                    Some(p) => PageImage::diff_from(p, &self.encode_buf),
+                    None => {
+                        let img = PageImage::from_bytes(&self.encode_buf);
+                        let pages = img.page_count();
+                        (img, pages)
+                    }
+                };
+                self.last_dirty = dirty;
+                self.total_dirty += dirty as u64;
+                Stored::Paged(img)
+            }
+        };
+        self.virtual_bytes += stored.logical_len();
+        self.entries.push_back((id, stored));
+        id
+    }
+
+    /// Reconstructs the state recorded under `id`.
+    pub fn restore(&mut self, id: CheckpointId) -> Option<S> {
+        self.restores += 1;
+        // Ids are pushed in increasing order; binary-search the deque.
+        let slice = self.entries.make_contiguous();
+        let pos = slice.partition_point(|(i, _)| *i < id);
+        let (found, stored) = slice.get(pos)?;
+        if *found != id {
+            return None;
+        }
+        match stored {
+            Stored::Clone(s) => Some(s.clone()),
+            Stored::Full(bytes) => S::decode(bytes),
+            Stored::Paged(img) => S::decode(&img.to_bytes()),
+        }
+    }
+
+    /// Discards checkpoints at or after `id` (rollback invalidates them).
+    pub fn truncate_from(&mut self, id: CheckpointId) {
+        while self.entries.back().map(|(i, _)| *i >= id).unwrap_or(false) {
+            let (_, stored) = self.entries.pop_back().expect("checked");
+            self.virtual_bytes -= stored.logical_len();
+        }
+    }
+
+    /// Releases checkpoints strictly before `id` (the commit horizon).
+    pub fn release_before(&mut self, id: CheckpointId) {
+        while self.entries.front().map(|(i, _)| *i < id).unwrap_or(false) {
+            let (_, stored) = self.entries.pop_front().expect("checked");
+            self.virtual_bytes -= stored.logical_len();
+        }
+    }
+
+    /// Id of the most recent retained checkpoint.
+    pub fn latest(&self) -> Option<CheckpointId> {
+        self.entries.back().map(|(i, _)| *i)
+    }
+
+    /// Number of retained checkpoints.
+    pub fn len(&self) -> usize {
+        self.entries.len()
+    }
+
+    /// Whether the store is empty.
+    pub fn is_empty(&self) -> bool {
+        self.entries.is_empty()
+    }
+
+    /// O(1) statistics for hot paths; `physical_bytes` is left zero (it
+    /// requires a page scan — use [`Checkpointer::stats`] when needed).
+    pub fn stats_fast(&self) -> MemStats {
+        MemStats {
+            retained: self.entries.len(),
+            taken: self.taken,
+            restores: self.restores,
+            virtual_bytes: self.virtual_bytes,
+            physical_bytes: 0,
+            last_dirty_pages: self.last_dirty,
+            total_dirty_pages: self.total_dirty,
+        }
+    }
+
+    /// Full memory statistics, including deduplicated physical bytes
+    /// (scans every retained page — O(retained × pages)).
+    pub fn stats(&self) -> MemStats {
+        let mut unique: HashMap<usize, usize> = HashMap::new();
+        let mut full_bytes = 0usize;
+        for (_, stored) in &self.entries {
+            match stored {
+                Stored::Clone(_) => {}
+                Stored::Full(b) => {
+                    full_bytes += b.len();
+                }
+                Stored::Paged(img) => {
+                    img.visit_pages(&mut |ptr, len| {
+                        unique.insert(ptr, len);
+                    });
+                }
+            }
+        }
+        MemStats {
+            physical_bytes: full_bytes + unique.values().sum::<usize>(),
+            ..self.stats_fast()
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::pages::PAGE_SIZE;
+
+    /// A large state with localised mutation, mimicking a routing table.
+    #[derive(Clone, Debug, PartialEq)]
+    struct Table {
+        cells: Vec<u64>,
+    }
+
+    impl Table {
+        fn new(n: usize) -> Self {
+            Table { cells: (0..n as u64).collect() }
+        }
+        fn poke(&mut self, i: usize, v: u64) {
+            self.cells[i] = v;
+        }
+    }
+
+    impl Snapshotable for Table {
+        fn encode(&self, buf: &mut Vec<u8>) {
+            buf.extend_from_slice(&(self.cells.len() as u64).to_le_bytes());
+            for c in &self.cells {
+                buf.extend_from_slice(&c.to_le_bytes());
+            }
+        }
+        fn decode(bytes: &[u8]) -> Option<Self> {
+            let n = u64::from_le_bytes(bytes.get(..8)?.try_into().ok()?) as usize;
+            let mut cells = Vec::with_capacity(n);
+            for i in 0..n {
+                let off = 8 + i * 8;
+                cells.push(u64::from_le_bytes(bytes.get(off..off + 8)?.try_into().ok()?));
+            }
+            Some(Table { cells })
+        }
+    }
+
+    fn round_trip(strategy: Strategy) {
+        let mut cp = Checkpointer::new(strategy);
+        let mut t = Table::new(10_000);
+        let a = cp.checkpoint(&t);
+        t.poke(5, 99);
+        let b = cp.checkpoint(&t);
+        assert_eq!(cp.restore(a).unwrap().cells[5], 5);
+        assert_eq!(cp.restore(b).unwrap().cells[5], 99);
+        assert_eq!(cp.len(), 2);
+    }
+
+    #[test]
+    fn clone_round_trip() {
+        round_trip(Strategy::CloneState);
+    }
+
+    #[test]
+    fn fork_round_trip() {
+        round_trip(Strategy::Fork);
+    }
+
+    #[test]
+    fn mem_intercept_round_trip() {
+        round_trip(Strategy::MemIntercept);
+    }
+
+    #[test]
+    fn mi_physical_much_smaller_than_virtual() {
+        let mut cp = Checkpointer::new(Strategy::MemIntercept);
+        let mut t = Table::new(100_000); // ~800 KiB state
+        for i in 0..50 {
+            t.poke(i, i as u64 + 1_000_000);
+            cp.checkpoint(&t);
+        }
+        let s = cp.stats();
+        assert_eq!(s.retained, 50);
+        assert!(s.virtual_bytes > 50 * 700_000);
+        // All pokes land in the low pages; physical must be near one image.
+        assert!(
+            (s.physical_bytes as f64) < (s.virtual_bytes as f64) * 0.05,
+            "physical {} vs virtual {}",
+            s.physical_bytes,
+            s.virtual_bytes
+        );
+        // The paper reports < 2% inflation over the base process size.
+        let base = 100_000 * 8 + 8;
+        let inflation = s.physical_bytes as f64 / base as f64 - 1.0;
+        assert!(inflation < 0.30, "inflation {inflation}");
+    }
+
+    #[test]
+    fn fork_physical_equals_virtual() {
+        let mut cp = Checkpointer::new(Strategy::Fork);
+        let t = Table::new(10_000);
+        for _ in 0..10 {
+            cp.checkpoint(&t);
+        }
+        let s = cp.stats();
+        assert_eq!(s.physical_bytes, s.virtual_bytes);
+        assert!(s.virtual_bytes >= 10 * 80_000);
+    }
+
+    #[test]
+    fn truncate_discards_rollback_targets() {
+        let mut cp = Checkpointer::new(Strategy::CloneState);
+        let t = Table::new(10);
+        let a = cp.checkpoint(&t);
+        let b = cp.checkpoint(&t);
+        let c = cp.checkpoint(&t);
+        cp.truncate_from(b);
+        assert_eq!(cp.len(), 1);
+        assert_eq!(cp.latest(), Some(a));
+        assert!(cp.restore(b).is_none());
+        assert!(cp.restore(c).is_none());
+    }
+
+    #[test]
+    fn release_advances_horizon() {
+        let mut cp = Checkpointer::new(Strategy::Fork);
+        let t = Table::new(10);
+        let a = cp.checkpoint(&t);
+        let b = cp.checkpoint(&t);
+        cp.release_before(b);
+        assert_eq!(cp.len(), 1);
+        assert!(cp.restore(a).is_none());
+        assert!(cp.restore(b).is_some());
+    }
+
+    #[test]
+    fn mi_dirty_counting() {
+        let mut cp = Checkpointer::new(Strategy::MemIntercept);
+        let mut t = Table::new(10_000);
+        cp.checkpoint(&t);
+        let first_dirty = cp.stats().last_dirty_pages;
+        assert_eq!(first_dirty, (10_000usize * 8 + 8).div_ceil(PAGE_SIZE));
+        t.poke(0, 42);
+        cp.checkpoint(&t);
+        assert_eq!(cp.stats().last_dirty_pages, 1);
+        assert!(cp.stats().total_dirty_pages > first_dirty as u64);
+    }
+
+    #[test]
+    fn empty_store_behaviour() {
+        let mut cp: Checkpointer<Table> = Checkpointer::new(Strategy::Fork);
+        assert!(cp.is_empty());
+        assert_eq!(cp.latest(), None);
+        assert!(cp.restore(CheckpointId(0)).is_none());
+        cp.truncate_from(CheckpointId(0));
+        cp.release_before(CheckpointId(5));
+        assert_eq!(cp.stats().retained, 0);
+    }
+
+    #[test]
+    fn stats_count_activity() {
+        let mut cp = Checkpointer::new(Strategy::CloneState);
+        let t = Table::new(5);
+        let a = cp.checkpoint(&t);
+        cp.checkpoint(&t);
+        cp.restore(a);
+        let s = cp.stats();
+        assert_eq!(s.taken, 2);
+        assert_eq!(s.restores, 1);
+        assert_eq!(s.retained, 2);
+    }
+}

@@ -1,0 +1,252 @@
+//! Automated fault localisation over a recording.
+//!
+//! The case studies (§4) end with the troubleshooter using DEFINED-LS's
+//! stepping "to find the exact point at which XORP begins behaving
+//! incorrectly". Because replays are deterministic, that search can be
+//! mechanised: [`first_bad_group`] binary-searches the earliest group whose
+//! replay prefix already exhibits the bug, and [`first_bad_event`] then
+//! steps through that group event by event to name the exact delivery.
+//!
+//! Each probe is a fresh complete replay of a prefix — exactly what a human
+//! at the debugger would do, minus the tedium. Determinism (Theorem 1) is
+//! what makes the probes comparable at all.
+
+use crate::config::DefinedConfig;
+use crate::ls::{LockstepNet, LsEvent};
+use crate::recorder::Recording;
+use netsim::NodeId;
+use routing::ControlPlane;
+use topology::Graph;
+
+/// Result of a group-level bisection.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct BisectReport {
+    /// The earliest group whose replay prefix satisfies the bug predicate.
+    pub first_bad_group: u64,
+    /// Complete prefix replays performed (≈ `log2(groups)`).
+    pub replays: usize,
+}
+
+fn replay_prefix<P, S>(
+    graph: &Graph,
+    cfg: &DefinedConfig,
+    recording: &Recording<P::Ext>,
+    spawn: &S,
+    upto_group: u64,
+) -> LockstepNet<P>
+where
+    P: ControlPlane,
+    P::Ext: Clone,
+    S: Fn(NodeId) -> P,
+{
+    let mut ls = LockstepNet::new(graph, cfg.clone(), recording.clone(), spawn);
+    ls.run_until_group(upto_group + 1);
+    ls
+}
+
+/// Binary-searches the earliest group `g` such that replaying groups
+/// `1..=g` makes `bad` true.
+///
+/// Assumes the predicate is *monotone* over prefixes (once the bug has
+/// manifested it stays manifested), which holds for state corruption like a
+/// wrong best path or a stuck stale route. Returns `None` when even the
+/// full replay is healthy.
+pub fn first_bad_group<P, S, F>(
+    graph: &Graph,
+    cfg: &DefinedConfig,
+    recording: &Recording<P::Ext>,
+    spawn: S,
+    bad: F,
+) -> Option<BisectReport>
+where
+    P: ControlPlane,
+    P::Ext: Clone,
+    S: Fn(NodeId) -> P,
+    F: Fn(&LockstepNet<P>) -> bool,
+{
+    let mut replays = 0;
+    let mut probe = |g: u64| -> bool {
+        replays += 1;
+        let ls = replay_prefix(graph, cfg, recording, &spawn, g);
+        bad(&ls)
+    };
+    if !probe(recording.last_group) {
+        return None;
+    }
+    // Invariant: bad(hi) is known true, bad(lo - 1)... lo is the lowest
+    // still-possible answer.
+    let (mut lo, mut hi) = (1u64, recording.last_group);
+    while lo < hi {
+        let mid = lo + (hi - lo) / 2;
+        if probe(mid) {
+            hi = mid;
+        } else {
+            lo = mid + 1;
+        }
+    }
+    Some(BisectReport { first_bad_group: lo, replays })
+}
+
+/// Steps through the first bad group one event at a time and returns the
+/// exact delivery after which `bad` first holds, together with the network
+/// frozen at that point for inspection.
+///
+/// `first_bad_group` must come from [`first_bad_group`] (or be otherwise
+/// known); the replay runs healthy up to the group boundary, then probes
+/// after every single event.
+pub fn first_bad_event<P, S, F>(
+    graph: &Graph,
+    cfg: &DefinedConfig,
+    recording: &Recording<P::Ext>,
+    spawn: S,
+    first_bad_group: u64,
+    bad: F,
+) -> Option<(LsEvent, LockstepNet<P>)>
+where
+    P: ControlPlane,
+    P::Ext: Clone,
+    S: Fn(NodeId) -> P,
+    F: Fn(&LockstepNet<P>) -> bool,
+{
+    let mut ls = LockstepNet::new(graph, cfg.clone(), recording.clone(), &spawn);
+    ls.run_until_group(first_bad_group);
+    loop {
+        let ev = ls.step_event()?;
+        if bad(&ls) {
+            return Some((ev, ls));
+        }
+        if ls.current_group() > first_bad_group {
+            return None; // The predicate never fired inside the group.
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::harness::RbNetwork;
+    use netsim::{SimDuration, SimTime};
+    use routing::rip::{RefreshMode, RipConfig, RipExt, RipProcess};
+    use topology::canonical;
+
+    const DEST: u32 = 7;
+
+    fn spawner(
+        g: &topology::Graph,
+        mode: RefreshMode,
+    ) -> impl Fn(NodeId) -> RipProcess + 'static {
+        let g = g.clone();
+        move |id: NodeId| {
+            RipProcess::new(id, g.neighbors(id), RipConfig::emulation(mode))
+        }
+    }
+
+    /// Records the Fig. 5 black-hole production run: the destination prefix
+    /// is attached behind R2 (main) and R3 (backup); R2 dies mid-run.
+    fn record_run(
+        mode: RefreshMode,
+    ) -> (topology::Graph, canonical::Fig5Roles, crate::recorder::Recording<RipExt>) {
+        let (g, roles) = canonical::fig5_rip(SimDuration::from_millis(10));
+        let cfg = DefinedConfig::default();
+        let mut net = RbNetwork::new(&g, cfg, 2, 0.6, spawner(&g, mode));
+        net.inject_external(SimTime::from_millis(100), roles.dest, RipExt::Connect { prefix: DEST });
+        net.schedule_node(SimTime::from_secs(8), roles.r2, false);
+        net.run_until(SimTime::from_secs(26));
+        let (rec, _) = net.into_recording();
+        (g, roles, rec)
+    }
+
+    /// The group in which R2 fell silent, read off its death cut.
+    fn death_group(rec: &crate::recorder::Recording<RipExt>, r2: NodeId) -> u64 {
+        rec.mutes
+            .iter()
+            .find(|m| m.node == r2)
+            .expect("R2 died, so it has a death cut")
+            .allowed
+            .iter()
+            .map(|k| k.group())
+            .max()
+            .unwrap_or(0)
+    }
+
+    /// Group-level bisection localises the Quagga black hole (Fig. 5) to
+    /// the first group where the stale route has outlived its timeout, in a
+    /// logarithmic number of replays.
+    #[test]
+    fn bisects_the_rip_black_hole() {
+        let (g, roles, rec) = record_run(RefreshMode::DestinationOnly);
+        let cfg = DefinedConfig::default();
+        let (r1, r2) = (roles.r1, roles.r2);
+        let dead_at = death_group(&rec, r2);
+        assert!(dead_at > 20, "death cut sanity: {dead_at}");
+        // Black hole: well past R2's death plus the route timeout, R1 still
+        // forwards through the corpse.
+        let horizon = dead_at + 20;
+        let bad = move |ls: &LockstepNet<RipProcess>| {
+            ls.current_group() > horizon
+                && ls.control_plane(r1).route(DEST).and_then(|r| r.next_hop) == Some(r2)
+        };
+        let report = first_bad_group(&g, &cfg, &rec, spawner(&g, RefreshMode::DestinationOnly), bad)
+            .expect("the black hole must manifest in the replay");
+        assert!(
+            report.first_bad_group >= horizon,
+            "bad group {} must lie at or past the horizon {horizon}",
+            report.first_bad_group,
+        );
+        let log2 = 64 - rec.last_group.leading_zeros() as usize;
+        assert!(
+            report.replays <= log2 + 2,
+            "bisection must stay logarithmic: {} replays for {} groups",
+            report.replays,
+            rec.last_group,
+        );
+    }
+
+    /// Event-level localisation pins the exact delivery that installs R1's
+    /// route — a message handled at R1.
+    #[test]
+    fn localises_the_install_event() {
+        let (g, roles, rec) = record_run(RefreshMode::DestinationOnly);
+        let cfg = DefinedConfig::default();
+        let r1 = roles.r1;
+        let has_route = move |ls: &LockstepNet<RipProcess>| {
+            ls.control_plane(r1).route(DEST).is_some()
+        };
+        let report =
+            first_bad_group(&g, &cfg, &rec, spawner(&g, RefreshMode::DestinationOnly), has_route)
+                .expect("the route is eventually installed");
+        let (ev, ls) = first_bad_event(
+            &g,
+            &cfg,
+            &rec,
+            spawner(&g, RefreshMode::DestinationOnly),
+            report.first_bad_group,
+            has_route,
+        )
+        .expect("the installing event exists inside the group");
+        assert_eq!(ev.node, r1, "the install happens at R1: {ev:?}");
+        assert_eq!(ev.record.ann.class, crate::order::EventClass::Message);
+        assert!(ls.control_plane(r1).route(DEST).is_some());
+    }
+
+    /// A healthy replay (fixed comparison mode) yields no bad group.
+    #[test]
+    fn healthy_replay_bisects_to_none() {
+        let (g, roles, rec) = record_run(RefreshMode::DestinationAndNextHop);
+        let cfg = DefinedConfig::default();
+        let (r1, r2) = (roles.r1, roles.r2);
+        let dead_at = death_group(&rec, r2);
+        let horizon = dead_at + 20;
+        let report = first_bad_group(
+            &g,
+            &cfg,
+            &rec,
+            spawner(&g, RefreshMode::DestinationAndNextHop),
+            move |ls| {
+                ls.current_group() > horizon
+                    && ls.control_plane(r1).route(DEST).and_then(|r| r.next_hop) == Some(r2)
+            },
+        );
+        assert_eq!(report, None, "the patched protocol has no bad group");
+    }
+}

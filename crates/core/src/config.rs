@@ -1,0 +1,114 @@
+//! Run-wide DEFINED configuration.
+
+use checkpoint::{CostModel, ForkTiming, Strategy};
+use netsim::SimDuration;
+
+/// Which pseudorandom ordering function nodes apply (paper §2.2, §5.3).
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum OrderingMode {
+    /// OO — the delay-sensitive optimised ordering: sort by estimated
+    /// arrival delay `d`, matching the common-case arrival order, which
+    /// minimises rollbacks.
+    Optimized,
+    /// RO — a hash-permuted ordering (the "straightforward hashing and
+    /// permutation" strawman); deterministic but uncorrelated with arrival
+    /// order, so rollbacks are frequent.
+    Random,
+    /// A salted hash permutation. Each salt yields a *different*
+    /// deterministic schedule; sweeping salts in DEFINED-LS explores
+    /// alternative execution paths, as §4's discussion suggests for bugs the
+    /// production ordering happens to mask.
+    Permuted(u64),
+}
+
+/// Configuration shared by every DEFINED-RB node and the LS replayer.
+#[derive(Clone, Debug)]
+pub struct DefinedConfig {
+    /// Beacon broadcast interval; one beacon = one group = one virtual-time
+    /// tick. The paper uses 250 ms.
+    pub beacon_interval: SimDuration,
+    /// Ordering function selector.
+    pub ordering: OrderingMode,
+    /// Maximum causal-chain length per timestep; messages beyond the bound
+    /// are assigned to the next group (§2.2).
+    pub chain_bound: u32,
+    /// Checkpoint storage strategy.
+    pub strategy: Strategy,
+    /// When checkpoint cost lands on the critical path.
+    pub fork_timing: ForkTiming,
+    /// Simulated-time cost model for checkpoint/rollback overheads.
+    pub cost: CostModel,
+    /// Take a checkpoint every `k` deliveries (1 = every delivery; larger
+    /// values trade rollback depth for non-rollback overhead — the paper's
+    /// §3 optimisation, swept by the ablation bench).
+    pub checkpoint_every: u32,
+    /// Commit horizon: history entries older than this are committed and
+    /// garbage-collected. `None` keeps the full history (needed when a
+    /// recording will be extracted). The paper sizes this as twice the
+    /// maximum propagation time, estimated as mean + 4σ (§2.2).
+    pub commit_horizon: Option<SimDuration>,
+    /// Whether simulated checkpoint overhead delays outgoing messages.
+    pub charge_overhead: bool,
+}
+
+impl Default for DefinedConfig {
+    fn default() -> Self {
+        DefinedConfig {
+            beacon_interval: SimDuration::from_millis(250),
+            ordering: OrderingMode::Optimized,
+            chain_bound: 24,
+            strategy: Strategy::CloneState,
+            fork_timing: ForkTiming::PreForkTouch,
+            cost: CostModel::default(),
+            checkpoint_every: 1,
+            commit_horizon: None,
+            charge_overhead: true,
+        }
+    }
+}
+
+impl DefinedConfig {
+    /// The paper's production configuration: fork-based checkpoints taken on
+    /// packet arrival, with a commit horizon.
+    pub fn production(horizon: SimDuration) -> Self {
+        DefinedConfig {
+            strategy: Strategy::Fork,
+            fork_timing: ForkTiming::OnArrival,
+            commit_horizon: Some(horizon),
+            ..DefinedConfig::default()
+        }
+    }
+
+    /// Recording-friendly configuration: full history retained so the
+    /// partial recording and committed logs can be extracted.
+    pub fn recording() -> Self {
+        DefinedConfig::default()
+    }
+
+    /// Virtual-time ticks per second under this beacon interval.
+    pub fn ticks_per_second(&self) -> f64 {
+        1.0 / self.beacon_interval.as_secs_f64()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn defaults_match_paper() {
+        let c = DefinedConfig::default();
+        assert_eq!(c.beacon_interval, SimDuration::from_millis(250));
+        assert_eq!(c.ticks_per_second(), 4.0);
+        assert_eq!(c.ordering, OrderingMode::Optimized);
+        assert_eq!(c.checkpoint_every, 1);
+    }
+
+    #[test]
+    fn production_config_uses_fork_on_arrival() {
+        let c = DefinedConfig::production(SimDuration::from_secs(2));
+        assert_eq!(c.strategy, Strategy::Fork);
+        assert_eq!(c.fork_timing, ForkTiming::OnArrival);
+        assert_eq!(c.commit_horizon, Some(SimDuration::from_secs(2)));
+    }
+}

@@ -1,0 +1,322 @@
+//! The interactive debugging front-end over DEFINED-LS (paper §2.1, §4).
+//!
+//! A human troubleshooter loads a production recording into a debugging
+//! network, steps through events at chosen granularity, inspects and
+//! manipulates node state, sets breakpoints on state predicates, and
+//! validates patches in place — the workflow of both case studies.
+
+use crate::ls::{LockstepNet, LsEvent};
+use crate::recorder::CommitRecord;
+use netsim::NodeId;
+use routing::ControlPlane;
+
+/// Stepping granularity (§2.1: "steps may be chosen at various levels of
+/// granularity").
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum StepGranularity {
+    /// One delivered event.
+    Event,
+    /// All events of one group (one full beacon interval).
+    Group,
+}
+
+/// Outcome of a debugger step.
+#[derive(Clone, Debug)]
+pub struct StepReport {
+    /// Events delivered during the step.
+    pub events: Vec<LsEvent>,
+    /// Group after the step.
+    pub group: u64,
+    /// True if a breakpoint fired during the step (stepping stopped there).
+    pub hit_breakpoint: bool,
+    /// Watches whose projected value changed during the step:
+    /// `(watch label, old value, new value)`.
+    pub watch_changes: Vec<(String, u64, u64)>,
+}
+
+type Predicate<P> = Box<dyn Fn(&LsEvent, &LockstepNet<P>) -> bool>;
+type Projection<P> = Box<dyn Fn(&LockstepNet<P>) -> u64>;
+
+struct Watch<P: ControlPlane> {
+    label: String,
+    project: Projection<P>,
+    last: u64,
+}
+
+/// An interactive debugger session.
+pub struct Debugger<P: ControlPlane> {
+    net: LockstepNet<P>,
+    breakpoints: Vec<Predicate<P>>,
+    watches: Vec<Watch<P>>,
+    delivered: u64,
+}
+
+impl<P: ControlPlane> Debugger<P> {
+    /// Wraps a loaded debugging network.
+    pub fn new(net: LockstepNet<P>) -> Self {
+        Debugger { net, breakpoints: Vec::new(), watches: Vec::new(), delivered: 0 }
+    }
+
+    /// The underlying lockstep network.
+    pub fn net(&self) -> &LockstepNet<P> {
+        &self.net
+    }
+
+    /// Total events delivered so far.
+    pub fn delivered(&self) -> u64 {
+        self.delivered
+    }
+
+    /// Registers a breakpoint; stepping stops after an event for which the
+    /// predicate returns true.
+    pub fn add_breakpoint(&mut self, pred: impl Fn(&LsEvent, &LockstepNet<P>) -> bool + 'static) {
+        self.breakpoints.push(Box::new(pred));
+    }
+
+    /// Removes every registered breakpoint.
+    pub fn clear_breakpoints(&mut self) {
+        self.breakpoints.clear();
+    }
+
+    /// Registers a watch: `project` extracts a value (e.g. a route's next
+    /// hop, a table digest) from the network; every step reports the
+    /// watches whose value changed — a distributed watchpoint.
+    pub fn add_watch(
+        &mut self,
+        label: impl Into<String>,
+        project: impl Fn(&LockstepNet<P>) -> u64 + 'static,
+    ) {
+        let last = project(&self.net);
+        self.watches.push(Watch { label: label.into(), project: Box::new(project), last });
+    }
+
+    /// Removes every registered watch.
+    pub fn clear_watches(&mut self) {
+        self.watches.clear();
+    }
+
+    fn poll_watches(&mut self) -> Vec<(String, u64, u64)> {
+        let mut changes = Vec::new();
+        for w in &mut self.watches {
+            let now = (w.project)(&self.net);
+            if now != w.last {
+                changes.push((w.label.clone(), w.last, now));
+                w.last = now;
+            }
+        }
+        changes
+    }
+
+    /// Inspects a node's control-plane state.
+    pub fn inspect(&self, node: NodeId) -> &P {
+        self.net.control_plane(node)
+    }
+
+    /// Manipulates a node's state in place (e.g. applying a candidate patch
+    /// before validating it, as in the case studies).
+    pub fn patch(&mut self, node: NodeId, f: impl FnOnce(&mut P)) {
+        f(self.net.control_plane_mut(node));
+    }
+
+    /// Steps once at the given granularity.
+    ///
+    /// Returns `None` when the recording is exhausted.
+    pub fn step(&mut self, granularity: StepGranularity) -> Option<StepReport> {
+        match granularity {
+            StepGranularity::Event => {
+                let ev = self.net.step_event()?;
+                self.delivered += 1;
+                let hit = self.breakpoints.iter().any(|p| p(&ev, &self.net));
+                let watch_changes = self.poll_watches();
+                Some(StepReport {
+                    group: self.net.current_group(),
+                    events: vec![ev],
+                    hit_breakpoint: hit,
+                    watch_changes,
+                })
+            }
+            StepGranularity::Group => {
+                let start_group = self.net.current_group();
+                let mut events = Vec::new();
+                let mut hit = false;
+                let mut watch_changes = Vec::new();
+                loop {
+                    if self.net.is_done() {
+                        break;
+                    }
+                    // Stop before crossing into the next group.
+                    let Some(ev) = self.net.step_event() else { break };
+                    self.delivered += 1;
+                    let fired = self.breakpoints.iter().any(|p| p(&ev, &self.net));
+                    let group_now = self.net.current_group();
+                    events.push(ev);
+                    watch_changes.extend(self.poll_watches());
+                    if fired {
+                        hit = true;
+                        break;
+                    }
+                    if group_now > start_group.max(1) {
+                        break;
+                    }
+                }
+                if events.is_empty() {
+                    None
+                } else {
+                    Some(StepReport {
+                        group: self.net.current_group(),
+                        events,
+                        hit_breakpoint: hit,
+                        watch_changes,
+                    })
+                }
+            }
+        }
+    }
+
+    /// Runs until any watch value changes or the recording ends; returns
+    /// the triggering event and the changes.
+    #[allow(clippy::type_complexity)]
+    pub fn run_until_watch_change(&mut self) -> Option<(LsEvent, Vec<(String, u64, u64)>)> {
+        loop {
+            let ev = self.net.step_event()?;
+            self.delivered += 1;
+            let changes = self.poll_watches();
+            if !changes.is_empty() {
+                return Some((ev, changes));
+            }
+        }
+    }
+
+    /// Runs until a breakpoint fires or the recording ends; returns the
+    /// triggering event if any.
+    pub fn run_until_break(&mut self) -> Option<LsEvent> {
+        loop {
+            let ev = self.net.step_event()?;
+            self.delivered += 1;
+            if self.breakpoints.iter().any(|p| p(&ev, &self.net)) {
+                return Some(ev);
+            }
+        }
+    }
+
+    /// Runs the rest of the recording; returns per-node logs.
+    pub fn run_to_end(&mut self) -> Vec<Vec<CommitRecord>> {
+        while self.net.step_event().is_some() {
+            self.delivered += 1;
+        }
+        self.net.logs().to_vec()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::config::DefinedConfig;
+    use crate::harness::RbNetwork;
+    use crate::order::EventClass;
+    use netsim::{SimDuration, SimTime};
+    use routing::ospf::{OspfConfig, OspfProcess};
+    use topology::canonical;
+
+    fn session() -> Debugger<OspfProcess> {
+        let g = canonical::ring(4, SimDuration::from_millis(4));
+        let cfg = DefinedConfig::default();
+        let f = OspfProcess::for_graph(&g, OspfConfig::stress(4));
+        let spawn: Vec<OspfProcess> = (0..4).map(|i| f(NodeId(i))).collect();
+        let s2 = spawn.clone();
+        let mut net = RbNetwork::new(&g, cfg.clone(), 6, 0.3, move |id| spawn[id.index()].clone());
+        net.run_until(SimTime::from_secs(4));
+        let (rec, _) = net.into_recording();
+        Debugger::new(LockstepNet::new(&g, cfg, rec, move |id| s2[id.index()].clone()))
+    }
+
+    #[test]
+    fn event_stepping_advances_one_at_a_time() {
+        let mut dbg = session();
+        let r1 = dbg.step(StepGranularity::Event).expect("first event");
+        assert_eq!(r1.events.len(), 1);
+        assert_eq!(dbg.delivered(), 1);
+        let r2 = dbg.step(StepGranularity::Event).expect("second event");
+        assert_eq!(r2.events.len(), 1);
+        assert_eq!(dbg.delivered(), 2);
+    }
+
+    #[test]
+    fn group_stepping_covers_whole_groups() {
+        let mut dbg = session();
+        let r = dbg.step(StepGranularity::Group).expect("group step");
+        assert!(r.events.len() >= 4, "a group includes at least all beacon ticks");
+        assert!(!r.hit_breakpoint);
+    }
+
+    #[test]
+    fn breakpoints_stop_stepping() {
+        let mut dbg = session();
+        // Break on the first beacon tick of group 3.
+        dbg.add_breakpoint(|ev, _| {
+            ev.record.ann.class == EventClass::Beacon && ev.record.ann.group == 3
+        });
+        let hit = dbg.run_until_break().expect("breakpoint should fire");
+        assert_eq!(hit.record.ann.group, 3);
+        assert_eq!(hit.record.ann.class, EventClass::Beacon);
+    }
+
+    #[test]
+    fn inspect_and_patch_state() {
+        let mut dbg = session();
+        // Run a while so adjacencies form.
+        for _ in 0..60 {
+            if dbg.step(StepGranularity::Event).is_none() {
+                break;
+            }
+        }
+        let before = dbg.inspect(NodeId(1)).up_neighbors().len();
+        assert!(before > 0, "adjacency should have formed");
+        // Patch does run against the live state.
+        let mut seen = 0;
+        dbg.patch(NodeId(1), |cp| {
+            seen = cp.up_neighbors().len();
+        });
+        assert_eq!(seen, before);
+    }
+
+    #[test]
+    fn watches_report_state_changes() {
+        let mut dbg = session();
+        // Watch node 1's adjacency count.
+        dbg.add_watch("n1 adjacencies", |net| {
+            net.control_plane(NodeId(1)).up_neighbors().len() as u64
+        });
+        let (ev, changes) = dbg.run_until_watch_change().expect("adjacency forms");
+        assert_eq!(changes.len(), 1);
+        let (label, old, new) = &changes[0];
+        assert_eq!(label, "n1 adjacencies");
+        assert!(new > old, "adjacency count grew: {old} -> {new}");
+        // The triggering event is a delivery at node 1 — the state that
+        // changed belongs to it.
+        assert_eq!(ev.node, NodeId(1));
+    }
+
+    #[test]
+    fn watches_are_quiet_when_state_is_stable() {
+        let mut dbg = session();
+        // A constant projection never fires.
+        dbg.add_watch("constant", |_| 42);
+        for _ in 0..30 {
+            let Some(r) = dbg.step(StepGranularity::Event) else { break };
+            assert!(r.watch_changes.is_empty());
+        }
+        dbg.clear_watches();
+        assert!(dbg.run_until_watch_change().is_none());
+    }
+
+    #[test]
+    fn run_to_end_consumes_everything() {
+        let mut dbg = session();
+        let logs = dbg.run_to_end();
+        assert_eq!(logs.len(), 4);
+        assert!(dbg.net().is_done());
+        assert!(dbg.delivered() > 50);
+        assert!(dbg.step(StepGranularity::Event).is_none());
+    }
+}

@@ -1,0 +1,535 @@
+//! DEFINED-LS: the lockstep debugging network (paper §2.3).
+//!
+//! [`LockstepNet`] replays a partial [`Recording`] group by group. Within a
+//! group, execution proceeds in sub-cycles that alternate the paper's
+//! *transmission* and *processing* phases: every message materialised in
+//! sub-cycle `c` has causal chain depth `c+1` and is delivered — sorted by
+//! the same ordering function the production network used — in sub-cycle
+//! `c+1`. Because the production order key leads with `(group, chain)`, the
+//! lockstep delivery order *is* the production committed order, which is how
+//! Theorem 1 (reproducibility) holds by construction here.
+//!
+//! Recorded message losses are replayed by committed send index
+//! (footnote 4), and recorded external events are injected at the start of
+//! the group they were tagged with.
+//!
+//! The engine exposes single-event stepping for the interactive debugger and
+//! a timed model ([`LsTiming`]) that estimates per-step response time for
+//! Figs. 6c and 8c.
+
+use crate::config::DefinedConfig;
+use crate::order::{debug_digest, Annotation, MsgId};
+use crate::recorder::{CommitRecord, Recording};
+use crate::snapshot::NodeSnapshot;
+use netsim::NodeId;
+use routing::{ControlPlane, Outbox};
+use std::collections::{BTreeMap, HashSet};
+use topology::Graph;
+
+/// Parameters of the response-time model (Fig. 6c / 8c).
+#[derive(Clone, Copy, Debug)]
+pub struct LsTiming {
+    /// Cost of delivering one event to the control plane (ns), covering the
+    /// debugger bookkeeping the paper's implementation pays per event.
+    pub per_delivery_ns: u64,
+    /// Fixed per-phase coordination cost (ns) of the distributed semaphore
+    /// beyond propagation (syscalls, TCP handling).
+    pub barrier_base_ns: u64,
+    /// The coordinator node (markers and GO messages flow to/from it).
+    pub coordinator: NodeId,
+}
+
+impl Default for LsTiming {
+    fn default() -> Self {
+        LsTiming {
+            per_delivery_ns: 2_000_000, // 2 ms per delivered event
+            barrier_base_ns: 5_000_000, // 5 ms per barrier round
+            coordinator: NodeId(0),
+        }
+    }
+}
+
+/// The deliveries staged for one lockstep sub-cycle.
+type Wave<P> = Vec<Pending<<P as ControlPlane>::Msg, <P as ControlPlane>::Ext>>;
+
+/// One pending delivery.
+#[derive(Clone, Debug)]
+struct Pending<M, X> {
+    to: NodeId,
+    from: NodeId,
+    ann: Annotation,
+    ev: LsPayload<M, X>,
+}
+
+#[derive(Clone, Debug)]
+enum LsPayload<M, X> {
+    Start,
+    External(X),
+    BeaconTick,
+    Msg(M),
+}
+
+/// One delivered event, as reported to the debugger.
+#[derive(Clone, Debug)]
+pub struct LsEvent {
+    /// The node that processed the event.
+    pub node: NodeId,
+    /// Group being replayed.
+    pub group: u64,
+    /// Sub-cycle (causal chain depth) within the group.
+    pub chain: u32,
+    /// The committed record (key, annotation, payload digest).
+    pub record: CommitRecord,
+}
+
+struct LsNode<P: ControlPlane> {
+    snap: NodeSnapshot<P>,
+    send_count: u64,
+}
+
+/// The lockstep debugging network.
+pub struct LockstepNet<P: ControlPlane> {
+    cfg: DefinedConfig,
+    recording: Recording<P::Ext>,
+    drops: HashSet<(NodeId, u64)>,
+    /// Recorded beacon delivery schedule: group → [(node, announcing
+    /// source)]. A node missing from a group's list skipped that tick in
+    /// production (it was partitioned from the source).
+    ticks: BTreeMap<u64, Vec<(NodeId, NodeId)>>,
+    /// Death cuts: node → keys it may still deliver (None = alive).
+    mutes: BTreeMap<NodeId, HashSet<crate::order::OrderKey>>,
+    link_est: Vec<BTreeMap<NodeId, u64>>,
+    dist: Vec<Vec<u64>>,
+    nodes: Vec<LsNode<P>>,
+    logs: Vec<Vec<CommitRecord>>,
+    group: u64,
+    chain: u32,
+    queue: Wave<P>,
+    queue_pos: usize,
+    next_wave: Wave<P>,
+    holdover: BTreeMap<u64, Wave<P>>,
+    step_times: Vec<(u64, f64)>,
+    timing: LsTiming,
+    done: bool,
+}
+
+impl<P: ControlPlane> LockstepNet<P> {
+    /// Builds a debugging network over `graph`, replaying `recording`, with
+    /// fresh control planes from `spawn`.
+    pub fn new(
+        graph: &Graph,
+        cfg: DefinedConfig,
+        recording: Recording<P::Ext>,
+        mut spawn: impl FnMut(NodeId) -> P,
+    ) -> Self {
+        let n = graph.node_count();
+        assert_eq!(n, recording.n_nodes, "recording is for a different network");
+        let mut link_est = vec![BTreeMap::new(); n];
+        for e in graph.edges() {
+            link_est[e.a.index()].insert(e.b, e.delay.0);
+            link_est[e.b.index()].insert(e.a, e.delay.0);
+        }
+        let dist = crate::harness::delay_estimates(graph);
+        let drops = recording.drops.iter().map(|d| (d.sender, d.idx)).collect();
+        let mut ticks: BTreeMap<u64, Vec<(NodeId, NodeId)>> = BTreeMap::new();
+        for t in &recording.ticks {
+            ticks.entry(t.group).or_default().push((t.node, t.source));
+        }
+        let mutes = recording
+            .mutes
+            .iter()
+            .map(|m| (m.node, m.allowed.iter().copied().collect()))
+            .collect();
+        let nodes = (0..n)
+            .map(|i| LsNode { snap: NodeSnapshot::new(spawn(NodeId(i as u32))), send_count: 0 })
+            .collect();
+        LockstepNet {
+            cfg,
+            recording,
+            drops,
+            ticks,
+            mutes,
+            link_est,
+            dist,
+            nodes,
+            logs: vec![Vec::new(); n],
+            group: 0,
+            chain: 0,
+            queue: Vec::new(),
+            queue_pos: 0,
+            next_wave: Vec::new(),
+            holdover: BTreeMap::new(),
+            step_times: Vec::new(),
+            timing: LsTiming::default(),
+            done: false,
+        }
+    }
+
+    /// Overrides the response-time model.
+    pub fn set_timing(&mut self, timing: LsTiming) {
+        self.timing = timing;
+    }
+
+    /// The group currently being replayed.
+    pub fn current_group(&self) -> u64 {
+        self.group
+    }
+
+    /// Whether the replay has consumed every group.
+    pub fn is_done(&self) -> bool {
+        self.done
+    }
+
+    /// Per-node delivered logs so far.
+    pub fn logs(&self) -> &[Vec<CommitRecord>] {
+        &self.logs
+    }
+
+    /// Per-sub-cycle response times (seconds) of the timed model.
+    pub fn step_times(&self) -> Vec<f64> {
+        self.step_times.iter().map(|&(_, t)| t).collect()
+    }
+
+    /// Step times of sub-cycles in groups after `warmup_groups` — the
+    /// steady-state measurement (the synchronized cold-boot flood of group 1
+    /// is a simulator artifact the paper's converged testbed never sees).
+    pub fn steady_step_times(&self, warmup_groups: u64) -> Vec<f64> {
+        self.step_times
+            .iter()
+            .filter(|&&(g, _)| g > warmup_groups)
+            .map(|&(_, t)| t)
+            .collect()
+    }
+
+    /// One node's control plane (state inspection).
+    pub fn control_plane(&self, node: NodeId) -> &P {
+        &self.nodes[node.index()].snap.cp
+    }
+
+    /// Mutable control-plane access — the debugger's "manipulate state" /
+    /// patch-in-place hook (§2.1).
+    pub fn control_plane_mut(&mut self, node: NodeId) -> &mut P {
+        &mut self.nodes[node.index()].snap.cp
+    }
+
+    /// Delivers exactly one event, advancing phases and groups as needed.
+    ///
+    /// Returns `None` when the recording is exhausted.
+    pub fn step_event(&mut self) -> Option<LsEvent> {
+        loop {
+            if self.queue_pos < self.queue.len() {
+                let p = self.queue[self.queue_pos].clone();
+                self.queue_pos += 1;
+                // A crashed node delivers only the events of its recorded
+                // death cut; everything else is silently absorbed, exactly
+                // as the dead production node absorbed nothing further.
+                if let Some(allowed) = self.mutes.get(&p.to) {
+                    if !allowed.contains(&p.ann.key(self.cfg.ordering)) {
+                        continue;
+                    }
+                }
+                return Some(self.deliver(p));
+            }
+            if !self.advance_phase() {
+                return None;
+            }
+        }
+    }
+
+    /// Runs the whole recording; returns the per-node logs.
+    pub fn run_to_end(&mut self) -> &[Vec<CommitRecord>] {
+        while self.step_event().is_some() {}
+        self.logs()
+    }
+
+    /// Runs until the start of `group` (exclusive of its first event).
+    pub fn run_until_group(&mut self, group: u64) {
+        while !self.done && self.group < group {
+            if self.step_event().is_none() {
+                break;
+            }
+        }
+    }
+
+    /// Finishes the current sub-cycle and records its modelled duration;
+    /// then stages the next wave or the next group. Returns false when done.
+    fn advance_phase(&mut self) -> bool {
+        if self.done {
+            return false;
+        }
+        if !self.queue.is_empty() {
+            self.record_step_time();
+        }
+        if !self.next_wave.is_empty() {
+            self.chain += 1;
+            let mut wave = std::mem::take(&mut self.next_wave);
+            wave.sort_by(|a, b| {
+                (a.ann.key(self.cfg.ordering), a.to).cmp(&(b.ann.key(self.cfg.ordering), b.to))
+            });
+            self.queue = wave;
+            self.queue_pos = 0;
+            return true;
+        }
+        // Next group.
+        self.group += 1;
+        if self.group > self.recording.last_group {
+            self.done = true;
+            return false;
+        }
+        self.chain = 0;
+        let mut wave: Vec<Pending<P::Msg, P::Ext>> = Vec::new();
+        if self.group == 1 {
+            for i in 0..self.nodes.len() {
+                let node = NodeId(i as u32);
+                wave.push(Pending {
+                    to: node,
+                    from: node,
+                    ann: Annotation::external(node, 1, 0),
+                    ev: LsPayload::Start,
+                });
+            }
+        }
+        for e in self.recording.externals_for_group(self.group) {
+            wave.push(Pending {
+                to: e.node,
+                from: e.node,
+                ann: Annotation::external(e.node, self.group, e.ext_seq),
+                ev: LsPayload::External(e.payload),
+            });
+        }
+        // Beacon ticks follow the recorded delivery schedule: a node that
+        // missed a tick in production (partition) or saw it announced by a
+        // failover source gets exactly the same tick here.
+        for &(node, source) in self.ticks.get(&self.group).map(Vec::as_slice).unwrap_or(&[]) {
+            wave.push(Pending {
+                to: node,
+                from: source,
+                ann: Annotation::beacon(
+                    source,
+                    self.group,
+                    self.dist[source.index()][node.index()],
+                ),
+                ev: LsPayload::BeaconTick,
+            });
+        }
+        wave.sort_by(|a, b| {
+            (a.ann.key(self.cfg.ordering), a.to).cmp(&(b.ann.key(self.cfg.ordering), b.to))
+        });
+        self.queue = wave;
+        self.queue_pos = 0;
+        // Chain-overflow messages assigned to this group join sub-cycle 1.
+        if let Some(held) = self.holdover.remove(&self.group) {
+            self.next_wave.extend(held);
+        }
+        true
+    }
+
+    fn record_step_time(&mut self) {
+        // Transmission: messages cross links concurrently → the slowest link
+        // bounds the phase. Processing: the busiest node bounds the phase.
+        // Coordination: two barrier rounds through the coordinator.
+        let mut max_link = 0u64;
+        let mut per_node: BTreeMap<NodeId, u64> = BTreeMap::new();
+        for p in &self.queue {
+            if p.from != p.to {
+                let l = self.link_est[p.from.index()].get(&p.to).copied().unwrap_or(
+                    self.dist[p.from.index()][p.to.index()],
+                );
+                max_link = max_link.max(l);
+            }
+            *per_node.entry(p.to).or_default() += 1;
+        }
+        let max_proc =
+            per_node.values().max().copied().unwrap_or(0) * self.timing.per_delivery_ns;
+        let max_coord = (0..self.nodes.len())
+            .map(|i| self.dist[self.timing.coordinator.index()][i])
+            .max()
+            .unwrap_or(0);
+        let barrier = 2 * (max_coord + self.timing.barrier_base_ns);
+        let total_ns = barrier + max_link + max_proc;
+        self.step_times.push((self.group, total_ns as f64 / 1e9));
+    }
+
+    fn deliver(&mut self, p: Pending<P::Msg, P::Ext>) -> LsEvent {
+        let idx = p.to.index();
+        let mut out = Outbox::new();
+        let mut records_digest = 0u64;
+        match &p.ev {
+            LsPayload::Start => {
+                records_digest = 1;
+                self.nodes[idx].snap.cp.on_start(&mut out);
+                self.dispatch(p.to, &p.ann, out, &mut 0);
+            }
+            LsPayload::External(x) => {
+                records_digest = debug_digest(x);
+                self.nodes[idx].snap.cp.on_external(x, &mut out);
+                self.dispatch(p.to, &p.ann, out, &mut 0);
+            }
+            LsPayload::Msg(m) => {
+                records_digest = debug_digest(m);
+                self.nodes[idx].snap.cp.on_message(p.from, m, &mut out);
+                self.dispatch(p.to, &p.ann, out, &mut 0);
+            }
+            LsPayload::BeaconTick => {
+                self.nodes[idx].snap.current_group = p.ann.group;
+                let mut emit = 0u32;
+                loop {
+                    let due = self.nodes[idx].snap.take_due_timers(p.ann.group);
+                    if due.is_empty() {
+                        break;
+                    }
+                    for token in due {
+                        let mut out = Outbox::new();
+                        self.nodes[idx].snap.cp.on_timer(token, &mut out);
+                        self.dispatch(p.to, &p.ann, out, &mut emit);
+                    }
+                }
+            }
+        }
+        let record = CommitRecord {
+            key: p.ann.key(self.cfg.ordering),
+            ann: p.ann,
+            payload_digest: records_digest,
+        };
+        self.logs[idx].push(record);
+        LsEvent { node: p.to, group: self.group, chain: self.chain, record }
+    }
+
+    fn dispatch(&mut self, me: NodeId, parent: &Annotation, out: Outbox<P::Msg>, emit: &mut u32) {
+        let idx = me.index();
+        self.nodes[idx].snap.apply_timer_ops(&out.arms, &out.cancels);
+        for (to, payload) in out.sends {
+            let link = self.link_est[idx].get(&to).copied().unwrap_or(1);
+            let ann = Annotation::child(parent, me, link, *emit, self.cfg.chain_bound);
+            *emit += 1;
+            let send_idx = self.nodes[idx].send_count;
+            self.nodes[idx].send_count += 1;
+            if self.drops.contains(&(me, send_idx)) {
+                continue; // Replay the recorded loss.
+            }
+            let pending = Pending { to, from: me, ann, ev: LsPayload::Msg(payload) };
+            if ann.group == self.group {
+                self.next_wave.push(pending);
+            } else {
+                self.holdover.entry(ann.group).or_default().push(pending);
+            }
+        }
+    }
+}
+
+/// Compares two committed logs (e.g. RB production vs LS replay), trimmed to
+/// groups `<= upto_group`. Returns the first divergence as
+/// `(node, position, left, right)` if any.
+#[allow(clippy::type_complexity)]
+pub fn first_divergence(
+    a: &[Vec<CommitRecord>],
+    b: &[Vec<CommitRecord>],
+    upto_group: u64,
+) -> Option<(usize, usize, Option<CommitRecord>, Option<CommitRecord>)> {
+    for (node, (la, lb)) in a.iter().zip(b.iter()).enumerate() {
+        let ta = crate::recorder::trim_log(la, upto_group);
+        let tb = crate::recorder::trim_log(lb, upto_group);
+        let len = ta.len().max(tb.len());
+        for i in 0..len {
+            let x = ta.get(i).copied();
+            let y = tb.get(i).copied();
+            if x != y {
+                return Some((node, i, x, y));
+            }
+        }
+    }
+    None
+}
+
+/// Placeholder for unused id type re-export (kept for debugger displays).
+pub type LsMsgId = MsgId;
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::config::{DefinedConfig, OrderingMode};
+    use crate::harness::RbNetwork;
+    use netsim::{SimDuration, SimTime};
+    use routing::ospf::{OspfConfig, OspfProcess};
+    use topology::canonical;
+
+    /// Theorem 1 end-to-end: the LS replay of an RB recording reproduces the
+    /// RB committed execution exactly.
+    fn check_reproducibility(ordering: OrderingMode, jitter: f64, seed: u64) {
+        let g = canonical::ring(5, SimDuration::from_millis(4));
+        let cfg = DefinedConfig { ordering, ..DefinedConfig::default() };
+        let f = OspfProcess::for_graph(&g, OspfConfig::stress(5));
+        let spawn: Vec<OspfProcess> = (0..5).map(|i| f(netsim::NodeId(i))).collect();
+        let spawn2 = spawn.clone();
+        let mut net =
+            RbNetwork::new(&g, cfg.clone(), seed, jitter, move |id| spawn[id.index()].clone());
+        net.run_until(SimTime::from_secs(6));
+        let margin = 2;
+        let upto = net.completed_group(margin);
+        let (rec, rb_logs) = net.into_recording();
+        assert!(upto > 5, "run long enough to cover several groups");
+
+        let mut ls = LockstepNet::new(&g, cfg, rec, move |id| spawn2[id.index()].clone());
+        ls.run_to_end();
+        let div = first_divergence(&rb_logs, ls.logs(), upto);
+        assert!(div.is_none(), "LS must reproduce RB: {div:?}");
+        // The comparison must be non-vacuous.
+        let total: usize = rb_logs
+            .iter()
+            .map(|l| crate::recorder::trim_log(l, upto).len())
+            .sum();
+        assert!(total > 100, "compared {total} events");
+    }
+
+    #[test]
+    fn theorem1_optimized_low_jitter() {
+        check_reproducibility(OrderingMode::Optimized, 0.2, 7);
+    }
+
+    #[test]
+    fn theorem1_optimized_heavy_jitter() {
+        check_reproducibility(OrderingMode::Optimized, 0.9, 8);
+    }
+
+    #[test]
+    fn theorem1_random_ordering() {
+        check_reproducibility(OrderingMode::Random, 0.5, 9);
+    }
+
+    #[test]
+    fn ls_step_times_recorded() {
+        let g = canonical::ring(4, SimDuration::from_millis(4));
+        let cfg = DefinedConfig::default();
+        let f = OspfProcess::for_graph(&g, OspfConfig::stress(4));
+        let spawn: Vec<OspfProcess> = (0..4).map(|i| f(netsim::NodeId(i))).collect();
+        let spawn2 = spawn.clone();
+        let mut net = RbNetwork::new(&g, cfg.clone(), 3, 0.2, move |id| spawn[id.index()].clone());
+        net.run_until(SimTime::from_secs(3));
+        let (rec, _) = net.into_recording();
+        let mut ls = LockstepNet::new(&g, cfg, rec, move |id| spawn2[id.index()].clone());
+        ls.run_to_end();
+        assert!(!ls.step_times().is_empty());
+        // Every step under a second, as Fig. 6c reports.
+        assert!(ls.step_times().iter().all(|&t| t < 1.0));
+    }
+
+    #[test]
+    fn ls_stops_at_last_group() {
+        let g = canonical::line(3, SimDuration::from_millis(2));
+        let cfg = DefinedConfig::default();
+        let f = OspfProcess::for_graph(&g, OspfConfig::stress(3));
+        let spawn: Vec<OspfProcess> = (0..3).map(|i| f(netsim::NodeId(i))).collect();
+        let spawn2 = spawn.clone();
+        let mut net = RbNetwork::new(&g, cfg.clone(), 4, 0.1, move |id| spawn[id.index()].clone());
+        net.run_until(SimTime::from_secs(3));
+        let (rec, _) = net.into_recording();
+        let last = rec.last_group;
+        let mut ls = LockstepNet::new(&g, cfg, rec, move |id| spawn2[id.index()].clone());
+        ls.run_to_end();
+        assert!(ls.is_done());
+        assert_eq!(ls.current_group(), last + 1);
+        for log in ls.logs() {
+            assert!(log.iter().all(|r| r.ann.group <= last + 1));
+        }
+    }
+}

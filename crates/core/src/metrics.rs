@@ -1,0 +1,73 @@
+//! Overhead accounting for DEFINED-RB nodes.
+
+/// Counters one RB shim maintains; the harness aggregates them per run.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub struct RbMetrics {
+    /// Application messages transmitted (including re-sends after rollback).
+    pub app_msgs_sent: u64,
+    /// Rollback episodes performed.
+    pub rollbacks: u64,
+    /// History entries re-delivered across all rollbacks.
+    pub rolled_entries: u64,
+    /// Anti-message (unsend) control packets transmitted.
+    pub unsend_msgs: u64,
+    /// Message ids retracted via unsends.
+    pub unsent_ids: u64,
+    /// Beacon packets relayed during flooding.
+    pub beacon_relays: u64,
+    /// Deliveries taken on the speculative fast path.
+    pub fast_path: u64,
+    /// Simulated checkpoint/rollback overhead accumulated (ns).
+    pub overhead_ns: u64,
+    /// Largest history length observed.
+    pub max_history: usize,
+    /// Arrivals referencing already-committed entries (must stay zero when
+    /// the commit horizon is sized correctly).
+    pub window_violations: u64,
+    /// Unsends that arrived before their target message (poisoned arrivals).
+    pub poisoned: u64,
+    /// Rolled-back sends kept by lazy cancellation (replay regenerated an
+    /// identical message, so no anti-message or re-send was needed).
+    pub lazy_hits: u64,
+}
+
+impl RbMetrics {
+    /// Control-plane packet total attributable to DEFINED: anti-messages
+    /// plus speculative re-sends are already inside `app_msgs_sent`; this
+    /// returns the unsend traffic alone, which is what Fig. 6a's per-node
+    /// overhead tail is made of.
+    pub fn control_overhead(&self) -> u64 {
+        self.unsend_msgs
+    }
+
+    /// Folds another node's counters into an aggregate.
+    pub fn absorb(&mut self, other: &RbMetrics) {
+        self.app_msgs_sent += other.app_msgs_sent;
+        self.rollbacks += other.rollbacks;
+        self.rolled_entries += other.rolled_entries;
+        self.unsend_msgs += other.unsend_msgs;
+        self.unsent_ids += other.unsent_ids;
+        self.beacon_relays += other.beacon_relays;
+        self.fast_path += other.fast_path;
+        self.overhead_ns += other.overhead_ns;
+        self.max_history = self.max_history.max(other.max_history);
+        self.window_violations += other.window_violations;
+        self.poisoned += other.poisoned;
+        self.lazy_hits += other.lazy_hits;
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn absorb_sums_and_maxes() {
+        let mut a = RbMetrics { rollbacks: 2, max_history: 5, ..Default::default() };
+        let b = RbMetrics { rollbacks: 3, max_history: 9, unsend_msgs: 4, ..Default::default() };
+        a.absorb(&b);
+        assert_eq!(a.rollbacks, 5);
+        assert_eq!(a.max_history, 9);
+        assert_eq!(a.control_overhead(), 4);
+    }
+}

@@ -1,0 +1,863 @@
+//! DEFINED-RB: the production-network shim (paper §2.2, §3).
+//!
+//! [`RbShim`] wraps a [`ControlPlane`] and interposes on every message,
+//! timer, and external input. Arrivals are delivered *speculatively* in
+//! arrival order; each node independently computes the pseudorandom order
+//! ([`crate::order`]) over its receive history, and when an arrival violates
+//! that order the node rolls back — restoring a checkpoint, *unsending*
+//! previously transmitted messages with anti-message control packets, and
+//! replaying the history suffix in the correct order. Cascading rollbacks
+//! terminate by the paper's Theorem 2 (group numbers are bounded below and
+//! GVT advances).
+//!
+//! Virtual time: one node (the beacon source, elected on failure) floods a
+//! beacon per 250 ms; a beacon's receipt is itself an ordered, rollback-able
+//! history event whose delivery advances the node's group counter and fires
+//! due protocol timers deterministically.
+
+use crate::config::DefinedConfig;
+use crate::metrics::RbMetrics;
+use crate::order::{debug_digest, Annotation, MsgId, OrderKey};
+use crate::recorder::CommitRecord;
+use crate::snapshot::NodeSnapshot;
+use checkpoint::Checkpointer;
+use netsim::{NodeId, Process, ProcessCtx, SimDuration, SimTime, TimerId, TimerKey};
+use routing::{ControlPlane, Outbox};
+use std::collections::{BTreeMap, HashSet};
+use std::sync::Arc;
+
+/// Real (simulator wall-clock) timers the shim itself uses.
+const TK_BEACON: TimerKey = TimerKey(1);
+const TK_GC: TimerKey = TimerKey(2);
+const TK_WATCHDOG: TimerKey = TimerKey(3);
+const TK_CLAIM: TimerKey = TimerKey(4);
+
+/// The wire format of an instrumented network.
+#[derive(Clone, Debug)]
+pub enum Envelope<M> {
+    /// An annotated application message.
+    App {
+        /// Unique message identity (for unsend matching).
+        id: MsgId,
+        /// Ordering annotation.
+        ann: Annotation,
+        /// The control-plane payload.
+        payload: M,
+    },
+    /// A flooded group-number beacon.
+    Beacon {
+        /// Election epoch (increments when a new source takes over).
+        epoch: u32,
+        /// The beacon source.
+        source: NodeId,
+        /// Beacon number == the group it opens.
+        number: u64,
+    },
+    /// An anti-message: the listed ids must be rolled back.
+    Unsend {
+        /// Message ids to retract.
+        ids: Vec<MsgId>,
+    },
+}
+
+/// Network-wide immutable context shared by every shim.
+#[derive(Clone, Debug)]
+pub struct RbShared {
+    /// The run configuration.
+    pub cfg: DefinedConfig,
+    /// Node count.
+    pub n: usize,
+    /// `link_est[a]` maps neighbour → measured average delay (ns) of the
+    /// `a → neighbour` link, measured before launch as §2.2 prescribes.
+    pub link_est: Vec<BTreeMap<NodeId, u64>>,
+    /// `dist[s][n]`: estimated shortest-path delay (ns) from `s` to `n`,
+    /// used to annotate beacon ticks.
+    pub dist: Vec<Vec<u64>>,
+    /// The initially configured beacon source.
+    pub initial_source: NodeId,
+}
+
+impl RbShared {
+    fn link_est(&self, from: NodeId, to: NodeId) -> u64 {
+        self.link_est[from.index()].get(&to).copied().unwrap_or(1)
+    }
+}
+
+/// A deliverable local event.
+#[derive(Clone, Debug)]
+enum LocalEvent<M, X> {
+    /// Node startup (`on_start`).
+    Start,
+    /// An external input.
+    External(X),
+    /// A beacon tick: advance virtual time, fire due timers.
+    BeaconTick,
+    /// An application message.
+    Msg {
+        from: NodeId,
+        payload: M,
+    },
+}
+
+#[derive(Clone, Debug)]
+struct Entry<M, X> {
+    key: OrderKey,
+    ann: Annotation,
+    /// Wire identity for messages (unsend matching).
+    id: Option<MsgId>,
+    ev: LocalEvent<M, X>,
+    ckpt: Option<checkpoint::CheckpointId>,
+    arrived: SimTime,
+    /// Messages this entry's delivery transmitted (replaced on redelivery);
+    /// exactly the set an unsend of this entry must retract.
+    sends: Vec<SentRec>,
+}
+
+#[derive(Clone, Copy, Debug)]
+struct SentRec {
+    id: MsgId,
+    to: NodeId,
+    /// Annotation the message was sent with (lazy-cancellation matching).
+    ann: Annotation,
+    /// Payload digest (lazy-cancellation matching).
+    digest: u64,
+}
+
+/// Sends retracted by a rollback, keyed by content identity. Replay consults
+/// the pool before transmitting: a regenerated message identical in
+/// destination, annotation, and payload *keeps* the original wire message
+/// (Time-Warp lazy cancellation), so no anti-message and no re-send are
+/// needed for it. Only the leftovers — sends the new execution did not
+/// reproduce — are unsent. This is what keeps cascading rollbacks from
+/// echoing identical traffic around the network.
+type LazyPool = BTreeMap<(NodeId, Annotation, u64), Vec<MsgId>>;
+
+/// A recorded external input (consumed by the harness to build a
+/// [`crate::recorder::Recording`]).
+#[derive(Clone, Debug)]
+pub struct ExtLogEntry<X> {
+    /// Arrival index at this node (0 = startup).
+    pub ext_seq: u64,
+    /// Group the event was tagged with.
+    pub group: u64,
+    /// Payload.
+    pub payload: X,
+}
+
+/// Measured shape of one rollback episode (drives the Fig. 7a cost curves).
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct RollbackSample {
+    /// Mean retained checkpoint image size at the time (bytes).
+    pub state_bytes: usize,
+    /// Dirty pages of the most recent checkpoint (MI strategy; 0 otherwise).
+    pub dirty_pages: usize,
+    /// History entries replayed.
+    pub replayed: usize,
+}
+
+/// Measured shape of one checkpoint (drives the Fig. 7b cost curves).
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct CheckpointSample {
+    /// Mean retained checkpoint image size at the time (bytes).
+    pub state_bytes: usize,
+    /// Dirty pages copied (MI strategy; full page count otherwise).
+    pub dirty_pages: usize,
+}
+
+/// Cap on retained cost samples per node.
+const SAMPLE_CAP: usize = 20_000;
+
+/// The DEFINED-RB shim around one control plane.
+pub struct RbShim<P: ControlPlane> {
+    me: NodeId,
+    shared: Arc<RbShared>,
+    snap: NodeSnapshot<P>,
+    history: Vec<Entry<P::Msg, P::Ext>>,
+    committed: Vec<CommitRecord>,
+    committed_max_key: Option<OrderKey>,
+    committed_sends: Vec<MsgId>,
+    ckpt: Checkpointer<NodeSnapshot<P>>,
+    deliveries_since_ckpt: u32,
+    ext_seq: u64,
+    ext_log: Vec<ExtLogEntry<P::Ext>>,
+    send_seq: u64,
+    incarnation: u32,
+    /// Sends of the entry currently being delivered (moved into the entry).
+    pending_sends: Vec<SentRec>,
+    /// Retracted sends available for lazy-cancellation matching; `Some` only
+    /// while replaying a rollback suffix.
+    lazy_pool: Option<LazyPool>,
+    /// Every message id ever received (duplicate-arrival guard).
+    seen_ids: HashSet<MsgId>,
+    poison: HashSet<MsgId>,
+    started: bool,
+    // Beaconing / election.
+    max_beacon_seen: u64,
+    /// Highest `(epoch, number)` flooded so far (relay dedup; lexicographic
+    /// so a failover epoch propagates even when its numbers have not yet
+    /// caught up with this node's `max_beacon_seen`).
+    last_flood: (u32, u64),
+    epoch: u32,
+    known_source: NodeId,
+    i_am_source: bool,
+    last_beacon_wall: SimTime,
+    watchdog: Option<TimerId>,
+    pending_overhead: SimDuration,
+    rollback_samples: Vec<RollbackSample>,
+    ckpt_samples: Vec<CheckpointSample>,
+    /// Overhead/rollback counters.
+    pub metrics: RbMetrics,
+}
+
+impl<P: ControlPlane> RbShim<P> {
+    /// Wraps `cp` for node `me` under the shared run context.
+    pub fn new(me: NodeId, cp: P, shared: Arc<RbShared>) -> Self {
+        let strategy = shared.cfg.strategy;
+        RbShim {
+            me,
+            shared,
+            snap: NodeSnapshot::new(cp),
+            history: Vec::new(),
+            committed: Vec::new(),
+            committed_max_key: None,
+            committed_sends: Vec::new(),
+            ckpt: Checkpointer::new(strategy),
+            deliveries_since_ckpt: 0,
+            ext_seq: 0,
+            ext_log: Vec::new(),
+            send_seq: 0,
+            incarnation: 0,
+            pending_sends: Vec::new(),
+            lazy_pool: None,
+            seen_ids: HashSet::new(),
+            poison: HashSet::new(),
+            started: false,
+            max_beacon_seen: 0,
+            last_flood: (0, 0),
+            epoch: 0,
+            known_source: NodeId(0),
+            i_am_source: false,
+            last_beacon_wall: SimTime::ZERO,
+            watchdog: None,
+            pending_overhead: SimDuration::ZERO,
+            rollback_samples: Vec::new(),
+            ckpt_samples: Vec::new(),
+            metrics: RbMetrics::default(),
+        }
+    }
+
+    /// Per-rollback shape samples collected so far.
+    pub fn rollback_samples(&self) -> &[RollbackSample] {
+        &self.rollback_samples
+    }
+
+    /// Per-checkpoint shape samples collected so far.
+    pub fn checkpoint_samples(&self) -> &[CheckpointSample] {
+        &self.ckpt_samples
+    }
+
+    /// The wrapped control plane (current speculative state).
+    pub fn control_plane(&self) -> &P {
+        &self.snap.cp
+    }
+
+    /// Current virtual-time group.
+    pub fn current_group(&self) -> u64 {
+        self.snap.current_group
+    }
+
+    /// Live (uncommitted) history length.
+    pub fn history_len(&self) -> usize {
+        self.history.len()
+    }
+
+    /// The full delivered log: committed records followed by live entries.
+    pub fn commit_records(&self) -> Vec<CommitRecord> {
+        let mut out = self.committed.clone();
+        out.extend(self.history.iter().map(|e| Self::record_of(e)));
+        out
+    }
+
+    /// Recorded external inputs at this node.
+    pub fn ext_log(&self) -> &[ExtLogEntry<P::Ext>] {
+        &self.ext_log
+    }
+
+    /// Commits everything still live and returns the node's committed send
+    /// sequence. Call once, after the run.
+    pub fn finalize(&mut self) -> Vec<MsgId> {
+        let n = self.history.len();
+        self.commit_prefix(n);
+        self.committed_sends.clone()
+    }
+
+    /// Checkpoint-store statistics (for memory-overhead figures).
+    pub fn checkpoint_stats(&self) -> checkpoint::MemStats {
+        self.ckpt.stats()
+    }
+
+    /// The group of this node's earliest *uncommitted* (still rollback-able)
+    /// history entry, or the current group when nothing is live.
+    ///
+    /// The network-wide minimum of this value is a lower bound on the global
+    /// virtual time (GVT) of Jefferson's Lemma 2: no node can ever again
+    /// roll back below it.
+    pub fn earliest_live_group(&self) -> u64 {
+        self.history
+            .first()
+            .map(|e| e.key.group())
+            .unwrap_or(self.snap.current_group)
+    }
+
+    /// Commits (and garbage-collects) every history entry in groups
+    /// `<= group` — Jefferson-style fossil collection once GVT has passed
+    /// `group`.
+    ///
+    /// Like the wall-clock horizon GC, the cut is clamped so the first
+    /// retained entry still owns a checkpoint.
+    pub fn commit_through_group(&mut self, group: u64) {
+        let p = self.history.partition_point(|e| e.key.group() <= group);
+        self.commit_prefix(p);
+    }
+
+    fn record_of(e: &Entry<P::Msg, P::Ext>) -> CommitRecord {
+        let payload_digest = match &e.ev {
+            LocalEvent::Start => 1,
+            LocalEvent::BeaconTick => 0,
+            LocalEvent::External(x) => debug_digest(x),
+            LocalEvent::Msg { payload, .. } => debug_digest(payload),
+        };
+        CommitRecord { key: e.key, ann: e.ann, payload_digest }
+    }
+
+    // ------------------------------------------------------------------
+    // Delivery machinery.
+    // ------------------------------------------------------------------
+
+    fn insert_arrival(
+        &mut self,
+        ctx: &mut ProcessCtx<'_, Envelope<P::Msg>>,
+        ann: Annotation,
+        id: Option<MsgId>,
+        ev: LocalEvent<P::Msg, P::Ext>,
+    ) {
+        let key = ann.key(self.shared.cfg.ordering);
+        let entry = Entry {
+            key,
+            ann,
+            id,
+            ev,
+            ckpt: None,
+            arrived: ctx.now(),
+            sends: Vec::new(),
+        };
+        if let Some(cmk) = self.committed_max_key {
+            if key <= cmk {
+                // The commit horizon was too small: the entry this arrival
+                // should precede is already garbage-collected. Deliver late
+                // and record the violation (§2.2 sizes the horizon so this
+                // never fires).
+                self.metrics.window_violations += 1;
+                self.deliver_at_end(ctx, entry);
+                return;
+            }
+        }
+        let pos = self.history.partition_point(|e| e.key <= key);
+        if pos == self.history.len() {
+            self.metrics.fast_path += 1;
+            self.deliver_at_end(ctx, entry);
+        } else {
+            self.rollback_insert(ctx, pos, entry);
+        }
+        self.metrics.max_history = self.metrics.max_history.max(self.history.len());
+    }
+
+    /// Fast path: checkpoint (per granularity) and deliver at the end of the
+    /// history.
+    fn deliver_at_end(
+        &mut self,
+        ctx: &mut ProcessCtx<'_, Envelope<P::Msg>>,
+        mut entry: Entry<P::Msg, P::Ext>,
+    ) {
+        let force = self.history.is_empty();
+        self.maybe_checkpoint(&mut entry, force);
+        self.deliver(ctx, &mut entry);
+        self.history.push(entry);
+    }
+
+    fn maybe_checkpoint(&mut self, entry: &mut Entry<P::Msg, P::Ext>, force: bool) {
+        let due = self.deliveries_since_ckpt.is_multiple_of(self.shared.cfg.checkpoint_every.max(1));
+        if force || due {
+            let id = self.ckpt.checkpoint(&self.snap);
+            entry.ckpt = Some(id);
+            self.deliveries_since_ckpt = 0;
+            let stats = self.ckpt.stats_fast();
+            let bytes = stats.virtual_bytes / stats.retained.max(1);
+            if self.ckpt_samples.len() < SAMPLE_CAP {
+                self.ckpt_samples.push(CheckpointSample {
+                    state_bytes: bytes,
+                    dirty_pages: stats.last_dirty_pages,
+                });
+            }
+            if self.shared.cfg.charge_overhead {
+                let dirty = match self.shared.cfg.strategy {
+                    checkpoint::Strategy::MemIntercept => Some(stats.last_dirty_pages),
+                    _ => None,
+                };
+                let ns = self.shared.cfg.cost.checkpoint_ns(
+                    self.shared.cfg.fork_timing,
+                    bytes,
+                    dirty,
+                );
+                self.pending_overhead += SimDuration::from_nanos(ns);
+                self.metrics.overhead_ns += ns;
+            }
+        }
+        self.deliveries_since_ckpt += 1;
+    }
+
+    /// Executes one entry against the control plane and transmits its
+    /// outputs.
+    fn deliver(
+        &mut self,
+        ctx: &mut ProcessCtx<'_, Envelope<P::Msg>>,
+        entry: &mut Entry<P::Msg, P::Ext>,
+    ) {
+        let mut emit = 0u32;
+        debug_assert!(self.pending_sends.is_empty());
+        match entry.ev.clone() {
+            LocalEvent::Start => {
+                let mut out = Outbox::new();
+                self.snap.cp.on_start(&mut out);
+                self.dispatch(ctx, &entry.ann, out, &mut emit);
+            }
+            LocalEvent::External(x) => {
+                let mut out = Outbox::new();
+                self.snap.cp.on_external(&x, &mut out);
+                self.dispatch(ctx, &entry.ann, out, &mut emit);
+            }
+            LocalEvent::Msg { from, payload } => {
+                let mut out = Outbox::new();
+                self.snap.cp.on_message(from, &payload, &mut out);
+                self.dispatch(ctx, &entry.ann, out, &mut emit);
+            }
+            LocalEvent::BeaconTick => {
+                self.snap.current_group = entry.ann.group;
+                // Fire due timers until quiescent (a handler may arm a timer
+                // due in the same group).
+                loop {
+                    let due = self.snap.take_due_timers(self.snap.current_group);
+                    if due.is_empty() {
+                        break;
+                    }
+                    for token in due {
+                        let mut out = Outbox::new();
+                        self.snap.cp.on_timer(token, &mut out);
+                        self.dispatch(ctx, &entry.ann, out, &mut emit);
+                    }
+                }
+            }
+        }
+        entry.sends = std::mem::take(&mut self.pending_sends);
+        self.pending_overhead = SimDuration::ZERO;
+    }
+
+    /// Applies an outbox: timer ops onto the wheel, sends annotated and
+    /// transmitted, everything logged for possible unsending.
+    fn dispatch(
+        &mut self,
+        ctx: &mut ProcessCtx<'_, Envelope<P::Msg>>,
+        parent: &Annotation,
+        out: Outbox<P::Msg>,
+        emit: &mut u32,
+    ) {
+        self.snap.apply_timer_ops(&out.arms, &out.cancels);
+        let extra = if self.shared.cfg.charge_overhead {
+            self.pending_overhead
+        } else {
+            SimDuration::ZERO
+        };
+        for (to, payload) in out.sends {
+            let ann = Annotation::child(
+                parent,
+                self.me,
+                self.shared.link_est(self.me, to),
+                *emit,
+                self.shared.cfg.chain_bound,
+            );
+            *emit += 1;
+            let digest = debug_digest(&payload);
+            if let Some(pool) = self.lazy_pool.as_mut() {
+                if let Some(ids) = pool.get_mut(&(to, ann, digest)) {
+                    if let Some(id) = ids.pop() {
+                        // Lazy cancellation: the replay regenerated this
+                        // message byte-identically, so the copy already on
+                        // the wire (or delivered) stands. No re-send, no
+                        // anti-message.
+                        self.pending_sends.push(SentRec { id, to, ann, digest });
+                        self.metrics.lazy_hits += 1;
+                        continue;
+                    }
+                }
+            }
+            let id = MsgId { sender: self.me, incarnation: self.incarnation, seq: self.send_seq };
+            self.send_seq += 1;
+            self.pending_sends.push(SentRec { id, to, ann, digest });
+            self.metrics.app_msgs_sent += 1;
+            ctx.send_delayed(to, Envelope::App { id, ann, payload }, extra);
+        }
+    }
+
+    /// Rolls back to the checkpoint covering `pos`, unsends invalidated
+    /// messages, and replays the suffix (including `new_entry`) in key
+    /// order.
+    fn rollback_insert(
+        &mut self,
+        ctx: &mut ProcessCtx<'_, Envelope<P::Msg>>,
+        pos: usize,
+        new_entry: Entry<P::Msg, P::Ext>,
+    ) {
+        let j = self.checkpoint_index_at_or_before(pos);
+        self.metrics.rollbacks += 1;
+        self.metrics.rolled_entries += (self.history.len() - j) as u64;
+        let pool = self.restore_to(j);
+        let mut suffix = self.history.split_off(j);
+        suffix.push(new_entry);
+        suffix.sort_by_key(|a| a.key);
+        self.redeliver(ctx, suffix, pool);
+    }
+
+    /// Handles an anti-message: removes the listed entries (or poisons
+    /// not-yet-arrived ids) and replays from the earliest affected point.
+    fn handle_unsend(&mut self, ctx: &mut ProcessCtx<'_, Envelope<P::Msg>>, ids: Vec<MsgId>) {
+        let idset: HashSet<MsgId> = ids.into_iter().collect();
+        let matched: Vec<usize> = self
+            .history
+            .iter()
+            .enumerate()
+            .filter(|(_, e)| e.id.map(|i| idset.contains(&i)).unwrap_or(false))
+            .map(|(i, _)| i)
+            .collect();
+        let matched_ids: HashSet<MsgId> =
+            matched.iter().map(|&i| self.history[i].id.unwrap()).collect();
+        for id in idset.difference(&matched_ids) {
+            self.poison.insert(*id);
+        }
+        let Some(&i_min) = matched.first() else { return };
+        let j = self.checkpoint_index_at_or_before(i_min);
+        self.metrics.rollbacks += 1;
+        self.metrics.rolled_entries += (self.history.len() - j) as u64;
+        let pool = self.restore_to(j);
+        let suffix = self.history.split_off(j);
+        let keep: Vec<Entry<P::Msg, P::Ext>> = suffix
+            .into_iter()
+            .filter(|e| e.id.map(|i| !matched_ids.contains(&i)).unwrap_or(true))
+            .collect();
+        self.redeliver(ctx, keep, pool);
+    }
+
+    fn checkpoint_index_at_or_before(&self, pos: usize) -> usize {
+        let start = pos.min(self.history.len().saturating_sub(1));
+        (0..=start)
+            .rev()
+            .find(|&i| self.history[i].ckpt.is_some())
+            .expect("first live history entry always holds a checkpoint")
+    }
+
+    /// Restores the snapshot at history index `j` and pools every message
+    /// previously sent by entries `j..` for lazy-cancellation matching
+    /// during the replay. Nothing is unsent here; [`RbShim::redeliver`]
+    /// retracts only the sends the replay fails to regenerate.
+    fn restore_to(&mut self, j: usize) -> LazyPool {
+        let cid = self.history[j].ckpt.expect("target has checkpoint");
+        self.snap = self.ckpt.restore(cid).expect("checkpoint restorable");
+        self.ckpt.truncate_from(cid);
+        self.incarnation += 1;
+        let mut pool = LazyPool::new();
+        for e in &self.history[j..] {
+            for rec in &e.sends {
+                pool.entry((rec.to, rec.ann, rec.digest)).or_default().push(rec.id);
+            }
+        }
+        let stats = self.ckpt.stats_fast();
+        let bytes = stats.virtual_bytes / stats.retained.max(1);
+        let replayed = self.history.len() - j;
+        if self.rollback_samples.len() < SAMPLE_CAP {
+            self.rollback_samples.push(RollbackSample {
+                state_bytes: bytes,
+                dirty_pages: stats.last_dirty_pages,
+                replayed,
+            });
+        }
+        if self.shared.cfg.charge_overhead {
+            let dirty = match self.shared.cfg.strategy {
+                checkpoint::Strategy::MemIntercept => Some(stats.last_dirty_pages.max(1)),
+                _ => None,
+            };
+            let ns = self.shared.cfg.cost.rollback_ns(bytes, dirty, replayed, 20_000);
+            self.pending_overhead += SimDuration::from_nanos(ns);
+            self.metrics.overhead_ns += ns;
+        }
+        pool
+    }
+
+    /// Replays `entries` (already key-sorted) from the restored state,
+    /// matching regenerated sends against `pool` (lazy cancellation), then
+    /// unsends whatever the replay did not reproduce.
+    fn redeliver(
+        &mut self,
+        ctx: &mut ProcessCtx<'_, Envelope<P::Msg>>,
+        entries: Vec<Entry<P::Msg, P::Ext>>,
+        pool: LazyPool,
+    ) {
+        self.lazy_pool = Some(pool);
+        for (i, mut e) in entries.into_iter().enumerate() {
+            e.ckpt = None;
+            self.maybe_checkpoint(&mut e, i == 0);
+            self.deliver(ctx, &mut e);
+            self.history.push(e);
+        }
+        let leftover = self.lazy_pool.take().expect("pool installed above");
+        let mut per_peer: BTreeMap<NodeId, Vec<MsgId>> = BTreeMap::new();
+        for ((to, _, _), ids) in leftover {
+            per_peer.entry(to).or_default().extend(ids);
+        }
+        for (to, mut ids) in per_peer {
+            if ids.is_empty() {
+                continue;
+            }
+            ids.sort_unstable();
+            self.metrics.unsend_msgs += 1;
+            self.metrics.unsent_ids += ids.len() as u64;
+            ctx.send_control(to, Envelope::Unsend { ids });
+        }
+    }
+
+    /// Commits the first `p` history entries (after clamping `p` so the
+    /// first retained entry still owns a checkpoint).
+    fn commit_prefix(&mut self, p: usize) {
+        let mut p = p.min(self.history.len());
+        while p < self.history.len() && self.history[p].ckpt.is_none() {
+            p -= 1;
+            if p == 0 {
+                return;
+            }
+        }
+        if p == 0 {
+            return;
+        }
+        for e in self.history.drain(..p) {
+            self.committed_max_key = Some(e.key);
+            self.committed.push(Self::record_of(&e));
+            self.committed_sends.extend(e.sends.iter().map(|rec| rec.id));
+        }
+        if let Some(first) = self.history.first() {
+            self.ckpt.release_before(first.ckpt.expect("clamped to checkpointed entry"));
+        }
+    }
+
+    fn run_gc(&mut self, now: SimTime) {
+        let Some(h) = self.shared.cfg.commit_horizon else { return };
+        let p = self
+            .history
+            .iter()
+            .position(|e| e.arrived + h > now)
+            .unwrap_or(self.history.len());
+        self.commit_prefix(p);
+    }
+
+    // ------------------------------------------------------------------
+    // Beacons and election.
+    // ------------------------------------------------------------------
+
+    fn emit_beacon(&mut self, ctx: &mut ProcessCtx<'_, Envelope<P::Msg>>) {
+        let number = self.max_beacon_seen.max(self.snap.current_group) + 1;
+        self.max_beacon_seen = number;
+        self.last_flood = self.last_flood.max((self.epoch, number));
+        self.last_beacon_wall = ctx.now();
+        for nb in ctx.neighbors().to_vec() {
+            ctx.send_control(nb, Envelope::Beacon { epoch: self.epoch, source: self.me, number });
+        }
+        self.deliver_start_if_pending(ctx, number);
+        let ann = Annotation::beacon(self.me, number, 0);
+        self.insert_arrival(ctx, ann, None, LocalEvent::BeaconTick);
+    }
+
+    /// Startup is deferred until the group is known (first beacon), so a
+    /// node restarted mid-run tags its boot outputs with the live group
+    /// rather than group 1.
+    fn deliver_start_if_pending(
+        &mut self,
+        ctx: &mut ProcessCtx<'_, Envelope<P::Msg>>,
+        group: u64,
+    ) {
+        if self.started {
+            return;
+        }
+        self.started = true;
+        let ann = Annotation::external(self.me, group, 0);
+        self.ext_seq = 1;
+        self.insert_arrival(ctx, ann, None, LocalEvent::Start);
+    }
+
+    fn on_beacon(
+        &mut self,
+        ctx: &mut ProcessCtx<'_, Envelope<P::Msg>>,
+        from: NodeId,
+        epoch: u32,
+        source: NodeId,
+        number: u64,
+    ) {
+        // Election acceptance: a higher epoch always wins; within an epoch,
+        // the lower node id wins.
+        if epoch > self.epoch {
+            self.epoch = epoch;
+            self.known_source = source;
+            if self.i_am_source && source != self.me {
+                self.i_am_source = false;
+            }
+        } else if epoch < self.epoch {
+            return;
+        } else if source != self.known_source {
+            if source < self.known_source {
+                self.known_source = source;
+                if self.i_am_source && source != self.me {
+                    self.i_am_source = false;
+                }
+            } else {
+                return;
+            }
+        }
+        // Flood dedup by (epoch, number): a failover epoch must be relayed
+        // even while its numbering trails this node's max (a healed
+        // partition), or the election would never propagate.
+        if (epoch, number) <= self.last_flood {
+            return;
+        }
+        self.last_flood = (epoch, number);
+        self.last_beacon_wall = ctx.now();
+        // Re-arm the watchdog.
+        if let Some(w) = self.watchdog.take() {
+            ctx.cancel_timer(w);
+        }
+        let wd = ctx.set_timer(self.shared.cfg.beacon_interval * 4, TK_WATCHDOG);
+        self.watchdog = Some(wd);
+        // Relay the flood.
+        for nb in ctx.neighbors().to_vec() {
+            if nb != from {
+                self.metrics.beacon_relays += 1;
+                ctx.send_control(nb, Envelope::Beacon { epoch: self.epoch, source, number });
+            }
+        }
+        // Deliver a tick only for strictly increasing numbers: groups are
+        // virtual time and never run backwards.
+        if number <= self.max_beacon_seen {
+            return;
+        }
+        self.max_beacon_seen = number;
+        self.deliver_start_if_pending(ctx, number);
+        let ann = Annotation::beacon(source, number, self.shared.dist[source.index()][self.me.index()]);
+        self.insert_arrival(ctx, ann, None, LocalEvent::BeaconTick);
+    }
+}
+
+impl<P: ControlPlane> Process for RbShim<P> {
+    type Msg = Envelope<P::Msg>;
+    type Ext = P::Ext;
+
+    fn on_start(&mut self, ctx: &mut ProcessCtx<'_, Envelope<P::Msg>>) {
+        self.known_source = self.shared.initial_source;
+        if self.me == self.shared.initial_source && ctx.now() == SimTime::ZERO {
+            self.i_am_source = true;
+            ctx.set_timer(self.shared.cfg.beacon_interval, TK_BEACON);
+        } else {
+            let wd = ctx.set_timer(self.shared.cfg.beacon_interval * 4, TK_WATCHDOG);
+            self.watchdog = Some(wd);
+        }
+        if let Some(h) = self.shared.cfg.commit_horizon {
+            ctx.set_timer(h, TK_GC);
+        }
+        // At cold boot (t = 0) the first group is known to be 1, so start
+        // immediately; restarted nodes wait for a beacon.
+        if ctx.now() == SimTime::ZERO {
+            self.deliver_start_if_pending(ctx, 1);
+        }
+    }
+
+    fn on_message(&mut self, ctx: &mut ProcessCtx<'_, Envelope<P::Msg>>, from: NodeId, msg: Envelope<P::Msg>) {
+        match msg {
+            Envelope::App { id, ann, payload } => {
+                if self.poison.remove(&id) {
+                    self.metrics.poisoned += 1;
+                    return;
+                }
+                if !self.seen_ids.insert(id) {
+                    return; // Duplicate arrival.
+                }
+                self.insert_arrival(ctx, ann, Some(id), LocalEvent::Msg { from, payload });
+            }
+            Envelope::Beacon { epoch, source, number } => {
+                self.on_beacon(ctx, from, epoch, source, number);
+            }
+            Envelope::Unsend { ids } => {
+                self.handle_unsend(ctx, ids);
+            }
+        }
+    }
+
+    fn on_external(&mut self, ctx: &mut ProcessCtx<'_, Envelope<P::Msg>>, ev: P::Ext) {
+        let group = self.snap.current_group + 1;
+        let seq = self.ext_seq;
+        self.ext_seq += 1;
+        self.ext_log.push(ExtLogEntry { ext_seq: seq, group, payload: ev.clone() });
+        let ann = Annotation::external(self.me, group, seq);
+        self.insert_arrival(ctx, ann, None, LocalEvent::External(ev));
+    }
+
+    fn on_timer(&mut self, ctx: &mut ProcessCtx<'_, Envelope<P::Msg>>, _id: TimerId, key: TimerKey) {
+        match key {
+            TK_BEACON
+                if self.i_am_source => {
+                    self.emit_beacon(ctx);
+                    ctx.set_timer(self.shared.cfg.beacon_interval, TK_BEACON);
+                }
+            TK_GC => {
+                self.run_gc(ctx.now());
+                if let Some(h) = self.shared.cfg.commit_horizon {
+                    ctx.set_timer(h, TK_GC);
+                }
+            }
+            TK_WATCHDOG => {
+                // Beacons stopped: back off proportionally to our id, then
+                // claim the source role if silence persists (deterministic
+                // preference for low ids).
+                self.watchdog = None;
+                if !self.i_am_source {
+                    ctx.set_timer(
+                        self.shared.cfg.beacon_interval * (self.me.0 as u64 + 1),
+                        TK_CLAIM,
+                    );
+                }
+            }
+            TK_CLAIM => {
+                let silence = ctx.now().saturating_sub(self.last_beacon_wall);
+                if silence >= self.shared.cfg.beacon_interval * 4 && !self.i_am_source {
+                    self.epoch += 1;
+                    self.i_am_source = true;
+                    self.known_source = self.me;
+                    // Virtual time advances at the configured beacon rate
+                    // (§3): estimate the ticks missed during the silence so
+                    // the new numbering stays wall-aligned with any other
+                    // partition. Otherwise a healed network stalls while the
+                    // failover numbering catches up with the old one.
+                    let interval = self.shared.cfg.beacon_interval.0.max(1);
+                    let missed = (silence.0 / interval).saturating_sub(1);
+                    self.max_beacon_seen += missed;
+                    self.emit_beacon(ctx);
+                    ctx.set_timer(self.shared.cfg.beacon_interval, TK_BEACON);
+                }
+            }
+            _ => {}
+        }
+    }
+}

@@ -1,0 +1,265 @@
+//! Partial recordings: the only state DEFINED needs to reproduce a
+//! production execution (§2.1).
+//!
+//! A [`Recording`] holds the externally-visible nondeterminism: external
+//! events tagged with the group numbers they received in production, plus
+//! the committed send indexes of messages that were lost in flight (the
+//! paper's footnote 4). Everything else — message orderings, timings, timer
+//! firings — is regenerated deterministically by DEFINED-LS.
+
+use crate::order::{Annotation, OrderKey};
+use crate::wire::Wire;
+use netsim::NodeId;
+use routing::enc::{put_u32, put_u64, Reader};
+
+/// One recorded external event.
+#[derive(Clone, Debug, PartialEq)]
+pub struct ExtRecord<X> {
+    /// The node that received the input.
+    pub node: NodeId,
+    /// Per-node arrival index (0 is reserved for node startup).
+    pub ext_seq: u64,
+    /// The group the event was tagged with in production.
+    pub group: u64,
+    /// The payload.
+    pub payload: X,
+}
+
+/// One committed message loss: the `idx`-th committed send of `sender`
+/// never arrived.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash)]
+pub struct DropByIndex {
+    /// Transmitting node.
+    pub sender: NodeId,
+    /// Index into the sender's committed send sequence.
+    pub idx: u64,
+}
+
+/// The death cut of a node that crashed during the production run: exactly
+/// the events it committed before dying. The replay delivers only these
+/// keys at that node, then mutes it — crash timing is external
+/// nondeterminism, so it belongs in the partial recording.
+#[derive(Clone, Debug, PartialEq)]
+pub struct MuteRecord {
+    /// The crashed node.
+    pub node: NodeId,
+    /// Keys of the events it committed before the crash.
+    pub allowed: Vec<OrderKey>,
+}
+
+/// One delivered beacon tick: `node` delivered the group-`group` tick
+/// announced by `source`.
+///
+/// Which ticks a node delivers is a function of recorded *external*
+/// nondeterminism — a node partitioned from the beacon source by a link
+/// failure misses ticks and jumps forward on heal, and a source failover
+/// changes the announcing node — so the tick schedule belongs in the partial
+/// recording alongside the external events that caused it.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct TickRecord {
+    /// The node that delivered the tick.
+    pub node: NodeId,
+    /// The group the tick opened.
+    pub group: u64,
+    /// The node whose beacon announced the group.
+    pub source: NodeId,
+}
+
+/// A partial recording of a production run.
+#[derive(Clone, Debug, PartialEq)]
+pub struct Recording<X> {
+    /// Number of nodes in the network.
+    pub n_nodes: usize,
+    /// The initially configured beacon source.
+    pub source: NodeId,
+    /// External events, sorted by `(group, node, ext_seq)`.
+    pub externals: Vec<ExtRecord<X>>,
+    /// Committed message losses.
+    pub drops: Vec<DropByIndex>,
+    /// Death cuts of crashed nodes.
+    pub mutes: Vec<MuteRecord>,
+    /// Beacon ticks each node delivered, sorted by `(group, node)`.
+    pub ticks: Vec<TickRecord>,
+    /// Highest group number the production run completed.
+    pub last_group: u64,
+}
+
+impl<X: Clone> Recording<X> {
+    /// External events belonging to `group`, in `(node, ext_seq)` order.
+    pub fn externals_for_group(&self, group: u64) -> Vec<ExtRecord<X>> {
+        let mut v: Vec<ExtRecord<X>> = self
+            .externals
+            .iter()
+            .filter(|e| e.group == group)
+            .cloned()
+            .collect();
+        v.sort_by_key(|e| (e.node, e.ext_seq));
+        v
+    }
+}
+
+impl<X: Wire> Recording<X> {
+    /// Serialises the recording.
+    pub fn to_bytes(&self) -> Vec<u8> {
+        let mut buf = Vec::new();
+        put_u64(&mut buf, self.n_nodes as u64);
+        put_u32(&mut buf, self.source.0);
+        put_u64(&mut buf, self.last_group);
+        put_u64(&mut buf, self.externals.len() as u64);
+        for e in &self.externals {
+            put_u32(&mut buf, e.node.0);
+            put_u64(&mut buf, e.ext_seq);
+            put_u64(&mut buf, e.group);
+            e.payload.encode(&mut buf);
+        }
+        put_u64(&mut buf, self.drops.len() as u64);
+        for d in &self.drops {
+            put_u32(&mut buf, d.sender.0);
+            put_u64(&mut buf, d.idx);
+        }
+        put_u64(&mut buf, self.mutes.len() as u64);
+        for m in &self.mutes {
+            put_u32(&mut buf, m.node.0);
+            put_u64(&mut buf, m.allowed.len() as u64);
+            for k in &m.allowed {
+                k.encode(&mut buf);
+            }
+        }
+        put_u64(&mut buf, self.ticks.len() as u64);
+        for t in &self.ticks {
+            put_u32(&mut buf, t.node.0);
+            put_u64(&mut buf, t.group);
+            put_u32(&mut buf, t.source.0);
+        }
+        buf
+    }
+
+    /// Deserialises a recording, or `None` on malformed input.
+    pub fn from_bytes(bytes: &[u8]) -> Option<Self> {
+        let mut r = Reader::new(bytes);
+        let n_nodes = r.u64()? as usize;
+        let source = NodeId(r.u32()?);
+        let last_group = r.u64()?;
+        let n_ext = r.len()?;
+        let mut externals = Vec::with_capacity(n_ext);
+        for _ in 0..n_ext {
+            externals.push(ExtRecord {
+                node: NodeId(r.u32()?),
+                ext_seq: r.u64()?,
+                group: r.u64()?,
+                payload: X::decode(&mut r)?,
+            });
+        }
+        let n_drops = r.len()?;
+        let mut drops = Vec::with_capacity(n_drops);
+        for _ in 0..n_drops {
+            drops.push(DropByIndex { sender: NodeId(r.u32()?), idx: r.u64()? });
+        }
+        let n_mutes = r.len()?;
+        let mut mutes = Vec::with_capacity(n_mutes);
+        for _ in 0..n_mutes {
+            let node = NodeId(r.u32()?);
+            let n_keys = r.len()?;
+            let mut allowed = Vec::with_capacity(n_keys);
+            for _ in 0..n_keys {
+                allowed.push(OrderKey::decode(&mut r)?);
+            }
+            mutes.push(MuteRecord { node, allowed });
+        }
+        let n_ticks = r.len()?;
+        let mut ticks = Vec::with_capacity(n_ticks);
+        for _ in 0..n_ticks {
+            ticks.push(TickRecord {
+                node: NodeId(r.u32()?),
+                group: r.u64()?,
+                source: NodeId(r.u32()?),
+            });
+        }
+        Some(Recording { n_nodes, source, externals, drops, mutes, ticks, last_group })
+    }
+}
+
+/// One committed delivered event, used to compare executions across
+/// RB-production, LS-replay, and threaded-LS runs.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct CommitRecord {
+    /// The event's order key (already incorporates group/chain/class).
+    pub key: OrderKey,
+    /// The full annotation.
+    pub ann: Annotation,
+    /// Digest of the payload (0 for beacon ticks).
+    pub payload_digest: u64,
+}
+
+/// Trims a committed log to events in groups `<= last_group`, the window
+/// over which two runs are comparable (later groups may still have had
+/// messages in flight when the production run stopped).
+pub fn trim_log(log: &[CommitRecord], last_group: u64) -> Vec<CommitRecord> {
+    log.iter().filter(|r| r.ann.group <= last_group).copied().collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn recording_round_trip() {
+        let rec: Recording<u64> = Recording {
+            n_nodes: 4,
+            source: NodeId(0),
+            externals: vec![
+                ExtRecord { node: NodeId(2), ext_seq: 1, group: 3, payload: 42 },
+                ExtRecord { node: NodeId(1), ext_seq: 1, group: 5, payload: 7 },
+            ],
+            drops: vec![DropByIndex { sender: NodeId(3), idx: 17 }],
+            mutes: vec![MuteRecord {
+                node: NodeId(1),
+                allowed: vec![Annotation::external(NodeId(1), 1, 0)
+                    .key(crate::config::OrderingMode::Optimized)],
+            }],
+            ticks: vec![
+                TickRecord { node: NodeId(0), group: 1, source: NodeId(0) },
+                TickRecord { node: NodeId(2), group: 1, source: NodeId(0) },
+            ],
+            last_group: 9,
+        };
+        let bytes = rec.to_bytes();
+        assert_eq!(Recording::<u64>::from_bytes(&bytes), Some(rec));
+        assert!(Recording::<u64>::from_bytes(&bytes[..5]).is_none());
+    }
+
+    #[test]
+    fn externals_for_group_sorted() {
+        let rec: Recording<u64> = Recording {
+            n_nodes: 4,
+            source: NodeId(0),
+            externals: vec![
+                ExtRecord { node: NodeId(3), ext_seq: 1, group: 2, payload: 1 },
+                ExtRecord { node: NodeId(1), ext_seq: 2, group: 2, payload: 2 },
+                ExtRecord { node: NodeId(1), ext_seq: 1, group: 2, payload: 3 },
+                ExtRecord { node: NodeId(1), ext_seq: 1, group: 4, payload: 4 },
+            ],
+            drops: vec![],
+            mutes: vec![],
+            ticks: vec![],
+            last_group: 5,
+        };
+        let g2 = rec.externals_for_group(2);
+        assert_eq!(g2.len(), 3);
+        assert_eq!(g2[0].payload, 3);
+        assert_eq!(g2[1].payload, 2);
+        assert_eq!(g2[2].payload, 1);
+        assert!(rec.externals_for_group(3).is_empty());
+    }
+
+    #[test]
+    fn trim_filters_late_groups() {
+        use crate::config::OrderingMode;
+        let mk = |group| {
+            let ann = Annotation::external(NodeId(0), group, 1);
+            CommitRecord { key: ann.key(OrderingMode::Optimized), ann, payload_digest: 0 }
+        };
+        let log = vec![mk(1), mk(2), mk(3)];
+        assert_eq!(trim_log(&log, 2).len(), 2);
+    }
+}

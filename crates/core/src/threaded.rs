@@ -1,0 +1,328 @@
+//! A threaded lockstep runtime: each debugging node runs on its own OS
+//! thread, coordinated phase-by-phase with a real barrier — the "distributed
+//! semaphore" of §2.3 made concrete.
+//!
+//! Thread scheduling introduces genuine nondeterminism in message *arrival*
+//! order at each node's mailbox; the ordering function masks it, so the
+//! threaded replay commits exactly the same per-node logs as the
+//! single-threaded [`crate::ls::LockstepNet`]. That equality is asserted in
+//! the integration tests and is a faithful miniature of the paper's claim.
+
+use crate::config::DefinedConfig;
+use crate::order::{debug_digest, Annotation};
+use crate::recorder::{CommitRecord, Recording};
+use crate::snapshot::NodeSnapshot;
+use crossbeam::channel::{unbounded, Receiver, Sender};
+use netsim::NodeId;
+use parking_lot::Mutex;
+use routing::{ControlPlane, Outbox};
+use std::collections::BTreeMap;
+use std::sync::atomic::{AtomicBool, AtomicU32, AtomicU64, Ordering};
+use std::sync::{Arc, Barrier};
+use topology::Graph;
+
+impl<M, X> Work<M, X> {
+    fn ann(&self) -> &Annotation {
+        match self {
+            Work::Start(a) | Work::External(a, _) | Work::BeaconTick(a) | Work::Msg(a, _, _) => a,
+        }
+    }
+}
+
+#[derive(Clone, Debug)]
+enum Work<M, X> {
+    Start(Annotation),
+    External(Annotation, X),
+    BeaconTick(Annotation),
+    Msg(Annotation, NodeId, M),
+}
+
+/// Runs `recording` on `graph` with one thread per node; returns the
+/// per-node committed logs.
+///
+/// `spawn` must be `Sync` because every worker thread constructs its own
+/// control plane from it.
+pub fn run_threaded<P>(
+    graph: &Graph,
+    cfg: DefinedConfig,
+    recording: Recording<P::Ext>,
+    spawn: impl Fn(NodeId) -> P + Sync,
+) -> Vec<Vec<CommitRecord>>
+where
+    P: ControlPlane + Send,
+    P::Msg: Send,
+    P::Ext: Send + Sync,
+{
+    let n = graph.node_count();
+    assert_eq!(n, recording.n_nodes);
+    let mut link_est = vec![BTreeMap::new(); n];
+    for e in graph.edges() {
+        link_est[e.a.index()].insert(e.b, e.delay.0);
+        link_est[e.b.index()].insert(e.a, e.delay.0);
+    }
+    let dist = crate::harness::delay_estimates(graph);
+    let drops: std::collections::HashSet<(NodeId, u64)> =
+        recording.drops.iter().map(|d| (d.sender, d.idx)).collect();
+    let mutes: std::collections::HashMap<
+        NodeId,
+        std::collections::HashSet<crate::order::OrderKey>,
+    > = recording
+        .mutes
+        .iter()
+        .map(|m| (m.node, m.allowed.iter().copied().collect()))
+        .collect();
+
+    type Channels<M, X> = (Vec<Sender<Work<M, X>>>, Vec<Receiver<Work<M, X>>>);
+    let (senders, receivers): Channels<P::Msg, P::Ext> = (0..n).map(|_| unbounded()).unzip();
+    // Two barrier waits per sub-cycle: one after injection/transmission, one
+    // after processing.
+    let barrier = Arc::new(Barrier::new(n + 1));
+    let any_sent = Arc::new(AtomicBool::new(false));
+    let logs: Arc<Mutex<Vec<Vec<CommitRecord>>>> = Arc::new(Mutex::new(vec![Vec::new(); n]));
+    let done = Arc::new(AtomicBool::new(false));
+    // The coordinator publishes the group/sub-cycle being processed; workers
+    // hold back any mailbox item tagged for a later group or chain depth so
+    // the lockstep discipline matches the single-threaded replayer exactly.
+    let cur_group = Arc::new(AtomicU64::new(0));
+    let cur_cycle = Arc::new(AtomicU32::new(0));
+    // Set when a worker still holds an event belonging to the current group
+    // (e.g. a chain-overflow message held over from the previous group), so
+    // a quiet sub-cycle does not end the group prematurely.
+    let any_held = Arc::new(AtomicBool::new(false));
+
+    std::thread::scope(|scope| {
+        for i in 0..n {
+            let me = NodeId(i as u32);
+            let rx = receivers[i].clone();
+            let senders = senders.clone();
+            let barrier = Arc::clone(&barrier);
+            let any_sent = Arc::clone(&any_sent);
+            let logs = Arc::clone(&logs);
+            let done = Arc::clone(&done);
+            let link_est = link_est[i].clone();
+            let cfg = cfg.clone();
+            let drops = drops.clone();
+            let my_mute = mutes.get(&me).cloned();
+            let spawn = &spawn;
+            let cur_group = Arc::clone(&cur_group);
+            let cur_cycle = Arc::clone(&cur_cycle);
+            let any_held = Arc::clone(&any_held);
+            scope.spawn(move || {
+                let mut snap = NodeSnapshot::new(spawn(me));
+                let mut send_count = 0u64;
+                let mut local_log: Vec<CommitRecord> = Vec::new();
+                let mut held: Vec<Work<P::Msg, P::Ext>> = Vec::new();
+                loop {
+                    // Phase A: wait for the coordinator to finish injecting.
+                    barrier.wait();
+                    if done.load(Ordering::SeqCst) {
+                        break;
+                    }
+                    let group = cur_group.load(Ordering::SeqCst);
+                    let cycle = cur_cycle.load(Ordering::SeqCst);
+                    // Processing phase: drain the mailbox (arrival order is
+                    // nondeterministic under threading), defer anything
+                    // tagged for a later group/sub-cycle, sort the rest by
+                    // the ordering function, deliver.
+                    held.extend(rx.try_iter());
+                    let mut batch: Vec<Work<P::Msg, P::Ext>> = Vec::new();
+                    let mut keep: Vec<Work<P::Msg, P::Ext>> = Vec::new();
+                    for w in held.drain(..) {
+                        let a = w.ann();
+                        if a.group == group && a.chain == cycle {
+                            batch.push(w);
+                        } else {
+                            if a.group == group {
+                                any_held.store(true, Ordering::SeqCst);
+                            }
+                            keep.push(w);
+                        }
+                    }
+                    held = keep;
+                    // Death cut: deliver only the recorded pre-crash keys.
+                    if let Some(allowed) = &my_mute {
+                        batch.retain(|w| allowed.contains(&w.ann().key(cfg.ordering)));
+                    }
+                    batch.sort_by_key(|w| w.ann().key(cfg.ordering));
+                    for work in batch {
+                        let (ann, digest) = match &work {
+                            Work::Start(a) => (*a, 1),
+                            Work::External(a, x) => (*a, debug_digest(x)),
+                            Work::BeaconTick(a) => (*a, 0),
+                            Work::Msg(a, _, m) => (*a, debug_digest(m)),
+                        };
+                        let mut outs: Vec<Outbox<P::Msg>> = Vec::new();
+                        match work {
+                            Work::Start(_) => {
+                                let mut out = Outbox::new();
+                                snap.cp.on_start(&mut out);
+                                outs.push(out);
+                            }
+                            Work::External(_, x) => {
+                                let mut out = Outbox::new();
+                                snap.cp.on_external(&x, &mut out);
+                                outs.push(out);
+                            }
+                            Work::Msg(_, from, m) => {
+                                let mut out = Outbox::new();
+                                snap.cp.on_message(from, &m, &mut out);
+                                outs.push(out);
+                            }
+                            Work::BeaconTick(a) => {
+                                snap.current_group = a.group;
+                                loop {
+                                    let due = snap.take_due_timers(a.group);
+                                    if due.is_empty() {
+                                        break;
+                                    }
+                                    for token in due {
+                                        let mut out = Outbox::new();
+                                        snap.cp.on_timer(token, &mut out);
+                                        outs.push(out);
+                                    }
+                                }
+                            }
+                        }
+                        let mut emit = 0u32;
+                        for out in outs {
+                            snap.apply_timer_ops(&out.arms, &out.cancels);
+                            for (to, payload) in out.sends {
+                                let link = link_est.get(&to).copied().unwrap_or(1);
+                                let child =
+                                    Annotation::child(&ann, me, link, emit, cfg.chain_bound);
+                                emit += 1;
+                                let idx = send_count;
+                                send_count += 1;
+                                if drops.contains(&(me, idx)) {
+                                    continue;
+                                }
+                                any_sent.store(true, Ordering::SeqCst);
+                                senders[to.index()]
+                                    .send(Work::Msg(child, me, payload))
+                                    .expect("peer mailbox alive");
+                            }
+                        }
+                        local_log.push(CommitRecord {
+                            key: ann.key(cfg.ordering),
+                            ann,
+                            payload_digest: digest,
+                        });
+                    }
+                    // Phase B: processing finished.
+                    barrier.wait();
+                }
+                logs.lock()[i] = local_log;
+            });
+        }
+
+        // Coordinator: injects per-group chain-0 events and runs sub-cycles
+        // until the group quiesces. Messages sent by workers during
+        // sub-cycle c sit in mailboxes and are processed in sub-cycle c+1 —
+        // except chain-overflow messages, which workers tag with a later
+        // group; they simply wait in mailboxes (sorting by group keeps them
+        // ordered correctly when finally processed).
+        let mut tick_map: BTreeMap<u64, Vec<(NodeId, NodeId)>> = BTreeMap::new();
+        for t in &recording.ticks {
+            tick_map.entry(t.group).or_default().push((t.node, t.source));
+        }
+        for group in 1..=recording.last_group {
+            cur_group.store(group, Ordering::SeqCst);
+            if group == 1 {
+                for (i, tx) in senders.iter().enumerate() {
+                    let node = NodeId(i as u32);
+                    tx.send(Work::Start(Annotation::external(node, 1, 0))).expect("mailbox");
+                }
+            }
+            for e in recording.externals_for_group(group) {
+                senders[e.node.index()]
+                    .send(Work::External(
+                        Annotation::external(e.node, group, e.ext_seq),
+                        e.payload.clone(),
+                    ))
+                    .expect("mailbox");
+            }
+            // Beacon ticks follow the recorded per-node delivery schedule.
+            for &(node, source) in tick_map.get(&group).map(Vec::as_slice).unwrap_or(&[]) {
+                let ann =
+                    Annotation::beacon(source, group, dist[source.index()][node.index()]);
+                senders[node.index()].send(Work::BeaconTick(ann)).expect("mailbox");
+            }
+            // Sub-cycles until quiescent. Workers process chain-`c` events
+            // in sub-cycle `c`; a trailing empty cycle confirms quiescence
+            // (held-over messages for later groups do not count).
+            let mut cycle = 0u32;
+            loop {
+                cur_cycle.store(cycle, Ordering::SeqCst);
+                any_sent.store(false, Ordering::SeqCst);
+                any_held.store(false, Ordering::SeqCst);
+                barrier.wait(); // Release processing.
+                barrier.wait(); // Wait for processing to finish.
+                if !any_sent.load(Ordering::SeqCst) && !any_held.load(Ordering::SeqCst) {
+                    break;
+                }
+                cycle += 1;
+            }
+        }
+        done.store(true, Ordering::SeqCst);
+        barrier.wait();
+    });
+
+    Arc::try_unwrap(logs).expect("threads joined").into_inner()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::harness::RbNetwork;
+    use crate::ls::{first_divergence, LockstepNet};
+    use netsim::{NodeId, SimDuration, SimTime};
+    use routing::ospf::{OspfConfig, OspfProcess};
+    use topology::canonical;
+
+    /// The threaded lockstep (real threads, real barrier, nondeterministic
+    /// mailbox order) commits the same logs as the single-threaded replayer
+    /// and hence the same execution as the production network.
+    #[test]
+    fn threaded_matches_single_threaded_and_rb() {
+        let g = canonical::ring(4, SimDuration::from_millis(4));
+        let cfg = DefinedConfig::default();
+        let f = OspfProcess::for_graph(&g, OspfConfig::stress(4));
+        let spawn: Vec<OspfProcess> = (0..4).map(|i| f(NodeId(i))).collect();
+        let s1 = spawn.clone();
+        let s2 = spawn.clone();
+        let mut net = RbNetwork::new(&g, cfg.clone(), 21, 0.6, move |id| spawn[id.index()].clone());
+        net.run_until(SimTime::from_secs(4));
+        let upto = net.completed_group(2);
+        let (rec, rb_logs) = net.into_recording();
+
+        let mut ls = LockstepNet::new(&g, cfg.clone(), rec.clone(), move |id| s1[id.index()].clone());
+        ls.run_to_end();
+
+        let threaded_logs = run_threaded(&g, cfg, rec, move |id| s2[id.index()].clone());
+
+        assert!(
+            first_divergence(ls.logs(), &threaded_logs, upto).is_none(),
+            "threaded LS must equal single-threaded LS"
+        );
+        assert!(
+            first_divergence(&rb_logs, &threaded_logs, upto).is_none(),
+            "threaded LS must reproduce the production run"
+        );
+    }
+
+    /// Repeated threaded runs are identical despite scheduler noise.
+    #[test]
+    fn threaded_runs_are_repeatable() {
+        let g = canonical::line(3, SimDuration::from_millis(3));
+        let cfg = DefinedConfig::default();
+        let f = OspfProcess::for_graph(&g, OspfConfig::stress(3));
+        let spawn: Vec<OspfProcess> = (0..3).map(|i| f(NodeId(i))).collect();
+        let sp = spawn.clone();
+        let mut net = RbNetwork::new(&g, cfg.clone(), 5, 0.3, move |id| spawn[id.index()].clone());
+        net.run_until(SimTime::from_secs(3));
+        let (rec, _) = net.into_recording();
+        let a = run_threaded(&g, cfg.clone(), rec.clone(), |id| sp[id.index()].clone());
+        let b = run_threaded(&g, cfg, rec, |id| sp[id.index()].clone());
+        assert_eq!(a, b);
+    }
+}

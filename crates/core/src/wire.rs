@@ -1,0 +1,144 @@
+//! Wire codec for recording payloads.
+//!
+//! Recordings must survive serialisation so a debugging session can load a
+//! production recording from disk. The [`Wire`] trait is the minimal codec
+//! contract; implementations are provided for the protocol external-input
+//! types used in the case studies.
+
+use netsim::NodeId;
+use routing::enc::{put_u16, put_u32, put_u64, put_u8, Reader};
+use routing::{bgp, rip};
+
+/// A self-delimiting binary codec.
+pub trait Wire: Sized {
+    /// Appends the encoded value.
+    fn encode(&self, buf: &mut Vec<u8>);
+    /// Decodes a value, advancing the reader.
+    fn decode(r: &mut Reader<'_>) -> Option<Self>;
+}
+
+impl Wire for () {
+    fn encode(&self, _buf: &mut Vec<u8>) {}
+    fn decode(_r: &mut Reader<'_>) -> Option<Self> {
+        Some(())
+    }
+}
+
+impl Wire for u64 {
+    fn encode(&self, buf: &mut Vec<u8>) {
+        put_u64(buf, *self);
+    }
+    fn decode(r: &mut Reader<'_>) -> Option<Self> {
+        r.u64()
+    }
+}
+
+impl Wire for bgp::PathAttrs {
+    fn encode(&self, buf: &mut Vec<u8>) {
+        put_u32(buf, self.route_id);
+        put_u8(buf, self.as_path_len);
+        put_u16(buf, self.neighbor_as);
+        put_u32(buf, self.med);
+        put_u32(buf, self.igp_dist);
+    }
+    fn decode(r: &mut Reader<'_>) -> Option<Self> {
+        Some(bgp::PathAttrs {
+            route_id: r.u32()?,
+            as_path_len: r.u8()?,
+            neighbor_as: r.u16()?,
+            med: r.u32()?,
+            igp_dist: r.u32()?,
+        })
+    }
+}
+
+impl Wire for bgp::BgpExt {
+    fn encode(&self, buf: &mut Vec<u8>) {
+        match self {
+            bgp::BgpExt::Announce { prefix, attrs } => {
+                put_u8(buf, 0);
+                put_u32(buf, *prefix);
+                attrs.encode(buf);
+            }
+            bgp::BgpExt::Withdraw { prefix, route_id } => {
+                put_u8(buf, 1);
+                put_u32(buf, *prefix);
+                put_u32(buf, *route_id);
+            }
+        }
+    }
+    fn decode(r: &mut Reader<'_>) -> Option<Self> {
+        match r.u8()? {
+            0 => Some(bgp::BgpExt::Announce {
+                prefix: r.u32()?,
+                attrs: bgp::PathAttrs::decode(r)?,
+            }),
+            1 => Some(bgp::BgpExt::Withdraw { prefix: r.u32()?, route_id: r.u32()? }),
+            _ => None,
+        }
+    }
+}
+
+impl Wire for rip::RipExt {
+    fn encode(&self, buf: &mut Vec<u8>) {
+        match self {
+            rip::RipExt::Connect { prefix } => put_u32(buf, *prefix),
+        }
+    }
+    fn decode(r: &mut Reader<'_>) -> Option<Self> {
+        Some(rip::RipExt::Connect { prefix: r.u32()? })
+    }
+}
+
+impl Wire for NodeId {
+    fn encode(&self, buf: &mut Vec<u8>) {
+        put_u32(buf, self.0);
+    }
+    fn decode(r: &mut Reader<'_>) -> Option<Self> {
+        Some(NodeId(r.u32()?))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn round_trip<T: Wire + PartialEq + std::fmt::Debug>(v: T) {
+        let mut buf = Vec::new();
+        v.encode(&mut buf);
+        let mut r = Reader::new(&buf);
+        assert_eq!(T::decode(&mut r), Some(v));
+        assert_eq!(r.remaining(), 0);
+    }
+
+    #[test]
+    fn primitives() {
+        round_trip(());
+        round_trip(77u64);
+        round_trip(NodeId(12));
+    }
+
+    #[test]
+    fn bgp_externals() {
+        let attrs = bgp::PathAttrs {
+            route_id: 1,
+            as_path_len: 3,
+            neighbor_as: 100,
+            med: 10,
+            igp_dist: 10,
+        };
+        round_trip(bgp::BgpExt::Announce { prefix: 9, attrs });
+        round_trip(bgp::BgpExt::Withdraw { prefix: 9, route_id: 4 });
+    }
+
+    #[test]
+    fn rip_externals() {
+        round_trip(rip::RipExt::Connect { prefix: 5 });
+    }
+
+    #[test]
+    fn corrupt_input_fails_cleanly() {
+        let mut r = Reader::new(&[2]);
+        assert!(bgp::BgpExt::decode(&mut r).is_none());
+    }
+}

@@ -1,0 +1,151 @@
+//! The deterministic event queue.
+
+use crate::time::SimTime;
+use std::cmp::Reverse;
+use std::collections::BinaryHeap;
+
+/// A queued entry: fire time plus a monotonically increasing push sequence
+/// for a stable, deterministic tie-break.
+#[derive(Debug)]
+pub(crate) struct Scheduled<E> {
+    pub time: SimTime,
+    pub seq: u64,
+    pub payload: E,
+}
+
+/// Min-heap event queue with FIFO tie-breaking at equal timestamps.
+#[derive(Debug)]
+pub(crate) struct EventQueue<E> {
+    heap: BinaryHeap<Reverse<HeapEntry<E>>>,
+    next_seq: u64,
+    pushed: u64,
+    popped: u64,
+}
+
+#[derive(Debug)]
+struct HeapEntry<E>(Scheduled<E>);
+
+impl<E> PartialEq for HeapEntry<E> {
+    fn eq(&self, other: &Self) -> bool {
+        self.0.time == other.0.time && self.0.seq == other.0.seq
+    }
+}
+impl<E> Eq for HeapEntry<E> {}
+impl<E> PartialOrd for HeapEntry<E> {
+    fn partial_cmp(&self, other: &Self) -> Option<std::cmp::Ordering> {
+        Some(self.cmp(other))
+    }
+}
+impl<E> Ord for HeapEntry<E> {
+    fn cmp(&self, other: &Self) -> std::cmp::Ordering {
+        (self.0.time, self.0.seq).cmp(&(other.0.time, other.0.seq))
+    }
+}
+
+/// Counters describing queue activity; exposed for diagnostics.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub struct QueueStats {
+    /// Total events ever pushed.
+    pub pushed: u64,
+    /// Total events ever popped.
+    pub popped: u64,
+    /// Events currently pending.
+    pub pending: usize,
+}
+
+impl<E> EventQueue<E> {
+    pub fn new() -> Self {
+        EventQueue {
+            heap: BinaryHeap::new(),
+            next_seq: 0,
+            pushed: 0,
+            popped: 0,
+        }
+    }
+
+    pub fn push(&mut self, time: SimTime, payload: E) {
+        let seq = self.next_seq;
+        self.next_seq += 1;
+        self.pushed += 1;
+        self.heap.push(Reverse(HeapEntry(Scheduled { time, seq, payload })));
+    }
+
+    pub fn pop(&mut self) -> Option<Scheduled<E>> {
+        let out = self.heap.pop().map(|Reverse(HeapEntry(s))| s);
+        if out.is_some() {
+            self.popped += 1;
+        }
+        out
+    }
+
+    pub fn peek_time(&self) -> Option<SimTime> {
+        self.heap.peek().map(|Reverse(HeapEntry(s))| s.time)
+    }
+
+    #[cfg(test)]
+    pub fn is_empty(&self) -> bool {
+        self.heap.is_empty()
+    }
+
+    #[cfg(test)]
+    pub fn len(&self) -> usize {
+        self.heap.len()
+    }
+
+    pub fn stats(&self) -> QueueStats {
+        QueueStats {
+            pushed: self.pushed,
+            popped: self.popped,
+            pending: self.heap.len(),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn pops_in_time_order() {
+        let mut q = EventQueue::new();
+        q.push(SimTime::from_millis(5), "c");
+        q.push(SimTime::from_millis(1), "a");
+        q.push(SimTime::from_millis(3), "b");
+        let order: Vec<_> = std::iter::from_fn(|| q.pop()).map(|s| s.payload).collect();
+        assert_eq!(order, vec!["a", "b", "c"]);
+    }
+
+    #[test]
+    fn equal_times_pop_fifo() {
+        let mut q = EventQueue::new();
+        let t = SimTime::from_millis(2);
+        for i in 0..100 {
+            q.push(t, i);
+        }
+        let order: Vec<_> = std::iter::from_fn(|| q.pop()).map(|s| s.payload).collect();
+        assert_eq!(order, (0..100).collect::<Vec<_>>());
+    }
+
+    #[test]
+    fn stats_track_activity() {
+        let mut q = EventQueue::new();
+        q.push(SimTime::ZERO, ());
+        q.push(SimTime::ZERO, ());
+        q.pop();
+        let s = q.stats();
+        assert_eq!(s.pushed, 2);
+        assert_eq!(s.popped, 1);
+        assert_eq!(s.pending, 1);
+        assert!(!q.is_empty());
+        assert_eq!(q.len(), 1);
+    }
+
+    #[test]
+    fn peek_time_matches_next_pop() {
+        let mut q = EventQueue::new();
+        assert_eq!(q.peek_time(), None);
+        q.push(SimTime::from_millis(9), ());
+        q.push(SimTime::from_millis(4), ());
+        assert_eq!(q.peek_time(), Some(SimTime::from_millis(4)));
+    }
+}

@@ -1,0 +1,87 @@
+//! Per-node and aggregate counters collected during a run.
+
+use crate::process::NodeId;
+
+/// Counters for a single node.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub struct NodeMetrics {
+    /// Messages this node handed to the link layer.
+    pub msgs_sent: u64,
+    /// Messages delivered to this node's process.
+    pub msgs_received: u64,
+    /// Messages addressed to this node that were dropped in flight.
+    pub msgs_dropped: u64,
+    /// Timer firings delivered to this node's process.
+    pub timers_fired: u64,
+    /// External inputs delivered to this node's process.
+    pub externals: u64,
+}
+
+/// Metrics for every node in the simulation.
+#[derive(Clone, Debug, Default)]
+pub struct Metrics {
+    nodes: Vec<NodeMetrics>,
+}
+
+impl Metrics {
+    pub(crate) fn new(n: usize) -> Self {
+        Metrics { nodes: vec![NodeMetrics::default(); n] }
+    }
+
+    pub(crate) fn node_mut(&mut self, id: NodeId) -> &mut NodeMetrics {
+        &mut self.nodes[id.index()]
+    }
+
+    /// Counters for one node.
+    pub fn node(&self, id: NodeId) -> &NodeMetrics {
+        &self.nodes[id.index()]
+    }
+
+    /// Iterator over `(node, counters)` pairs.
+    pub fn iter(&self) -> impl Iterator<Item = (NodeId, &NodeMetrics)> {
+        self.nodes.iter().enumerate().map(|(i, m)| (NodeId(i as u32), m))
+    }
+
+    /// Sum of messages sent across all nodes.
+    pub fn total_sent(&self) -> u64 {
+        self.nodes.iter().map(|m| m.msgs_sent).sum()
+    }
+
+    /// Sum of messages received across all nodes.
+    pub fn total_received(&self) -> u64 {
+        self.nodes.iter().map(|m| m.msgs_received).sum()
+    }
+
+    /// Sum of in-flight drops across all nodes.
+    pub fn total_dropped(&self) -> u64 {
+        self.nodes.iter().map(|m| m.msgs_dropped).sum()
+    }
+
+    /// Resets every counter to zero (used between trace events when
+    /// measuring per-event overhead, as Fig. 6a does).
+    pub fn reset(&mut self) {
+        for m in &mut self.nodes {
+            *m = NodeMetrics::default();
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn totals_aggregate_nodes() {
+        let mut m = Metrics::new(3);
+        m.node_mut(NodeId(0)).msgs_sent = 2;
+        m.node_mut(NodeId(1)).msgs_sent = 3;
+        m.node_mut(NodeId(2)).msgs_received = 4;
+        m.node_mut(NodeId(2)).msgs_dropped = 1;
+        assert_eq!(m.total_sent(), 5);
+        assert_eq!(m.total_received(), 4);
+        assert_eq!(m.total_dropped(), 1);
+        assert_eq!(m.iter().count(), 3);
+        m.reset();
+        assert_eq!(m.total_sent(), 0);
+    }
+}

@@ -1,0 +1,892 @@
+//! The event loop: builds a network of [`Process`] nodes and runs it.
+
+use crate::event::{EventQueue, QueueStats};
+use crate::link::{ChannelMode, Link, LinkKey, LinkParams, LossModel};
+use crate::metrics::Metrics;
+use crate::process::{Action, NodeId, Process, ProcessCtx, TimerId, TimerKey};
+use crate::rng::DetRng;
+use crate::time::{SimDuration, SimTime};
+use crate::trace::{TraceKind, TraceLog};
+use std::collections::{BTreeMap, HashSet};
+
+/// Seed base for per-node process RNGs.
+///
+/// Deliberately *not* mixed with the run seed: node-local randomness is
+/// identical across runs, modelling the paper's assumption that single-node
+/// internal nondeterminism has been removed (§2.5). Only the network RNG
+/// (jitter, loss) varies with the run seed.
+const NODE_SEED_BASE: u64 = 0xDEF1_AED0_5EED_0000;
+
+/// Record of one in-flight packet drop, keyed by directed link and the
+/// per-link packet sequence number. The DEFINED recorder persists these so a
+/// debugging run can replay losses exactly (paper §2.3, footnote 4).
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash)]
+pub struct DropRecord {
+    /// The directed link the packet was crossing.
+    pub link: LinkKey,
+    /// Per-directed-link sequence number of the dropped packet.
+    pub link_seq: u64,
+}
+
+/// Summary of one processed event, returned by [`Simulator::step_until`].
+#[derive(Clone, Debug, PartialEq)]
+pub enum SteppedEvent {
+    /// A message reached a process.
+    Deliver {
+        /// Sender.
+        src: NodeId,
+        /// Receiver.
+        dst: NodeId,
+    },
+    /// A message died in flight (down link or down node).
+    Dropped {
+        /// Sender.
+        src: NodeId,
+        /// Intended receiver.
+        dst: NodeId,
+    },
+    /// A timer fired.
+    TimerFire {
+        /// Owning node.
+        node: NodeId,
+        /// Application discriminator.
+        key: TimerKey,
+    },
+    /// A link changed administrative state.
+    LinkChange {
+        /// One endpoint.
+        a: NodeId,
+        /// Other endpoint.
+        b: NodeId,
+        /// New state.
+        up: bool,
+    },
+    /// A node changed administrative state.
+    NodeChange {
+        /// The node.
+        node: NodeId,
+        /// New state.
+        up: bool,
+    },
+    /// An external input was handed to a process.
+    External {
+        /// Receiving node.
+        node: NodeId,
+    },
+}
+
+enum Ev<M, X> {
+    Deliver { src: NodeId, dst: NodeId, link_seq: u64, msg: M, control: bool },
+    Timer { node: NodeId, id: TimerId, key: TimerKey },
+    LinkAdmin { a: NodeId, b: NodeId, up: bool },
+    NodeAdmin { node: NodeId, up: bool },
+    External { node: NodeId, ev: X },
+}
+
+struct NodeSlot<P> {
+    process: P,
+    up: bool,
+    rng: DetRng,
+}
+
+/// Declarative description of the network, consumed by [`SimBuilder::build`].
+pub struct SimBuilder {
+    n: usize,
+    links: Vec<(NodeId, NodeId, LinkParams)>,
+}
+
+impl SimBuilder {
+    /// Starts a builder for a network of `n` nodes (ids `0..n`).
+    pub fn new(n: usize) -> Self {
+        SimBuilder { n, links: Vec::new() }
+    }
+
+    /// Adds a bidirectional link (two directed links with equal parameters).
+    pub fn link(mut self, a: NodeId, b: NodeId, params: LinkParams) -> Self {
+        self.links.push((a, b, params));
+        self
+    }
+
+    /// Adds every `(a, b, params)` triple as a bidirectional link.
+    pub fn links(mut self, it: impl IntoIterator<Item = (NodeId, NodeId, LinkParams)>) -> Self {
+        self.links.extend(it);
+        self
+    }
+
+    /// Instantiates the simulator. `seed` drives only network nondeterminism
+    /// (jitter and loss); `spawn` creates each node's process.
+    ///
+    /// # Panics
+    ///
+    /// Panics if a link references a node id `>= n`.
+    pub fn build<P, F>(self, seed: u64, mut spawn: F) -> Simulator<P>
+    where
+        P: Process,
+        F: FnMut(NodeId) -> P + 'static,
+    {
+        let mut links = BTreeMap::new();
+        for &(a, b, params) in &self.links {
+            assert!(a.index() < self.n && b.index() < self.n, "link endpoint out of range");
+            links.insert(LinkKey { src: a, dst: b }, Link::new(params));
+            links.insert(LinkKey { src: b, dst: a }, Link::new(params));
+        }
+        let nodes: Vec<NodeSlot<P>> = (0..self.n)
+            .map(|i| NodeSlot {
+                process: spawn(NodeId(i as u32)),
+                up: true,
+                rng: DetRng::new(NODE_SEED_BASE | i as u64),
+            })
+            .collect();
+        let mut sim = Simulator {
+            now: SimTime::ZERO,
+            queue: EventQueue::new(),
+            nodes,
+            links,
+            neighbors: Vec::new(),
+            net_rng: DetRng::new(seed),
+            metrics: Metrics::new(self.n),
+            trace: TraceLog::new(),
+            next_timer_id: 0,
+            armed: HashSet::new(),
+            spawn: Box::new(spawn),
+            drops: Vec::new(),
+            forced_drops: None,
+            collect_drop_payloads: false,
+            dropped_payloads: Vec::new(),
+        };
+        sim.rebuild_neighbors();
+        for i in 0..sim.nodes.len() {
+            sim.with_ctx(NodeId(i as u32), |p, ctx| p.on_start(ctx));
+        }
+        sim
+    }
+}
+
+/// A running simulation over processes of type `P`.
+pub struct Simulator<P: Process> {
+    now: SimTime,
+    queue: EventQueue<Ev<P::Msg, P::Ext>>,
+    nodes: Vec<NodeSlot<P>>,
+    links: BTreeMap<LinkKey, Link>,
+    neighbors: Vec<Vec<NodeId>>,
+    net_rng: DetRng,
+    metrics: Metrics,
+    trace: TraceLog,
+    next_timer_id: u64,
+    armed: HashSet<TimerId>,
+    spawn: Box<dyn FnMut(NodeId) -> P>,
+    drops: Vec<DropRecord>,
+    forced_drops: Option<HashSet<DropRecord>>,
+    collect_drop_payloads: bool,
+    dropped_payloads: Vec<(LinkKey, u64, P::Msg)>,
+}
+
+impl<P: Process> Simulator<P> {
+    /// Current simulated time.
+    pub fn now(&self) -> SimTime {
+        self.now
+    }
+
+    /// Number of nodes.
+    pub fn node_count(&self) -> usize {
+        self.nodes.len()
+    }
+
+    /// Immutable access to a node's process.
+    pub fn process(&self, id: NodeId) -> &P {
+        &self.nodes[id.index()].process
+    }
+
+    /// Mutable access to a node's process (for debugger-style state edits).
+    pub fn process_mut(&mut self, id: NodeId) -> &mut P {
+        &mut self.nodes[id.index()].process
+    }
+
+    /// Whether the node is administratively up.
+    pub fn node_up(&self, id: NodeId) -> bool {
+        self.nodes[id.index()].up
+    }
+
+    /// Whether the directed link is present and administratively up.
+    pub fn link_up(&self, src: NodeId, dst: NodeId) -> bool {
+        self.links.get(&LinkKey { src, dst }).map(|l| l.up).unwrap_or(false)
+    }
+
+    /// Base parameters of the directed link, if it exists.
+    pub fn link_params(&self, src: NodeId, dst: NodeId) -> Option<LinkParams> {
+        self.links.get(&LinkKey { src, dst }).map(|l| l.params)
+    }
+
+    /// Per-node counters.
+    pub fn metrics(&self) -> &Metrics {
+        &self.metrics
+    }
+
+    /// Mutable counters (e.g. to reset between trace events).
+    pub fn metrics_mut(&mut self) -> &mut Metrics {
+        &mut self.metrics
+    }
+
+    /// The trace log.
+    pub fn trace(&self) -> &TraceLog {
+        &self.trace
+    }
+
+    /// Mutable trace log (enable/clear).
+    pub fn trace_mut(&mut self) -> &mut TraceLog {
+        &mut self.trace
+    }
+
+    /// Event-queue statistics.
+    pub fn queue_stats(&self) -> QueueStats {
+        self.queue.stats()
+    }
+
+    /// All in-flight drops observed so far.
+    pub fn drops(&self) -> &[DropRecord] {
+        &self.drops
+    }
+
+    /// Switches loss into replay mode: a packet is dropped iff its
+    /// `(link, link_seq)` appears in `set`. Used by the debugging network to
+    /// reproduce recorded production losses.
+    pub fn set_forced_drops(&mut self, set: HashSet<DropRecord>) {
+        self.forced_drops = Some(set);
+    }
+
+    /// Enables capture of dropped payloads, which DEFINED's recorder uses to
+    /// map losses back to the messages that suffered them.
+    pub fn set_collect_drop_payloads(&mut self, on: bool) {
+        self.collect_drop_payloads = on;
+    }
+
+    /// Dropped payloads captured so far (see
+    /// [`Simulator::set_collect_drop_payloads`]).
+    pub fn dropped_payloads(&self) -> &[(LinkKey, u64, P::Msg)] {
+        &self.dropped_payloads
+    }
+
+    /// Schedules an external input for `node` at absolute time `t`.
+    pub fn schedule_external(&mut self, t: SimTime, node: NodeId, ev: P::Ext) {
+        self.queue.push(t, Ev::External { node, ev });
+    }
+
+    /// Schedules both directions of the `a — b` link to go down/up at `t`.
+    pub fn schedule_link_admin(&mut self, t: SimTime, a: NodeId, b: NodeId, up: bool) {
+        self.queue.push(t, Ev::LinkAdmin { a, b, up });
+    }
+
+    /// Schedules node `node` to crash (`up = false`) or restart with a fresh
+    /// process (`up = true`) at `t`.
+    pub fn schedule_node_admin(&mut self, t: SimTime, node: NodeId, up: bool) {
+        self.queue.push(t, Ev::NodeAdmin { node, up });
+    }
+
+    /// Runs until the queue is exhausted or the next event is after
+    /// `deadline`; leaves `now == deadline` unless exhausted earlier.
+    pub fn run_until(&mut self, deadline: SimTime) {
+        while self.step_until(deadline).is_some() {}
+        if self.now < deadline && deadline != SimTime::MAX {
+            self.now = deadline;
+        }
+    }
+
+    /// Runs until `keep_going` returns false or `deadline` passes. The
+    /// predicate is evaluated after every processed event.
+    pub fn run_while(
+        &mut self,
+        deadline: SimTime,
+        mut keep_going: impl FnMut(&Simulator<P>) -> bool,
+    ) {
+        while keep_going(self) {
+            if self.step_until(deadline).is_none() {
+                break;
+            }
+        }
+    }
+
+    /// Processes the next event if it is due at or before `deadline`.
+    ///
+    /// Returns a summary of what happened, or `None` when the queue is empty
+    /// or the next event lies beyond the deadline. Cancelled timers are
+    /// skipped transparently.
+    pub fn step_until(&mut self, deadline: SimTime) -> Option<SteppedEvent> {
+        loop {
+            let t = self.queue.peek_time()?;
+            if t > deadline {
+                return None;
+            }
+            let ev = self.queue.pop().expect("peeked");
+            self.now = ev.time;
+            match ev.payload {
+                Ev::Deliver { src, dst, link_seq, msg, control } => {
+                    let key = LinkKey { src, dst };
+                    // Loss is decided at delivery time so that a replay set
+                    // installed after `build()` still governs packets sent
+                    // from `on_start`. Control packets never suffer
+                    // stochastic loss.
+                    let mode = self.links.get(&key).map(|l| l.params.mode);
+                    let lost = if control {
+                        false
+                    } else {
+                        match (&self.forced_drops, mode) {
+                            (_, Some(ChannelMode::Fifo)) | (_, None) => false,
+                            (Some(set), _) => set.contains(&DropRecord { link: key, link_seq }),
+                            (None, Some(_)) => match self.links[&key].params.loss {
+                                LossModel::None => false,
+                                LossModel::Bernoulli { p } => self.net_rng.gen_bool(p),
+                            },
+                        }
+                    };
+                    let link_up = self.link_up(src, dst);
+                    let node_up = self.nodes[dst.index()].up;
+                    if lost || !link_up || !node_up {
+                        self.record_drop(key, link_seq, &msg);
+                        self.trace.record(self.now, TraceKind::Drop { src, dst, link_seq });
+                        return Some(SteppedEvent::Dropped { src, dst });
+                    }
+                    self.metrics.node_mut(dst).msgs_received += 1;
+                    self.trace.record(self.now, TraceKind::Deliver { src, dst, link_seq });
+                    self.with_ctx(dst, |p, ctx| p.on_message(ctx, src, msg));
+                    return Some(SteppedEvent::Deliver { src, dst });
+                }
+                Ev::Timer { node, id, key } => {
+                    if !self.armed.remove(&id) || !self.nodes[node.index()].up {
+                        continue; // Cancelled or owner down: skip silently.
+                    }
+                    self.metrics.node_mut(node).timers_fired += 1;
+                    self.trace.record(self.now, TraceKind::TimerFire { node, key });
+                    self.with_ctx(node, |p, ctx| p.on_timer(ctx, id, key));
+                    return Some(SteppedEvent::TimerFire { node, key });
+                }
+                Ev::LinkAdmin { a, b, up } => {
+                    self.set_link_state(a, b, up);
+                    self.trace.record(self.now, TraceKind::LinkChange { a, b, up });
+                    if self.nodes[a.index()].up {
+                        self.with_ctx(a, |p, ctx| p.on_link_change(ctx, b, up));
+                    }
+                    if self.nodes[b.index()].up {
+                        self.with_ctx(b, |p, ctx| p.on_link_change(ctx, a, up));
+                    }
+                    return Some(SteppedEvent::LinkChange { a, b, up });
+                }
+                Ev::NodeAdmin { node, up } => {
+                    self.trace.record(self.now, TraceKind::NodeChange { node, up });
+                    if up {
+                        self.nodes[node.index()].up = true;
+                        self.nodes[node.index()].process = (self.spawn)(node);
+                        self.with_ctx(node, |p, ctx| p.on_start(ctx));
+                    } else {
+                        self.nodes[node.index()].up = false;
+                    }
+                    return Some(SteppedEvent::NodeChange { node, up });
+                }
+                Ev::External { node, ev } => {
+                    if !self.nodes[node.index()].up {
+                        continue;
+                    }
+                    self.metrics.node_mut(node).externals += 1;
+                    self.trace.record(self.now, TraceKind::External { node });
+                    self.with_ctx(node, |p, ctx| p.on_external(ctx, ev));
+                    return Some(SteppedEvent::External { node });
+                }
+            }
+        }
+    }
+
+    fn set_link_state(&mut self, a: NodeId, b: NodeId, up: bool) {
+        for key in [LinkKey { src: a, dst: b }, LinkKey { src: b, dst: a }] {
+            if let Some(l) = self.links.get_mut(&key) {
+                l.up = up;
+            }
+        }
+        self.rebuild_neighbors();
+    }
+
+    fn rebuild_neighbors(&mut self) {
+        let n = self.nodes.len();
+        let mut adj = vec![Vec::new(); n];
+        for (key, link) in &self.links {
+            if link.up {
+                adj[key.src.index()].push(key.dst);
+            }
+        }
+        for v in &mut adj {
+            v.sort_unstable();
+        }
+        self.neighbors = adj;
+    }
+
+    /// Runs `f` with a fresh context for `node`, then applies the buffered
+    /// actions.
+    fn with_ctx(&mut self, node: NodeId, f: impl FnOnce(&mut P, &mut ProcessCtx<'_, P::Msg>)) {
+        let idx = node.index();
+        let slot = &mut self.nodes[idx];
+        let mut ctx = ProcessCtx {
+            node,
+            now: self.now,
+            neighbors: &self.neighbors[idx],
+            rng: &mut slot.rng,
+            actions: Vec::new(),
+            next_timer_id: &mut self.next_timer_id,
+        };
+        f(&mut slot.process, &mut ctx);
+        let actions = ctx.actions;
+        self.apply_actions(node, actions);
+    }
+
+    fn apply_actions(&mut self, node: NodeId, actions: Vec<Action<P::Msg>>) {
+        for action in actions {
+            match action {
+                Action::Send { to, msg, extra_delay, control } => {
+                    self.do_send(node, to, msg, extra_delay, control)
+                }
+                Action::SetTimer { id, delay, key } => {
+                    self.armed.insert(id);
+                    self.queue.push(self.now + delay, Ev::Timer { node, id, key });
+                }
+                Action::CancelTimer(id) => {
+                    self.armed.remove(&id);
+                }
+            }
+        }
+    }
+
+    fn do_send(
+        &mut self,
+        src: NodeId,
+        dst: NodeId,
+        msg: P::Msg,
+        extra_delay: SimDuration,
+        control: bool,
+    ) {
+        let key = LinkKey { src, dst };
+        let Some(link) = self.links.get_mut(&key) else {
+            // No such link: the send is silently discarded (recorded as a
+            // drop so tests can notice miswired protocols).
+            self.drops.push(DropRecord { link: key, link_seq: u64::MAX });
+            return;
+        };
+        let link_seq = link.sent;
+        link.sent += 1;
+        self.metrics.node_mut(src).msgs_sent += 1;
+        self.trace.record(self.now, TraceKind::Send { src, dst, link_seq });
+        if !link.up {
+            self.record_drop(key, link_seq, &msg);
+            self.trace.record(self.now, TraceKind::Drop { src, dst, link_seq });
+            return;
+        }
+        let params = link.params;
+        let jitter = if control {
+            SimDuration::ZERO
+        } else {
+            params.jitter.sample(params.delay, &mut self.net_rng)
+        };
+        let mut deliver_at = self.now + extra_delay + params.delay + jitter;
+        if params.mode == ChannelMode::Fifo {
+            let link = self.links.get_mut(&key).expect("link exists");
+            if deliver_at < link.last_delivery {
+                deliver_at = link.last_delivery;
+            }
+            link.last_delivery = deliver_at;
+        }
+        self.queue.push(deliver_at, Ev::Deliver { src, dst, link_seq, msg, control });
+    }
+
+    fn record_drop(&mut self, key: LinkKey, link_seq: u64, msg: &P::Msg) {
+        self.drops.push(DropRecord { link: key, link_seq });
+        self.metrics.node_mut(key.dst).msgs_dropped += 1;
+        if self.collect_drop_payloads {
+            self.dropped_payloads.push((key, link_seq, msg.clone()));
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::link::JitterModel;
+    use crate::time::SimDuration;
+
+    #[derive(Clone, Debug, PartialEq)]
+    enum Msg {
+        Ping(u32),
+        Pong(u32),
+    }
+
+    /// Node 0 pings everyone on start; everyone pongs back.
+    #[derive(Default)]
+    struct PingPong {
+        pings: Vec<(NodeId, u32)>,
+        pongs: Vec<(NodeId, u32)>,
+        timer_fired: u32,
+        link_events: u32,
+    }
+
+    impl Process for PingPong {
+        type Msg = Msg;
+        type Ext = u32;
+
+        fn on_start(&mut self, ctx: &mut ProcessCtx<'_, Msg>) {
+            if ctx.id() == NodeId(0) {
+                for (i, &nb) in ctx.neighbors().to_vec().iter().enumerate() {
+                    ctx.send(nb, Msg::Ping(i as u32));
+                }
+            }
+        }
+
+        fn on_message(&mut self, ctx: &mut ProcessCtx<'_, Msg>, from: NodeId, msg: Msg) {
+            match msg {
+                Msg::Ping(x) => {
+                    self.pings.push((from, x));
+                    ctx.send(from, Msg::Pong(x));
+                }
+                Msg::Pong(x) => self.pongs.push((from, x)),
+            }
+        }
+
+        fn on_external(&mut self, ctx: &mut ProcessCtx<'_, Msg>, ev: u32) {
+            // Externals trigger a ping to the first neighbour.
+            if let Some(&nb) = ctx.neighbors().first() {
+                ctx.send(nb, Msg::Ping(ev));
+            }
+        }
+
+        fn on_timer(&mut self, _ctx: &mut ProcessCtx<'_, Msg>, _id: TimerId, _key: TimerKey) {
+            self.timer_fired += 1;
+        }
+
+        fn on_link_change(&mut self, _ctx: &mut ProcessCtx<'_, Msg>, _peer: NodeId, _up: bool) {
+            self.link_events += 1;
+        }
+    }
+
+    fn triangle(seed: u64) -> Simulator<PingPong> {
+        let d = LinkParams::with_delay(SimDuration::from_millis(10));
+        SimBuilder::new(3)
+            .link(NodeId(0), NodeId(1), d)
+            .link(NodeId(1), NodeId(2), d)
+            .link(NodeId(0), NodeId(2), d)
+            .build(seed, |_| PingPong::default())
+    }
+
+    #[test]
+    fn ping_pong_round_trip() {
+        let mut sim = triangle(1);
+        sim.run_until(SimTime::from_secs(1));
+        assert_eq!(sim.process(NodeId(1)).pings.len(), 1);
+        assert_eq!(sim.process(NodeId(2)).pings.len(), 1);
+        assert_eq!(sim.process(NodeId(0)).pongs.len(), 2);
+        assert_eq!(sim.metrics().total_sent(), 4);
+        assert_eq!(sim.metrics().total_received(), 4);
+    }
+
+    #[test]
+    fn identical_seeds_identical_runs() {
+        let mut a = triangle(77);
+        let mut b = triangle(77);
+        a.trace_mut().set_enabled(true);
+        b.trace_mut().set_enabled(true);
+        a.run_until(SimTime::from_secs(1));
+        b.run_until(SimTime::from_secs(1));
+        assert_eq!(a.trace().events(), b.trace().events());
+    }
+
+    #[test]
+    fn jitter_reorders_across_seeds() {
+        // With heavy jitter, two seeds should produce different delivery
+        // orders at node 2 when nodes 0 and 1 both send to it.
+        #[derive(Default)]
+        struct Sink {
+            order: Vec<NodeId>,
+        }
+        impl Process for Sink {
+            type Msg = u8;
+            type Ext = ();
+            fn on_start(&mut self, ctx: &mut ProcessCtx<'_, u8>) {
+                if ctx.id() != NodeId(2) {
+                    for i in 0..20 {
+                        ctx.send(NodeId(2), i);
+                    }
+                }
+            }
+            fn on_message(&mut self, _ctx: &mut ProcessCtx<'_, u8>, from: NodeId, _m: u8) {
+                self.order.push(from);
+            }
+        }
+        let build = |seed| {
+            let p = LinkParams::with_delay(SimDuration::from_millis(10))
+                .jitter(JitterModel::Uniform { frac: 1.0 });
+            let mut sim = SimBuilder::new(3)
+                .link(NodeId(0), NodeId(2), p)
+                .link(NodeId(1), NodeId(2), p)
+                .build(seed, |_| Sink::default());
+            sim.run_until(SimTime::from_secs(1));
+            sim.process(NodeId(2)).order.clone()
+        };
+        let o1 = build(1);
+        let o2 = build(2);
+        assert_eq!(o1.len(), 40);
+        assert_ne!(o1, o2, "expected different interleavings across seeds");
+    }
+
+    #[test]
+    fn fifo_mode_preserves_order_despite_jitter() {
+        #[derive(Default)]
+        struct Sink {
+            got: Vec<u8>,
+        }
+        impl Process for Sink {
+            type Msg = u8;
+            type Ext = ();
+            fn on_start(&mut self, ctx: &mut ProcessCtx<'_, u8>) {
+                if ctx.id() == NodeId(0) {
+                    for i in 0..50 {
+                        ctx.send(NodeId(1), i);
+                    }
+                }
+            }
+            fn on_message(&mut self, _ctx: &mut ProcessCtx<'_, u8>, _from: NodeId, m: u8) {
+                self.got.push(m);
+            }
+        }
+        let p = LinkParams::with_delay(SimDuration::from_millis(10))
+            .jitter(JitterModel::Uniform { frac: 2.0 })
+            .mode(ChannelMode::Fifo);
+        let mut sim = SimBuilder::new(2)
+            .link(NodeId(0), NodeId(1), p)
+            .build(5, |_| Sink::default());
+        sim.run_until(SimTime::from_secs(1));
+        assert_eq!(sim.process(NodeId(1)).got, (0..50).collect::<Vec<_>>());
+    }
+
+    #[test]
+    fn loss_drops_packets_and_records_them() {
+        #[derive(Default)]
+        struct Sink {
+            got: usize,
+        }
+        impl Process for Sink {
+            type Msg = u8;
+            type Ext = ();
+            fn on_start(&mut self, ctx: &mut ProcessCtx<'_, u8>) {
+                if ctx.id() == NodeId(0) {
+                    for i in 0..200 {
+                        ctx.send(NodeId(1), (i % 256) as u8);
+                    }
+                }
+            }
+            fn on_message(&mut self, _ctx: &mut ProcessCtx<'_, u8>, _from: NodeId, _m: u8) {
+                self.got += 1;
+            }
+        }
+        let p = LinkParams::with_delay(SimDuration::from_millis(1))
+            .loss(LossModel::Bernoulli { p: 0.3 });
+        let mut sim = SimBuilder::new(2)
+            .link(NodeId(0), NodeId(1), p)
+            .build(9, |_| Sink::default());
+        sim.run_until(SimTime::from_secs(1));
+        let got = sim.process(NodeId(1)).got;
+        assert!(got < 200, "some packets must drop");
+        assert_eq!(got + sim.drops().len(), 200);
+    }
+
+    #[test]
+    fn forced_drops_replay_exactly() {
+        #[derive(Default)]
+        struct Sink {
+            got: Vec<u64>,
+        }
+        impl Process for Sink {
+            type Msg = u64;
+            type Ext = ();
+            fn on_start(&mut self, ctx: &mut ProcessCtx<'_, u64>) {
+                if ctx.id() == NodeId(0) {
+                    for i in 0..100u64 {
+                        ctx.send(NodeId(1), i);
+                    }
+                }
+            }
+            fn on_message(&mut self, _ctx: &mut ProcessCtx<'_, u64>, _from: NodeId, m: u64) {
+                self.got.push(m);
+            }
+        }
+        let p = LinkParams::with_delay(SimDuration::from_millis(1))
+            .loss(LossModel::Bernoulli { p: 0.2 });
+        let mut rec = SimBuilder::new(2)
+            .link(NodeId(0), NodeId(1), p)
+            .build(13, |_| Sink::default());
+        rec.run_until(SimTime::from_secs(1));
+        let recorded: HashSet<DropRecord> = rec.drops().iter().copied().collect();
+        let survivors = rec.process(NodeId(1)).got.clone();
+
+        // Replay with a different seed but forced drops: same survivor set.
+        let mut rep = SimBuilder::new(2)
+            .link(NodeId(0), NodeId(1), p)
+            .build(999, |_| Sink::default());
+        rep.set_forced_drops(recorded);
+        rep.run_until(SimTime::from_secs(1));
+        assert_eq!(rep.process(NodeId(1)).got, survivors);
+    }
+
+    #[test]
+    fn timers_fire_and_cancel() {
+        struct T {
+            fired: Vec<TimerKey>,
+        }
+        impl Process for T {
+            type Msg = ();
+            type Ext = ();
+            fn on_start(&mut self, ctx: &mut ProcessCtx<'_, ()>) {
+                ctx.set_timer(SimDuration::from_millis(10), TimerKey(1));
+                let c = ctx.set_timer(SimDuration::from_millis(20), TimerKey(2));
+                ctx.cancel_timer(c);
+                ctx.set_timer(SimDuration::from_millis(30), TimerKey(3));
+            }
+            fn on_message(&mut self, _ctx: &mut ProcessCtx<'_, ()>, _from: NodeId, _m: ()) {}
+            fn on_timer(&mut self, _ctx: &mut ProcessCtx<'_, ()>, _id: TimerId, key: TimerKey) {
+                self.fired.push(key);
+            }
+        }
+        let mut sim = SimBuilder::new(1).build(1, |_| T { fired: Vec::new() });
+        sim.run_until(SimTime::from_secs(1));
+        assert_eq!(sim.process(NodeId(0)).fired, vec![TimerKey(1), TimerKey(3)]);
+    }
+
+    #[test]
+    fn link_down_drops_in_flight_and_notifies() {
+        let mut sim = triangle(3);
+        sim.schedule_link_admin(SimTime::from_millis(1), NodeId(0), NodeId(1), false);
+        sim.run_until(SimTime::from_secs(1));
+        // Ping from 0 to 1 was in flight (sent at t=0, 10ms delay) when the
+        // link dropped at 1ms, so node 1 never saw it.
+        assert_eq!(sim.process(NodeId(1)).pings.len(), 0);
+        assert!(sim.process(NodeId(0)).link_events >= 1);
+        assert!(sim.process(NodeId(1)).link_events >= 1);
+    }
+
+    #[test]
+    fn node_restart_resets_state() {
+        let mut sim = triangle(3);
+        sim.run_until(SimTime::from_millis(100));
+        assert!(!sim.process(NodeId(1)).pings.is_empty());
+        sim.schedule_node_admin(SimTime::from_millis(200), NodeId(1), false);
+        sim.schedule_node_admin(SimTime::from_millis(300), NodeId(1), true);
+        sim.run_until(SimTime::from_secs(1));
+        assert!(sim.node_up(NodeId(1)));
+        assert!(sim.process(NodeId(1)).pings.is_empty(), "restart spawns fresh state");
+    }
+
+    #[test]
+    fn externals_reach_processes() {
+        let mut sim = triangle(3);
+        sim.schedule_external(SimTime::from_millis(50), NodeId(2), 42);
+        sim.run_until(SimTime::from_secs(1));
+        assert_eq!(sim.metrics().node(NodeId(2)).externals, 1);
+        // The external made node 2 ping its first neighbour (node 0).
+        assert!(sim.process(NodeId(0)).pings.iter().any(|&(from, x)| from == NodeId(2) && x == 42));
+    }
+
+    #[test]
+    fn down_node_drops_deliveries() {
+        let mut sim = triangle(3);
+        sim.schedule_node_admin(SimTime::from_millis(1), NodeId(1), false);
+        sim.run_until(SimTime::from_secs(1));
+        assert_eq!(sim.process(NodeId(1)).pings.len(), 0);
+        assert!(sim.metrics().node(NodeId(1)).msgs_dropped >= 1);
+    }
+
+    /// Control-channel sends arrive at exactly the base delay, independent
+    /// of the seed, while ordinary sends jitter.
+    #[test]
+    fn control_sends_are_jitter_free() {
+        #[derive(Default)]
+        struct Sink {
+            arrivals: Vec<(SimTime, u8)>,
+        }
+        impl Process for Sink {
+            type Msg = u8;
+            type Ext = ();
+            fn on_start(&mut self, ctx: &mut ProcessCtx<'_, u8>) {
+                if ctx.id() == NodeId(0) {
+                    for i in 0..10 {
+                        ctx.send_control(NodeId(1), i);
+                        ctx.send(NodeId(1), 100 + i);
+                    }
+                }
+            }
+            fn on_message(&mut self, ctx: &mut ProcessCtx<'_, u8>, _from: NodeId, m: u8) {
+                self.arrivals.push((ctx.now(), m));
+            }
+        }
+        let run = |seed| {
+            let p = LinkParams::with_delay(SimDuration::from_millis(10))
+                .jitter(JitterModel::Uniform { frac: 1.0 });
+            let mut sim =
+                SimBuilder::new(2).link(NodeId(0), NodeId(1), p).build(seed, |_| Sink::default());
+            sim.run_until(SimTime::from_secs(1));
+            sim.process(NodeId(1)).arrivals.clone()
+        };
+        let a = run(1);
+        let b = run(2);
+        let control = |v: &[(SimTime, u8)]| -> Vec<(SimTime, u8)> {
+            v.iter().copied().filter(|&(_, m)| m < 100).collect()
+        };
+        let data = |v: &[(SimTime, u8)]| -> Vec<(SimTime, u8)> {
+            v.iter().copied().filter(|&(_, m)| m >= 100).collect()
+        };
+        // Control arrivals: exactly the 10 ms base delay, identical across
+        // seeds.
+        assert_eq!(control(&a), control(&b));
+        assert!(control(&a).iter().all(|&(t, _)| t == SimTime::from_millis(10)));
+        // Data arrivals: seed-dependent.
+        assert_ne!(data(&a), data(&b));
+    }
+
+    /// Control-channel sends are exempt from stochastic loss but still die
+    /// on a down link.
+    #[test]
+    fn control_sends_skip_loss_but_not_down_links() {
+        #[derive(Default)]
+        struct Sink {
+            got: usize,
+        }
+        impl Process for Sink {
+            type Msg = u8;
+            type Ext = ();
+            fn on_external(&mut self, ctx: &mut ProcessCtx<'_, u8>, _ev: ()) {
+                if ctx.id() == NodeId(0) {
+                    ctx.send_control(NodeId(1), 1);
+                }
+            }
+            fn on_message(&mut self, _ctx: &mut ProcessCtx<'_, u8>, _from: NodeId, _m: u8) {
+                self.got += 1;
+            }
+        }
+        let p = LinkParams::with_delay(SimDuration::from_millis(1))
+            .loss(LossModel::Bernoulli { p: 0.9 });
+        let mut sim =
+            SimBuilder::new(2).link(NodeId(0), NodeId(1), p).build(3, |_| Sink::default());
+        for i in 0..100u64 {
+            sim.schedule_external(SimTime::from_millis(i * 2), NodeId(0), ());
+        }
+        sim.run_until(SimTime::from_millis(250));
+        assert_eq!(sim.process(NodeId(1)).got, 100, "90% loss must not touch control");
+        // But an administratively down link drops control packets too.
+        sim.schedule_link_admin(SimTime::from_millis(300), NodeId(0), NodeId(1), false);
+        sim.schedule_external(SimTime::from_millis(301), NodeId(0), ());
+        sim.run_until(SimTime::from_millis(400));
+        assert_eq!(sim.process(NodeId(1)).got, 100, "down link still drops control");
+    }
+
+    #[test]
+    fn run_while_stops_on_predicate() {
+        let mut sim = triangle(4);
+        let mut steps = 0;
+        sim.run_while(SimTime::from_secs(1), |_| {
+            steps += 1;
+            steps <= 2
+        });
+        assert_eq!(steps, 3);
+    }
+}

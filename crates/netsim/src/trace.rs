@@ -1,0 +1,152 @@
+//! Execution tracing: an optional, append-only log of everything the
+//! simulator did, used by tests and by the DEFINED recorder.
+
+use crate::process::{NodeId, TimerKey};
+use crate::time::SimTime;
+
+/// What happened.
+#[derive(Clone, Debug, PartialEq)]
+pub enum TraceKind {
+    /// A message left `src` towards `dst` (link sequence number attached).
+    Send {
+        /// Transmitting node.
+        src: NodeId,
+        /// Receiving node.
+        dst: NodeId,
+        /// Per-directed-link sequence number of this packet.
+        link_seq: u64,
+    },
+    /// A message was delivered to `dst`'s process.
+    Deliver {
+        /// Transmitting node.
+        src: NodeId,
+        /// Receiving node.
+        dst: NodeId,
+        /// Per-directed-link sequence number of this packet.
+        link_seq: u64,
+    },
+    /// A message was dropped (loss model, down link, or down node).
+    Drop {
+        /// Transmitting node.
+        src: NodeId,
+        /// Intended receiver.
+        dst: NodeId,
+        /// Per-directed-link sequence number of this packet.
+        link_seq: u64,
+    },
+    /// A timer fired at `node`.
+    TimerFire {
+        /// Node whose timer fired.
+        node: NodeId,
+        /// Application discriminator of the timer.
+        key: TimerKey,
+    },
+    /// A bidirectional link changed administrative state.
+    LinkChange {
+        /// One endpoint.
+        a: NodeId,
+        /// Other endpoint.
+        b: NodeId,
+        /// New state.
+        up: bool,
+    },
+    /// A node changed administrative state.
+    NodeChange {
+        /// The node.
+        node: NodeId,
+        /// New state.
+        up: bool,
+    },
+    /// An external input was delivered to `node`.
+    External {
+        /// Receiving node.
+        node: NodeId,
+    },
+}
+
+/// One timestamped trace record.
+#[derive(Clone, Debug, PartialEq)]
+pub struct TraceEvent {
+    /// When it happened.
+    pub time: SimTime,
+    /// What happened.
+    pub kind: TraceKind,
+}
+
+/// An in-memory trace log. Disabled by default; enabling it costs one `Vec`
+/// push per simulator action.
+#[derive(Clone, Debug, Default)]
+pub struct TraceLog {
+    enabled: bool,
+    events: Vec<TraceEvent>,
+}
+
+impl TraceLog {
+    /// Creates a disabled log.
+    pub fn new() -> Self {
+        TraceLog::default()
+    }
+
+    /// Enables or disables recording.
+    pub fn set_enabled(&mut self, enabled: bool) {
+        self.enabled = enabled;
+    }
+
+    /// Whether recording is on.
+    pub fn is_enabled(&self) -> bool {
+        self.enabled
+    }
+
+    pub(crate) fn record(&mut self, time: SimTime, kind: TraceKind) {
+        if self.enabled {
+            self.events.push(TraceEvent { time, kind });
+        }
+    }
+
+    /// All recorded events in order.
+    pub fn events(&self) -> &[TraceEvent] {
+        &self.events
+    }
+
+    /// Drops all recorded events.
+    pub fn clear(&mut self) {
+        self.events.clear();
+    }
+
+    /// Number of events matching a predicate.
+    pub fn count(&self, pred: impl Fn(&TraceEvent) -> bool) -> usize {
+        self.events.iter().filter(|e| pred(e)).count()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn disabled_log_records_nothing() {
+        let mut log = TraceLog::new();
+        log.record(SimTime::ZERO, TraceKind::External { node: NodeId(0) });
+        assert!(log.events().is_empty());
+    }
+
+    #[test]
+    fn enabled_log_records_in_order() {
+        let mut log = TraceLog::new();
+        log.set_enabled(true);
+        assert!(log.is_enabled());
+        log.record(SimTime::from_millis(1), TraceKind::External { node: NodeId(0) });
+        log.record(
+            SimTime::from_millis(2),
+            TraceKind::TimerFire { node: NodeId(1), key: TimerKey(9) },
+        );
+        assert_eq!(log.events().len(), 2);
+        assert_eq!(log.events()[0].time, SimTime::from_millis(1));
+        assert_eq!(
+            log.count(|e| matches!(e.kind, TraceKind::TimerFire { .. })),
+            1
+        );
+        log.clear();
+        assert!(log.events().is_empty());
+    }
+}

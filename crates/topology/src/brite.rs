@@ -1,0 +1,194 @@
+//! BRITE-like topology generation: Waxman and Barabási–Albert models.
+//!
+//! The paper's scalability study (§5.3, Fig. 8) uses BRITE-generated graphs of
+//! 20–80 nodes. BRITE's two classic flat router-level models are implemented
+//! here over a deterministic RNG; delays derive from Euclidean distance on a
+//! continental-scale plane, as BRITE does.
+
+use crate::graph::{Graph, TopoMask};
+use netsim::{DetRng, NodeId, SimDuration};
+
+/// Side length of the placement plane, in kilometres (continental US scale).
+const PLANE_KM: f64 = 4000.0;
+
+/// Propagation speed in fibre, roughly 5 µs per km.
+const US_PER_KM: f64 = 5.0;
+
+/// Parameters for the Waxman model.
+#[derive(Clone, Copy, Debug)]
+pub struct WaxmanParams {
+    /// Edge-probability scale (`alpha` in Waxman's formulation); larger
+    /// means denser graphs. Typical 0.15–0.4.
+    pub alpha: f64,
+    /// Distance decay (`beta`); larger favours long links. Typical 0.1–0.3.
+    pub beta: f64,
+}
+
+impl Default for WaxmanParams {
+    fn default() -> Self {
+        WaxmanParams { alpha: 0.25, beta: 0.2 }
+    }
+}
+
+fn place(n: usize, rng: &mut DetRng) -> Vec<(f64, f64)> {
+    (0..n).map(|_| (rng.gen_f64() * PLANE_KM, rng.gen_f64() * PLANE_KM)).collect()
+}
+
+fn dist_km(a: (f64, f64), b: (f64, f64)) -> f64 {
+    ((a.0 - b.0).powi(2) + (a.1 - b.1).powi(2)).sqrt()
+}
+
+fn delay_of(a: (f64, f64), b: (f64, f64)) -> SimDuration {
+    // Enforce a 100 µs floor so co-located nodes never get zero delay.
+    SimDuration::from_micros(((dist_km(a, b) * US_PER_KM) as u64).max(100))
+}
+
+/// Connects any disconnected components by attaching each unreachable node to
+/// its geographically nearest reachable node.
+fn ensure_connected(g: &mut Graph, pos: &[(f64, f64)]) {
+    let mask = TopoMask::default();
+    loop {
+        let info = g.shortest_paths(NodeId(0), &mask);
+        let Some(orphan) = (0..g.node_count())
+            .find(|&i| i != 0 && info.dist[i].is_none())
+        else {
+            return;
+        };
+        let mut best: Option<(usize, f64)> = None;
+        for i in 0..g.node_count() {
+            if i == orphan || info.dist[i].is_none() && i != 0 {
+                continue;
+            }
+            let d = dist_km(pos[orphan], pos[i]);
+            if best.map(|(_, bd)| d < bd).unwrap_or(true) {
+                best = Some((i, d));
+            }
+        }
+        let (target, _) = best.expect("graph has at least two nodes");
+        g.add_edge(
+            NodeId(orphan as u32),
+            NodeId(target as u32),
+            delay_of(pos[orphan], pos[target]),
+        );
+    }
+}
+
+/// Generates a Waxman graph with `n` nodes.
+///
+/// Edge `(i, j)` exists with probability `alpha * exp(-d / (beta * L))`
+/// where `d` is the Euclidean distance and `L` the plane diagonal. The result
+/// is patched to be connected.
+pub fn waxman(n: usize, params: WaxmanParams, seed: u64) -> Graph {
+    assert!(n >= 2, "need at least two nodes");
+    let mut rng = DetRng::new(seed ^ 0x8A1_77E5);
+    let pos = place(n, &mut rng);
+    let l = (2.0f64).sqrt() * PLANE_KM;
+    let mut g = Graph::new(n);
+    for i in 0..n {
+        for j in (i + 1)..n {
+            let d = dist_km(pos[i], pos[j]);
+            let p = params.alpha * (-d / (params.beta * l)).exp();
+            if rng.gen_bool(p) {
+                g.add_edge(NodeId(i as u32), NodeId(j as u32), delay_of(pos[i], pos[j]));
+            }
+        }
+    }
+    ensure_connected(&mut g, &pos);
+    g
+}
+
+/// Generates a Barabási–Albert preferential-attachment graph with `n` nodes,
+/// each new node attaching with `m` edges.
+///
+/// This is BRITE's "BA" model; it produces the heavy-tailed degree
+/// distributions observed in router-level ISP maps.
+pub fn barabasi_albert(n: usize, m: usize, seed: u64) -> Graph {
+    assert!(n > m && m >= 1, "need n > m >= 1");
+    let mut rng = DetRng::new(seed ^ 0xBA_BA_BA);
+    let pos = place(n, &mut rng);
+    let mut g = Graph::new(n);
+    // Seed clique over the first m+1 nodes.
+    for i in 0..=m {
+        for j in (i + 1)..=m {
+            g.add_edge(NodeId(i as u32), NodeId(j as u32), delay_of(pos[i], pos[j]));
+        }
+    }
+    // Repeated-endpoint list for degree-proportional sampling.
+    let mut endpoints: Vec<u32> = Vec::new();
+    for e in g.edges() {
+        endpoints.push(e.a.0);
+        endpoints.push(e.b.0);
+    }
+    for v in (m + 1)..n {
+        let mut chosen: Vec<u32> = Vec::new();
+        let mut guard = 0;
+        while chosen.len() < m && guard < 10_000 {
+            guard += 1;
+            let pick = endpoints[rng.gen_index(endpoints.len())];
+            if !chosen.contains(&pick) {
+                chosen.push(pick);
+            }
+        }
+        for &t in &chosen {
+            g.add_edge(NodeId(v as u32), NodeId(t), delay_of(pos[v], pos[t as usize]));
+            endpoints.push(v as u32);
+            endpoints.push(t);
+        }
+    }
+    g
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn waxman_connected_and_right_size() {
+        for &n in &[20usize, 40, 80] {
+            let g = waxman(n, WaxmanParams::default(), 7);
+            assert_eq!(g.node_count(), n);
+            assert!(g.is_connected(&TopoMask::default()), "n={n} disconnected");
+            assert!(g.edge_count() >= n - 1);
+        }
+    }
+
+    #[test]
+    fn waxman_deterministic() {
+        let a = waxman(30, WaxmanParams::default(), 5);
+        let b = waxman(30, WaxmanParams::default(), 5);
+        assert_eq!(a.edges(), b.edges());
+        let c = waxman(30, WaxmanParams::default(), 6);
+        assert_ne!(a.edges(), c.edges());
+    }
+
+    #[test]
+    fn ba_connected_and_degree_sum() {
+        let g = barabasi_albert(50, 2, 3);
+        assert_eq!(g.node_count(), 50);
+        assert!(g.is_connected(&TopoMask::default()));
+        // Seed clique of 3 edges + ~2 per subsequent node (dedup may reduce
+        // counts slightly, never increase them).
+        assert!(g.edge_count() <= 3 + 47 * 2);
+        assert!(g.edge_count() >= 49);
+    }
+
+    #[test]
+    fn ba_deterministic() {
+        let a = barabasi_albert(40, 2, 11);
+        let b = barabasi_albert(40, 2, 11);
+        assert_eq!(a.edges(), b.edges());
+    }
+
+    #[test]
+    fn ba_hubs_emerge() {
+        let g = barabasi_albert(100, 2, 13);
+        let max_deg = (0..100).map(|i| g.degree(NodeId(i))).max().unwrap();
+        assert!(max_deg >= 8, "expected a hub, max degree {max_deg}");
+    }
+
+    #[test]
+    fn delays_positive() {
+        let g = waxman(25, WaxmanParams::default(), 9);
+        assert!(g.edges().iter().all(|e| e.delay > SimDuration::ZERO));
+    }
+}

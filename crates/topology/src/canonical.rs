@@ -1,0 +1,208 @@
+//! Small hand-built topologies, including the paper's case-study networks.
+
+use crate::graph::Graph;
+use netsim::{NodeId, SimDuration};
+
+/// A line `0 — 1 — … — n-1` with uniform edge delay.
+pub fn line(n: usize, delay: SimDuration) -> Graph {
+    let mut g = Graph::new(n);
+    for i in 1..n {
+        g.add_edge(NodeId(i as u32 - 1), NodeId(i as u32), delay);
+    }
+    g
+}
+
+/// A ring over `n` nodes with uniform edge delay.
+pub fn ring(n: usize, delay: SimDuration) -> Graph {
+    let mut g = line(n, delay);
+    if n > 2 {
+        g.add_edge(NodeId(n as u32 - 1), NodeId(0), delay);
+    }
+    g
+}
+
+/// A star with node 0 in the centre.
+pub fn star(n: usize, delay: SimDuration) -> Graph {
+    let mut g = Graph::new(n);
+    for i in 1..n {
+        g.add_edge(NodeId(0), NodeId(i as u32), delay);
+    }
+    g
+}
+
+/// A `rows × cols` grid.
+pub fn grid(rows: usize, cols: usize, delay: SimDuration) -> Graph {
+    let mut g = Graph::new(rows * cols);
+    let id = |r: usize, c: usize| NodeId((r * cols + c) as u32);
+    for r in 0..rows {
+        for c in 0..cols {
+            if c + 1 < cols {
+                g.add_edge(id(r, c), id(r, c + 1), delay);
+            }
+            if r + 1 < rows {
+                g.add_edge(id(r, c), id(r + 1, c), delay);
+            }
+        }
+    }
+    g
+}
+
+/// A complete graph over `n` nodes.
+pub fn full_mesh(n: usize, delay: SimDuration) -> Graph {
+    let mut g = Graph::new(n);
+    for i in 0..n {
+        for j in (i + 1)..n {
+            g.add_edge(NodeId(i as u32), NodeId(j as u32), delay);
+        }
+    }
+    g
+}
+
+/// Node roles in the Figure 4 (XORP BGP MED bug) topology.
+///
+/// The AS under study has routers `R1`, `R2`, `R3`; it peers with two other
+/// ASes at external routers `ER1`, `ER2`, `ER3`, which advertise paths `p1`,
+/// `p2`, `p3` respectively. `p1`/`p2` enter via `R1`, `p3` via `R2`, and all
+/// three eventually reach `R3`.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct Fig4Roles {
+    /// Border router learning `p1` and `p2`.
+    pub r1: NodeId,
+    /// Border router learning `p3`.
+    pub r2: NodeId,
+    /// The router that runs the buggy decision process.
+    pub r3: NodeId,
+    /// External router advertising `p1`.
+    pub er1: NodeId,
+    /// External router advertising `p2`.
+    pub er2: NodeId,
+    /// External router advertising `p3`.
+    pub er3: NodeId,
+}
+
+/// The six-machine emulation of Figure 4.
+///
+/// Internal links carry `internal_delay`; external (ER → border) links carry
+/// `external_delay`.
+pub fn fig4_bgp(internal_delay: SimDuration, external_delay: SimDuration) -> (Graph, Fig4Roles) {
+    let roles = Fig4Roles {
+        r1: NodeId(0),
+        r2: NodeId(1),
+        r3: NodeId(2),
+        er1: NodeId(3),
+        er2: NodeId(4),
+        er3: NodeId(5),
+    };
+    let mut g = Graph::new(6);
+    // iBGP full mesh inside the AS.
+    g.add_edge(roles.r1, roles.r2, internal_delay);
+    g.add_edge(roles.r1, roles.r3, internal_delay);
+    g.add_edge(roles.r2, roles.r3, internal_delay);
+    // eBGP sessions.
+    g.add_edge(roles.er1, roles.r1, external_delay);
+    g.add_edge(roles.er2, roles.r1, external_delay);
+    g.add_edge(roles.er3, roles.r2, external_delay);
+    (g, roles)
+}
+
+/// Node roles in the Figure 5 (Quagga RIP timer bug) topology.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct Fig5Roles {
+    /// The router whose routing table develops the black hole.
+    pub r1: NodeId,
+    /// Main router towards the destination.
+    pub r2: NodeId,
+    /// Backup router towards the destination.
+    pub r3: NodeId,
+    /// The destination network's router.
+    pub dest: NodeId,
+}
+
+/// The four-machine emulation of Figure 5: `R1` connects to `R2` (main) and
+/// `R3` (backup); both reach the destination.
+pub fn fig5_rip(delay: SimDuration) -> (Graph, Fig5Roles) {
+    let roles =
+        Fig5Roles { r1: NodeId(0), r2: NodeId(1), r3: NodeId(2), dest: NodeId(3) };
+    let mut g = Graph::new(4);
+    g.add_edge(roles.r1, roles.r2, delay);
+    g.add_edge(roles.r1, roles.r3, delay);
+    g.add_edge(roles.r2, roles.dest, delay);
+    g.add_edge(roles.r3, roles.dest, delay);
+    (g, roles)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::graph::TopoMask;
+
+    fn ms(x: u64) -> SimDuration {
+        SimDuration::from_millis(x)
+    }
+
+    #[test]
+    fn line_shape() {
+        let g = line(5, ms(1));
+        assert_eq!(g.node_count(), 5);
+        assert_eq!(g.edge_count(), 4);
+        assert_eq!(g.degree(NodeId(0)), 1);
+        assert_eq!(g.degree(NodeId(2)), 2);
+        assert!(g.is_connected(&TopoMask::default()));
+    }
+
+    #[test]
+    fn ring_shape() {
+        let g = ring(6, ms(1));
+        assert_eq!(g.edge_count(), 6);
+        assert!((0..6).all(|i| g.degree(NodeId(i)) == 2));
+    }
+
+    #[test]
+    fn star_shape() {
+        let g = star(7, ms(1));
+        assert_eq!(g.degree(NodeId(0)), 6);
+        assert!((1..7).all(|i| g.degree(NodeId(i)) == 1));
+    }
+
+    #[test]
+    fn grid_shape() {
+        let g = grid(3, 4, ms(1));
+        assert_eq!(g.node_count(), 12);
+        assert_eq!(g.edge_count(), 3 * 3 + 2 * 4);
+        assert!(g.is_connected(&TopoMask::default()));
+    }
+
+    #[test]
+    fn full_mesh_shape() {
+        let g = full_mesh(5, ms(1));
+        assert_eq!(g.edge_count(), 10);
+        assert!((0..5).all(|i| g.degree(NodeId(i)) == 4));
+    }
+
+    #[test]
+    fn fig4_wiring() {
+        let (g, r) = fig4_bgp(ms(2), ms(5));
+        assert_eq!(g.node_count(), 6);
+        assert_eq!(g.edge_count(), 6);
+        assert!(g.has_edge(r.er1, r.r1));
+        assert!(g.has_edge(r.er2, r.r1));
+        assert!(g.has_edge(r.er3, r.r2));
+        assert!(g.has_edge(r.r1, r.r3));
+        assert!(g.has_edge(r.r2, r.r3));
+        assert!(!g.has_edge(r.er1, r.r3));
+        assert_eq!(g.edge_delay(r.er1, r.r1), Some(ms(5)));
+        assert_eq!(g.edge_delay(r.r1, r.r3), Some(ms(2)));
+    }
+
+    #[test]
+    fn fig5_wiring() {
+        let (g, r) = fig5_rip(ms(3));
+        assert_eq!(g.node_count(), 4);
+        assert_eq!(g.edge_count(), 4);
+        assert!(g.has_edge(r.r1, r.r2));
+        assert!(g.has_edge(r.r1, r.r3));
+        assert!(g.has_edge(r.r2, r.dest));
+        assert!(g.has_edge(r.r3, r.dest));
+        assert!(!g.has_edge(r.r1, r.dest));
+    }
+}

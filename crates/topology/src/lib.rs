@@ -1,0 +1,29 @@
+//! Topologies and workloads for the DEFINED evaluation.
+//!
+//! The paper evaluates on Rocketfuel PoP-level ISP maps (Sprintlink, Ebone,
+//! Level3), BRITE-generated graphs, and an OSPF event trace from a Tier-1 ISP.
+//! None of those datasets ship with this reproduction, so this crate provides
+//! faithful *synthetic* stand-ins (see DESIGN.md §2 for the substitution
+//! argument):
+//!
+//! * [`Graph`] — an undirected weighted graph with deterministic shortest-path
+//!   routines used both to wire the simulator and to compute routing ground
+//!   truth.
+//! * [`canonical`] — small hand-built topologies, including the exact
+//!   Figure 4 (BGP MED bug) and Figure 5 (RIP timer bug) networks.
+//! * [`rocketfuel`] — ISP-like PoP graphs with the paper's node counts.
+//! * [`brite`] — Waxman and Barabási–Albert generators (the models BRITE
+//!   implements).
+//! * [`trace`] — Tier-1-like OSPF event trace synthesis and Poisson event
+//!   workloads.
+
+#![warn(missing_docs)]
+#![warn(rust_2018_idioms)]
+
+pub mod brite;
+pub mod canonical;
+mod graph;
+pub mod rocketfuel;
+pub mod trace;
+
+pub use graph::{EdgeId, Graph, GraphEdge, PathInfo, TopoMask};

@@ -1,0 +1,199 @@
+//! Rocketfuel-like PoP-level ISP topologies.
+//!
+//! The actual Rocketfuel measurement data (Spring et al., SIGCOMM 2002) is not
+//! redistributable here, so this module *synthesises* ISP-like PoP graphs with
+//! the node counts the paper reports: Sprintlink (43 PoPs), Ebone (25), and
+//! Level3 (52). Construction mimics observed PoP-level structure: a small,
+//! densely-meshed long-haul backbone of hub PoPs, regional PoPs attached to
+//! their two nearest hubs (dual-homing for redundancy), and a sprinkling of
+//! shortcut links. Delays are geographic. The generators are deterministic:
+//! the same ISP always yields the same graph.
+
+use crate::graph::{Graph, TopoMask};
+use netsim::{DetRng, NodeId, SimDuration};
+
+/// Which synthesised ISP map to build.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum Isp {
+    /// Sprintlink-like, 43 PoPs (Rocketfuel AS 1239).
+    Sprintlink,
+    /// Ebone-like, 25 PoPs (Rocketfuel AS 1755).
+    Ebone,
+    /// Level3-like, 52 PoPs (Rocketfuel AS 3356).
+    Level3,
+}
+
+impl Isp {
+    /// PoP count the paper reports for this ISP.
+    pub fn pop_count(self) -> usize {
+        match self {
+            Isp::Sprintlink => 43,
+            Isp::Ebone => 25,
+            Isp::Level3 => 52,
+        }
+    }
+
+    /// Number of backbone hub PoPs used in synthesis.
+    fn hubs(self) -> usize {
+        match self {
+            Isp::Sprintlink => 8,
+            Isp::Ebone => 5,
+            Isp::Level3 => 10,
+        }
+    }
+
+    /// Fixed seed so each ISP map is reproducible.
+    fn seed(self) -> u64 {
+        match self {
+            Isp::Sprintlink => 0x5931_1239,
+            Isp::Ebone => 0x5931_1755,
+            Isp::Level3 => 0x5931_3356,
+        }
+    }
+
+    /// Human-readable name.
+    pub fn name(self) -> &'static str {
+        match self {
+            Isp::Sprintlink => "sprintlink",
+            Isp::Ebone => "ebone",
+            Isp::Level3 => "level3",
+        }
+    }
+}
+
+const PLANE_KM: f64 = 4500.0;
+const US_PER_KM: f64 = 5.0;
+
+fn dist_km(a: (f64, f64), b: (f64, f64)) -> f64 {
+    ((a.0 - b.0).powi(2) + (a.1 - b.1).powi(2)).sqrt()
+}
+
+fn delay_of(a: (f64, f64), b: (f64, f64)) -> SimDuration {
+    SimDuration::from_micros(((dist_km(a, b) * US_PER_KM) as u64).max(200))
+}
+
+/// Builds the synthesised PoP-level map for `isp`.
+///
+/// Nodes `0..hubs` are backbone hubs; the rest are regional PoPs.
+pub fn build(isp: Isp) -> Graph {
+    let n = isp.pop_count();
+    let hubs = isp.hubs();
+    let mut rng = DetRng::new(isp.seed());
+
+    // Hubs are spread widely (metro centres); regional PoPs cluster around a
+    // uniformly-chosen parent hub.
+    let hub_pos: Vec<(f64, f64)> =
+        (0..hubs).map(|_| (rng.gen_f64() * PLANE_KM, rng.gen_f64() * PLANE_KM)).collect();
+    let mut pos = hub_pos.clone();
+    for _ in hubs..n {
+        let h = rng.gen_index(hubs);
+        let (hx, hy) = hub_pos[h];
+        let dx = rng.gen_normal(0.0, PLANE_KM / 12.0);
+        let dy = rng.gen_normal(0.0, PLANE_KM / 12.0);
+        pos.push(((hx + dx).clamp(0.0, PLANE_KM), (hy + dy).clamp(0.0, PLANE_KM)));
+    }
+
+    let mut g = Graph::new(n);
+    // Backbone: ring over hubs (in placement order) plus chords so the core
+    // is 3-connected-ish, as Tier-1 long-haul meshes are.
+    for i in 0..hubs {
+        let j = (i + 1) % hubs;
+        g.add_edge(NodeId(i as u32), NodeId(j as u32), delay_of(pos[i], pos[j]));
+    }
+    for i in 0..hubs {
+        let j = (i + hubs / 2) % hubs;
+        if i != j {
+            g.add_edge(NodeId(i as u32), NodeId(j as u32), delay_of(pos[i], pos[j]));
+        }
+    }
+
+    // Regional PoPs dual-home to their two nearest hubs.
+    for v in hubs..n {
+        let mut order: Vec<usize> = (0..hubs).collect();
+        order.sort_by(|&a, &b| {
+            dist_km(pos[v], pos[a]).partial_cmp(&dist_km(pos[v], pos[b])).unwrap()
+        });
+        for &h in order.iter().take(2) {
+            g.add_edge(NodeId(v as u32), NodeId(h as u32), delay_of(pos[v], pos[h]));
+        }
+    }
+
+    // Shortcut links between random regional PoPs (about n/6 of them),
+    // mirroring the lateral links Rocketfuel observes.
+    let shortcuts = n / 6;
+    let mut added = 0;
+    let mut guard = 0;
+    while added < shortcuts && guard < 1000 {
+        guard += 1;
+        let a = hubs + rng.gen_index(n - hubs);
+        let b = hubs + rng.gen_index(n - hubs);
+        if a != b && g.add_edge(NodeId(a as u32), NodeId(b as u32), delay_of(pos[a], pos[b])).is_some()
+        {
+            added += 1;
+        }
+    }
+    debug_assert!(g.is_connected(&TopoMask::default()));
+    g
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn node_counts_match_paper() {
+        assert_eq!(build(Isp::Sprintlink).node_count(), 43);
+        assert_eq!(build(Isp::Ebone).node_count(), 25);
+        assert_eq!(build(Isp::Level3).node_count(), 52);
+    }
+
+    #[test]
+    fn all_connected() {
+        for isp in [Isp::Sprintlink, Isp::Ebone, Isp::Level3] {
+            assert!(build(isp).is_connected(&TopoMask::default()), "{:?}", isp);
+        }
+    }
+
+    #[test]
+    fn deterministic() {
+        let a = build(Isp::Sprintlink);
+        let b = build(Isp::Sprintlink);
+        assert_eq!(a.edges(), b.edges());
+    }
+
+    #[test]
+    fn isps_differ() {
+        assert_ne!(build(Isp::Sprintlink).edges(), build(Isp::Level3).edges());
+    }
+
+    #[test]
+    fn dual_homing_gives_redundancy() {
+        // Dropping any single regional link must not disconnect the graph.
+        let g = build(Isp::Ebone);
+        for e in g.edges() {
+            let mut mask = TopoMask::default();
+            mask.link_down(e.a, e.b);
+            assert!(
+                g.is_connected(&mask),
+                "single link {:?}-{:?} disconnects the graph",
+                e.a,
+                e.b
+            );
+        }
+    }
+
+    #[test]
+    fn realistic_delays() {
+        let g = build(Isp::Sprintlink);
+        for e in g.edges() {
+            assert!(e.delay >= SimDuration::from_micros(200));
+            assert!(e.delay <= SimDuration::from_millis(40), "delay {} too long", e.delay);
+        }
+    }
+
+    #[test]
+    fn names_and_counts() {
+        assert_eq!(Isp::Sprintlink.name(), "sprintlink");
+        assert_eq!(Isp::Ebone.pop_count(), 25);
+    }
+}

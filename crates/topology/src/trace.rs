@@ -1,0 +1,279 @@
+//! Synthetic network event traces.
+//!
+//! The paper replays OSPF traces from a Tier-1 ISP's area-0 network — 651
+//! events collected over two weeks (Nov 1–14, 2009) — by randomly mapping
+//! them onto Rocketfuel topologies (§5.1). The trace itself is proprietary;
+//! [`tier1_trace`] synthesises a workload with its published statistics:
+//! link-flap events dominate, a few problem links flap repeatedly (heavy
+//! tail), and occasional node restarts occur. [`poisson_events`] generates
+//! the fixed-rate workloads of Fig. 8d.
+
+use crate::graph::Graph;
+use netsim::{DetRng, NodeId, SimDuration, SimTime};
+
+/// One control-plane-visible external event.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum EventKind {
+    /// A bidirectional link failed.
+    LinkDown(NodeId, NodeId),
+    /// A previously failed link recovered.
+    LinkUp(NodeId, NodeId),
+    /// A router crashed.
+    NodeDown(NodeId),
+    /// A previously crashed router restarted.
+    NodeUp(NodeId),
+}
+
+/// A timestamped external event.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct NetworkEvent {
+    /// When the event occurs.
+    pub at: SimTime,
+    /// What happens.
+    pub kind: EventKind,
+}
+
+/// Parameters for Tier-1 trace synthesis.
+#[derive(Clone, Copy, Debug)]
+pub struct Tier1Spec {
+    /// Total number of events to generate (the paper's trace has 651).
+    pub events: usize,
+    /// Duration the trace spans.
+    pub duration: SimDuration,
+    /// Fraction of events that are node (rather than link) events.
+    pub node_event_frac: f64,
+    /// Pareto shape for flap-burst sizes; smaller is heavier-tailed.
+    pub burst_alpha: f64,
+    /// Mean outage length before the matching `up` event.
+    pub mean_outage: SimDuration,
+}
+
+impl Default for Tier1Spec {
+    fn default() -> Self {
+        Tier1Spec {
+            events: 651,
+            // The experiments compress two weeks of wall time; what matters
+            // is inter-event spacing relative to convergence time.
+            duration: SimDuration::from_secs(6510),
+            node_event_frac: 0.08,
+            burst_alpha: 1.3,
+            mean_outage: SimDuration::from_secs(4),
+        }
+    }
+}
+
+/// Synthesises a Tier-1-like event trace mapped onto `g`.
+///
+/// Events come in down/up pairs (each pair counts as two events). A small set
+/// of "problem links" is chosen per the heavy-tailed burst model and flaps
+/// repeatedly, which is the pattern ISP traces show. Events are sorted by
+/// time; down/up pairs never interleave per element.
+pub fn tier1_trace(g: &Graph, spec: Tier1Spec, seed: u64) -> Vec<NetworkEvent> {
+    assert!(g.edge_count() > 0, "graph has no links");
+    let mut rng = DetRng::new(seed ^ 0x71E2_0009);
+    let mut events: Vec<NetworkEvent> = Vec::with_capacity(spec.events);
+    let horizon = spec.duration.as_secs_f64();
+    let mut element_free_at: std::collections::HashMap<u64, f64> = std::collections::HashMap::new();
+
+    while events.len() + 1 < spec.events {
+        let t0 = rng.gen_f64() * horizon;
+        let is_node = rng.gen_bool(spec.node_event_frac);
+        // Burst size: how many times this element flaps in a row.
+        let burst = rng.gen_pareto(1.0, spec.burst_alpha).min(12.0) as usize;
+        if is_node {
+            let node = NodeId(rng.gen_index(g.node_count()) as u32);
+            let key = 1_000_000 + node.0 as u64;
+            let mut t = t0.max(*element_free_at.get(&key).unwrap_or(&0.0));
+            for _ in 0..burst {
+                if events.len() + 1 >= spec.events {
+                    break;
+                }
+                let outage = rng.gen_exp(1.0 / spec.mean_outage.as_secs_f64());
+                events.push(NetworkEvent {
+                    at: SimTime::from_millis((t * 1000.0) as u64),
+                    kind: EventKind::NodeDown(node),
+                });
+                t += outage;
+                events.push(NetworkEvent {
+                    at: SimTime::from_millis((t * 1000.0) as u64),
+                    kind: EventKind::NodeUp(node),
+                });
+                t += rng.gen_exp(1.0 / 30.0);
+            }
+            element_free_at.insert(key, t);
+        } else {
+            let e = g.edges()[rng.gen_index(g.edge_count())];
+            let key = (e.a.0 as u64) << 32 | e.b.0 as u64;
+            let mut t = t0.max(*element_free_at.get(&key).unwrap_or(&0.0));
+            for _ in 0..burst {
+                if events.len() + 1 >= spec.events {
+                    break;
+                }
+                let outage = rng.gen_exp(1.0 / spec.mean_outage.as_secs_f64());
+                events.push(NetworkEvent {
+                    at: SimTime::from_millis((t * 1000.0) as u64),
+                    kind: EventKind::LinkDown(e.a, e.b),
+                });
+                t += outage;
+                events.push(NetworkEvent {
+                    at: SimTime::from_millis((t * 1000.0) as u64),
+                    kind: EventKind::LinkUp(e.a, e.b),
+                });
+                t += rng.gen_exp(1.0 / 30.0);
+            }
+            element_free_at.insert(key, t);
+        }
+    }
+    events.sort_by_key(|e| e.at);
+    events
+}
+
+/// Rescales a trace so its last event lands at `duration`, preserving
+/// relative spacing. Used to compress the two-week trace into tractable
+/// simulated time.
+pub fn compress(events: &[NetworkEvent], duration: SimDuration) -> Vec<NetworkEvent> {
+    let Some(last) = events.last() else { return Vec::new() };
+    if last.at == SimTime::ZERO {
+        return events.to_vec();
+    }
+    let scale = duration.as_secs_f64() / last.at.as_secs_f64();
+    events
+        .iter()
+        .map(|e| NetworkEvent {
+            at: SimTime((e.at.0 as f64 * scale) as u64),
+            kind: e.kind,
+        })
+        .collect()
+}
+
+/// Generates link-flap events at a fixed average rate (events per second)
+/// over `duration` — the workload of Fig. 8d.
+///
+/// Each generated event is a link-down immediately followed (after
+/// `outage`) by the matching link-up; `rate` counts the down events.
+pub fn poisson_events(
+    g: &Graph,
+    rate: f64,
+    duration: SimDuration,
+    outage: SimDuration,
+    seed: u64,
+) -> Vec<NetworkEvent> {
+    assert!(rate > 0.0);
+    assert!(g.edge_count() > 0, "graph has no links");
+    let mut rng = DetRng::new(seed ^ 0xF01_5504);
+    let mut events = Vec::new();
+    let mut t = 0.0;
+    loop {
+        t += rng.gen_exp(rate);
+        let at = SimTime::from_millis((t * 1000.0) as u64);
+        if at > SimTime::ZERO + duration {
+            break;
+        }
+        let e = g.edges()[rng.gen_index(g.edge_count())];
+        events.push(NetworkEvent { at, kind: EventKind::LinkDown(e.a, e.b) });
+        events.push(NetworkEvent { at: at + outage, kind: EventKind::LinkUp(e.a, e.b) });
+    }
+    events.sort_by_key(|e| e.at);
+    events
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::canonical;
+
+    fn graph() -> Graph {
+        canonical::grid(4, 4, SimDuration::from_millis(2))
+    }
+
+    #[test]
+    fn tier1_event_count_matches_spec() {
+        let g = graph();
+        let ev = tier1_trace(&g, Tier1Spec::default(), 1);
+        // Pairs may overshoot by at most one event below the target.
+        assert!(ev.len() >= 650 && ev.len() <= 651, "got {}", ev.len());
+    }
+
+    #[test]
+    fn tier1_sorted_and_paired() {
+        let g = graph();
+        let ev = tier1_trace(&g, Tier1Spec::default(), 2);
+        assert!(ev.windows(2).all(|w| w[0].at <= w[1].at));
+        let downs = ev
+            .iter()
+            .filter(|e| matches!(e.kind, EventKind::LinkDown(..) | EventKind::NodeDown(_)))
+            .count();
+        let ups = ev.len() - downs;
+        assert_eq!(downs, ups);
+    }
+
+    #[test]
+    fn tier1_down_up_alternate_per_element() {
+        let g = graph();
+        let ev = tier1_trace(&g, Tier1Spec::default(), 3);
+        use std::collections::HashMap;
+        let mut state: HashMap<String, bool> = HashMap::new();
+        for e in &ev {
+            let (key, down) = match e.kind {
+                EventKind::LinkDown(a, b) => (format!("l{}:{}", a.0, b.0), true),
+                EventKind::LinkUp(a, b) => (format!("l{}:{}", a.0, b.0), false),
+                EventKind::NodeDown(n) => (format!("n{}", n.0), true),
+                EventKind::NodeUp(n) => (format!("n{}", n.0), false),
+            };
+            let was_down = state.entry(key.clone()).or_insert(false);
+            assert_ne!(*was_down, down, "element {key} got repeated {down}-event");
+            *was_down = down;
+        }
+    }
+
+    #[test]
+    fn tier1_deterministic() {
+        let g = graph();
+        assert_eq!(
+            tier1_trace(&g, Tier1Spec::default(), 9),
+            tier1_trace(&g, Tier1Spec::default(), 9)
+        );
+    }
+
+    #[test]
+    fn tier1_has_bursts() {
+        let g = graph();
+        let ev = tier1_trace(&g, Tier1Spec::default(), 4);
+        use std::collections::HashMap;
+        let mut per_element: HashMap<String, usize> = HashMap::new();
+        for e in &ev {
+            if let EventKind::LinkDown(a, b) = e.kind {
+                *per_element.entry(format!("{}:{}", a.0, b.0)).or_default() += 1;
+            }
+        }
+        let max = per_element.values().copied().max().unwrap_or(0);
+        assert!(max >= 3, "expected a flapping problem link, max burst {max}");
+    }
+
+    #[test]
+    fn compress_rescales() {
+        let g = graph();
+        let ev = tier1_trace(&g, Tier1Spec::default(), 5);
+        let short = compress(&ev, SimDuration::from_secs(60));
+        assert_eq!(short.len(), ev.len());
+        assert!(short.last().unwrap().at <= SimTime::from_secs(61));
+        assert!(short.windows(2).all(|w| w[0].at <= w[1].at));
+    }
+
+    #[test]
+    fn poisson_rate_approximates() {
+        let g = graph();
+        let ev = poisson_events(&g, 5.0, SimDuration::from_secs(100), SimDuration::from_secs(1), 6);
+        let downs = ev.iter().filter(|e| matches!(e.kind, EventKind::LinkDown(..))).count();
+        assert!((350..=650).contains(&downs), "got {downs} downs for rate 5/s over 100s");
+    }
+
+    #[test]
+    fn poisson_empty_graph_panics() {
+        let g = Graph::new(2);
+        let result = std::panic::catch_unwind(|| {
+            poisson_events(&g, 1.0, SimDuration::from_secs(1), SimDuration::from_secs(1), 1)
+        });
+        assert!(result.is_err());
+    }
+}

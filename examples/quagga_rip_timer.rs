@@ -1,0 +1,159 @@
+//! Case study 2 (paper §4, Fig. 5): the Quagga 0.96.5 RIP timer-refresh bug.
+//!
+//! R1 reaches a destination via R2 (main) and R3 (backup). Quagga refreshes
+//! a route's timeout on any announcement matching the *destination*,
+//! ignoring the next hop, so after R2 dies the backup's announcements keep
+//! the dead route alive — a black hole whose appearance depends on timing.
+//! DEFINED makes the timing deterministic, reproduces it in a debugging
+//! network where timers "don't go off unexpectedly while stepping", and
+//! validates the fix.
+//!
+//! Run with: `cargo run --example quagga_rip_timer`
+
+use defined::core::debugger::{Debugger, StepGranularity};
+use defined::core::{DefinedConfig, LockstepNet, RbNetwork};
+use defined::netsim::{NodeId, SimDuration, SimTime};
+use defined::routing::rip::{RefreshMode, RipConfig, RipExt, RipProcess};
+use defined::topology::canonical;
+
+const DEST: u32 = 77;
+
+fn build(_roles: &canonical::Fig5Roles, g: &defined::topology::Graph, mode: RefreshMode) -> Vec<RipProcess> {
+    let cfg = RipConfig::emulation(mode);
+    (0..4u32)
+        .map(|i| {
+            let id = NodeId(i);
+            RipProcess::new(id, g.neighbors(id), cfg)
+        })
+        .collect()
+}
+
+fn main() {
+    let (graph, roles) = canonical::fig5_rip(SimDuration::from_millis(10));
+    println!("== Case study: Quagga 0.96.5 RIP timer-refresh bug (Fig. 5) ==\n");
+    println!("after R2 dies, R1 should fail over to R3; the bug leaves a black hole\n");
+
+    // --- Baseline: the outcome depends on announcement timing -----------
+    println!("-- baseline (uninstrumented, buggy refresh): 10 seeds --");
+    let mut blackholes = 0;
+    for seed in 0..10u64 {
+        let procs = build(&roles, &graph, RefreshMode::DestinationOnly);
+        let mut sim = defined::core::harness::baseline_network(
+            &graph,
+            SimDuration::from_millis(250),
+            seed,
+            0.9,
+            move |id| procs[id.index()].clone(),
+        );
+        sim.schedule_external(
+            SimTime::from_millis(100),
+            roles.dest,
+            RipExt::Connect { prefix: DEST },
+        );
+        sim.schedule_node_admin(SimTime::from_secs(8), roles.r2, false);
+        sim.run_until(SimTime::from_secs(26));
+        let via = sim
+            .process(roles.r1)
+            .control_plane()
+            .route(DEST)
+            .and_then(|r| r.next_hop);
+        if via == Some(roles.r2) {
+            blackholes += 1;
+        }
+    }
+    println!(
+        "  {blackholes}/10 runs end with R1 still pointing at the dead R2 (black hole)"
+    );
+    println!("  (timing-dependent: troubleshooting with gdb chases a moving target)\n");
+
+    // --- DEFINED-RB: deterministic outcome -------------------------------
+    println!("-- DEFINED-RB instrumented production network --");
+    let cfg = DefinedConfig::default();
+    let run_rb = |seed: u64, mode: RefreshMode| {
+        let procs = build(&roles, &graph, mode);
+        let mut net = RbNetwork::new(&graph, cfg.clone(), seed, 0.9, move |id| {
+            procs[id.index()].clone()
+        });
+        net.inject_external(
+            SimTime::from_millis(100),
+            roles.dest,
+            RipExt::Connect { prefix: DEST },
+        );
+        net.schedule_node(SimTime::from_secs(8), roles.r2, false);
+        net.run_until(SimTime::from_secs(26));
+        net
+    };
+    let mut outcome = None;
+    for seed in 0..5u64 {
+        let net = run_rb(seed, RefreshMode::DestinationOnly);
+        let via = net.control_plane(roles.r1).route(DEST).and_then(|r| r.next_hop);
+        if let Some(prev) = outcome {
+            assert_eq!(prev, via, "DEFINED-RB must make the timing bug deterministic");
+        }
+        outcome = Some(via);
+    }
+    println!("  R1's route after R2 dies = via {outcome:?} on EVERY seed (deterministic)\n");
+
+    // --- Debugging session: step without timers going off unexpectedly --
+    println!("-- DEFINED-LS debugging session --");
+    let net = run_rb(0, RefreshMode::DestinationOnly);
+    let (recording, _) = net.into_recording();
+    println!(
+        "  recording: {} externals, {} groups",
+        recording.externals.len(),
+        recording.last_group
+    );
+    let procs = build(&roles, &graph, RefreshMode::DestinationOnly);
+    let ls = LockstepNet::new(&graph, cfg.clone(), recording.clone(), move |id| {
+        procs[id.index()].clone()
+    });
+    let mut dbg = Debugger::new(ls);
+    // Watch for the smoking gun: a timer refresh at R1 triggered while the
+    // installed next hop is R2 but R2 is already gone (group > death time).
+    let death_group = 8 * 4; // 8 s at 4 groups/s.
+    dbg.add_breakpoint(move |ev, net| {
+        ev.node == roles.r1
+            && ev.group > death_group
+            && net.control_plane(roles.r1).route(DEST).and_then(|r| r.next_hop)
+                == Some(roles.r2)
+            && net.control_plane(roles.r1).refresh_count(DEST) > 0
+    });
+    if let Some(hit) = dbg.run_until_break() {
+        let cp = dbg.inspect(roles.r1);
+        println!(
+            "  breakpoint in group {}: R1 refreshed the route via dead R2 ({} refreshes so far)",
+            hit.group,
+            cp.refresh_count(DEST)
+        );
+        println!("  single-stepping two more events (timers stay quiescent between steps):");
+        for _ in 0..2 {
+            if let Some(r) = dbg.step(StepGranularity::Event) {
+                let ev = &r.events[0];
+                println!(
+                    "    group {} chain {} event at {} (class {:?})",
+                    ev.group, ev.chain, ev.node, ev.record.ann.class
+                );
+            }
+        }
+    } else {
+        println!("  no refresh-after-death observed in this recording");
+    }
+
+    // --- Patch and validate ----------------------------------------------
+    println!("\n-- patch: match on destination AND next hop, validated in LS --");
+    let procs = build(&roles, &graph, RefreshMode::DestinationAndNextHop);
+    let mut ls2 = LockstepNet::new(&graph, cfg.clone(), recording, move |id| {
+        procs[id.index()].clone()
+    });
+    ls2.run_to_end();
+    let via = ls2.control_plane(roles.r1).route(DEST).and_then(|r| r.next_hop);
+    println!("  patched R1 route = via {via:?}");
+    assert_eq!(via, Some(roles.r3), "patched RIP must fail over to the backup");
+    println!("  patched RIP fails over to R3 — black hole gone ✓");
+
+    // --- And the patch behaves identically in production -----------------
+    let net = run_rb(0, RefreshMode::DestinationAndNextHop);
+    let via_prod = net.control_plane(roles.r1).route(DEST).and_then(|r| r.next_hop);
+    assert_eq!(via_prod, Some(roles.r3));
+    println!("  same behaviour in the instrumented production network ✓");
+}

@@ -1,0 +1,182 @@
+//! Case study 1 (paper §4, Fig. 4): the XORP 0.4 BGP MED ordering bug.
+//!
+//! Three paths with a non-transitive MED preference reach router R3. The
+//! buggy decision process compares each incoming path only against the
+//! current best, so the selected route depends on arrival order. Without
+//! DEFINED the bug appears on some runs and not others; with DEFINED-RB the
+//! outcome is deterministic, the bug is reproduced from a partial recording
+//! in DEFINED-LS, located by stepping, patched, and the patch validated.
+//!
+//! Run with: `cargo run --example xorp_bgp_med`
+
+use defined::core::debugger::{Debugger, StepGranularity};
+use defined::core::{DefinedConfig, LockstepNet, RbNetwork};
+use defined::netsim::{NodeId, SimDuration, SimTime};
+use defined::routing::bgp::{
+    fig4_paths, BgpExt, BgpProcess, DecisionMode, Role,
+};
+use defined::topology::canonical;
+
+const PREFIX: u32 = 9;
+
+fn build_processes(roles: &canonical::Fig4Roles, mode: DecisionMode) -> Vec<BgpProcess> {
+    let internal = [roles.r1, roles.r2, roles.r3];
+    (0..6u32)
+        .map(|i| {
+            let id = NodeId(i);
+            if id == roles.er1 || id == roles.er2 {
+                BgpProcess::new(id, Role::External { border: roles.r1 }, mode)
+            } else if id == roles.er3 {
+                BgpProcess::new(id, Role::External { border: roles.r2 }, mode)
+            } else {
+                let peers: Vec<NodeId> =
+                    internal.iter().copied().filter(|&p| p != id).collect();
+                BgpProcess::new(id, Role::Internal { ibgp_peers: peers }, mode)
+            }
+        })
+        .collect()
+}
+
+fn announce_all(
+    net: &mut RbNetwork<BgpProcess>,
+    roles: &canonical::Fig4Roles,
+) {
+    let [p1, p2, p3] = fig4_paths();
+    // The three external routers announce "at roughly the same time"; link
+    // jitter decides the arrival order at R3.
+    net.inject_external(
+        SimTime::from_millis(700),
+        roles.er1,
+        BgpExt::Announce { prefix: PREFIX, attrs: p1 },
+    );
+    net.inject_external(
+        SimTime::from_millis(700),
+        roles.er2,
+        BgpExt::Announce { prefix: PREFIX, attrs: p2 },
+    );
+    net.inject_external(
+        SimTime::from_millis(700),
+        roles.er3,
+        BgpExt::Announce { prefix: PREFIX, attrs: p3 },
+    );
+}
+
+fn main() {
+    let (graph, roles) = canonical::fig4_bgp(
+        SimDuration::from_millis(8),
+        SimDuration::from_millis(12),
+    );
+    println!("== Case study: XORP 0.4 BGP MED ordering bug (Fig. 4) ==\n");
+    println!("correct best path is p3 (route id 3); the bug selects p2 on some orders\n");
+
+    // --- Without DEFINED: outcome varies across runs --------------------
+    println!("-- baseline (uninstrumented): 12 runs with different jitter seeds --");
+    let mut outcomes = std::collections::BTreeMap::new();
+    for seed in 0..12u64 {
+        let procs = build_processes(&roles, DecisionMode::BuggyIncremental);
+        let mut sim = defined::core::harness::baseline_network(
+            &graph,
+            SimDuration::from_millis(250),
+            seed,
+            0.9,
+            move |id| procs[id.index()].clone(),
+        );
+        sim.schedule_external(
+            SimTime::from_millis(700),
+            roles.er1,
+            BgpExt::Announce { prefix: PREFIX, attrs: fig4_paths()[0] },
+        );
+        sim.schedule_external(
+            SimTime::from_millis(700),
+            roles.er2,
+            BgpExt::Announce { prefix: PREFIX, attrs: fig4_paths()[1] },
+        );
+        sim.schedule_external(
+            SimTime::from_millis(700),
+            roles.er3,
+            BgpExt::Announce { prefix: PREFIX, attrs: fig4_paths()[2] },
+        );
+        sim.run_until(SimTime::from_secs(5));
+        let best = sim
+            .process(roles.r3)
+            .control_plane()
+            .best_path(PREFIX)
+            .map(|p| p.route_id);
+        *outcomes.entry(best).or_insert(0u32) += 1;
+    }
+    for (best, count) in &outcomes {
+        println!("  best path at R3 = {best:?} in {count} runs");
+    }
+    println!("  (nondeterministic: the bug hides on lucky orderings)\n");
+
+    // --- With DEFINED-RB: deterministic ---------------------------------
+    println!("-- DEFINED-RB instrumented production network --");
+    let cfg = DefinedConfig::default();
+    let run_rb = |seed: u64| {
+        let procs = build_processes(&roles, DecisionMode::BuggyIncremental);
+        let mut net = RbNetwork::new(&graph, cfg.clone(), seed, 0.9, move |id| {
+            procs[id.index()].clone()
+        });
+        announce_all(&mut net, &roles);
+        net.run_until(SimTime::from_secs(5));
+        net
+    };
+    let mut fixed_outcome = None;
+    for seed in 0..6u64 {
+        let net = run_rb(seed);
+        let best = net.control_plane(roles.r3).best_path(PREFIX).map(|p| p.route_id);
+        if let Some(prev) = fixed_outcome {
+            assert_eq!(prev, best, "DEFINED-RB must be deterministic");
+        }
+        fixed_outcome = Some(best);
+    }
+    println!("  best path at R3 = {fixed_outcome:?} on EVERY seed (deterministic)\n");
+
+    // --- Reproduce in the debugging network and locate the bug ----------
+    println!("-- DEFINED-LS debugging session from the partial recording --");
+    let net = run_rb(0);
+    let (recording, _) = net.into_recording();
+    println!(
+        "  recording: {} external events over {} groups",
+        recording.externals.len(),
+        recording.last_group
+    );
+    let procs = build_processes(&roles, DecisionMode::BuggyIncremental);
+    let ls = LockstepNet::new(&graph, cfg.clone(), recording.clone(), move |id| {
+        procs[id.index()].clone()
+    });
+    let mut dbg = Debugger::new(ls);
+    // Break when R3's decision process runs with all three candidates known
+    // but selects a suboptimal path.
+    dbg.add_breakpoint(move |ev, net| {
+        ev.node == roles.r3
+            && net.control_plane(roles.r3).candidates(PREFIX).len() == 3
+            && net.control_plane(roles.r3).best_path(PREFIX).map(|p| p.route_id) != Some(3)
+    });
+    if let Some(hit) = dbg.run_until_break() {
+        let cp = dbg.inspect(roles.r3);
+        println!(
+            "  breakpoint: after event in group {} R3 knows {} candidates but best = p{}",
+            hit.group,
+            cp.candidates(PREFIX).len(),
+            cp.best_path(PREFIX).unwrap().route_id
+        );
+        println!("  stepping shows the incremental compare skipped the MED group re-scan");
+    } else {
+        println!("  (bug did not manifest under the deterministic order — see §4's note");
+        println!("   that DEFINED may mask orders; apply a different ordering function)");
+    }
+
+    // --- Patch and validate in the debugging network ---------------------
+    println!("\n-- patch: full decision process, validated in the debugging network --");
+    let procs = build_processes(&roles, DecisionMode::CorrectFull);
+    let mut ls2 = LockstepNet::new(&graph, cfg, recording, move |id| {
+        procs[id.index()].clone()
+    });
+    ls2.run_to_end();
+    let best = ls2.control_plane(roles.r3).best_path(PREFIX).map(|p| p.route_id);
+    println!("  patched best path at R3 = {best:?}");
+    assert_eq!(best, Some(3), "patched decision must select p3");
+    println!("  patched decision selects p3 — correct ✓");
+    let _ = dbg.step(StepGranularity::Event);
+}

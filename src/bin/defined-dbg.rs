@@ -1,0 +1,190 @@
+//! `defined-dbg` — record a production scenario and debug its recording
+//! interactively, the paper's full workflow as a command-line tool.
+//!
+//! ```text
+//! defined-dbg record <scenario> <recording-file>
+//! defined-dbg debug  <scenario> <recording-file> [script-file]
+//! defined-dbg scenarios
+//! ```
+//!
+//! Scenarios bundle a topology, a protocol, and a workload:
+//!
+//! * `rip-blackhole` — the Quagga 0.96.5 timer-refresh black hole (Fig. 5);
+//! * `bgp-med`       — the XORP 0.4 MED ordering bug network (Fig. 4).
+//!
+//! `record` runs the DEFINED-RB-instrumented production network and writes
+//! the partial recording (external events, losses, death cuts, beacon tick
+//! schedule) to the file. `debug` rebuilds the debugging network from the
+//! same scenario, loads the recording, and drives a [`DebugSession`] with
+//! commands from the script file (or stdin when omitted) — `help` lists
+//! them. Replays are deterministic, so sessions are exactly repeatable.
+
+use defined::core::debugger::Debugger;
+use defined::core::recorder::Recording;
+use defined::core::session::DebugSession;
+use defined::core::{DefinedConfig, LockstepNet, RbNetwork};
+use defined::netsim::{NodeId, SimDuration, SimTime};
+use defined::routing::bgp::{self, BgpProcess, DecisionMode, Role};
+use defined::routing::rip::{RefreshMode, RipConfig, RipExt, RipProcess};
+use defined::topology::{canonical, Graph};
+use std::io::Read as _;
+use std::process::ExitCode;
+
+const RIP_DEST: u32 = 77;
+const BGP_PREFIX: u32 = 9;
+
+fn usage() -> ExitCode {
+    eprintln!(
+        "usage: defined-dbg record <scenario> <recording-file>\n\
+         \x20      defined-dbg debug  <scenario> <recording-file> [script-file]\n\
+         \x20      defined-dbg scenarios"
+    );
+    ExitCode::FAILURE
+}
+
+fn rip_graph() -> (Graph, canonical::Fig5Roles) {
+    canonical::fig5_rip(SimDuration::from_millis(10))
+}
+
+fn rip_spawner(g: &Graph) -> impl Fn(NodeId) -> RipProcess + 'static {
+    let g = g.clone();
+    move |id| {
+        RipProcess::new(id, g.neighbors(id), RipConfig::emulation(RefreshMode::DestinationOnly))
+    }
+}
+
+fn bgp_graph() -> (Graph, canonical::Fig4Roles) {
+    canonical::fig4_bgp(SimDuration::from_millis(8), SimDuration::from_millis(12))
+}
+
+fn bgp_spawner(roles: canonical::Fig4Roles) -> impl Fn(NodeId) -> BgpProcess + 'static {
+    move |id| {
+        let internal = [roles.r1, roles.r2, roles.r3];
+        if id == roles.er1 || id == roles.er2 {
+            BgpProcess::new(id, Role::External { border: roles.r1 }, DecisionMode::BuggyIncremental)
+        } else if id == roles.er3 {
+            BgpProcess::new(id, Role::External { border: roles.r2 }, DecisionMode::BuggyIncremental)
+        } else {
+            let peers = internal.iter().copied().filter(|&p| p != id).collect();
+            BgpProcess::new(id, Role::Internal { ibgp_peers: peers }, DecisionMode::BuggyIncremental)
+        }
+    }
+}
+
+fn record_rip(path: &str) -> std::io::Result<()> {
+    let (g, roles) = rip_graph();
+    let mut net = RbNetwork::new(&g, DefinedConfig::default(), 2, 0.6, rip_spawner(&g));
+    net.inject_external(SimTime::from_millis(100), roles.dest, RipExt::Connect { prefix: RIP_DEST });
+    net.schedule_node(SimTime::from_secs(8), roles.r2, false);
+    net.run_until(SimTime::from_secs(26));
+    let via = net.control_plane(roles.r1).route(RIP_DEST).and_then(|r| r.next_hop);
+    let (rec, _) = net.into_recording();
+    std::fs::write(path, rec.to_bytes())?;
+    println!(
+        "recorded rip-blackhole: {} groups, {} externals, {} death cut(s) -> {path}",
+        rec.last_group,
+        rec.externals.len(),
+        rec.mutes.len(),
+    );
+    println!("production outcome: R1 routes {RIP_DEST} via {via:?} (R2 is dead — black hole)");
+    Ok(())
+}
+
+fn record_bgp(path: &str) -> std::io::Result<()> {
+    let (g, roles) = bgp_graph();
+    let mut net = RbNetwork::new(&g, DefinedConfig::default(), 1, 0.5, bgp_spawner(roles));
+    let [p1, p2, p3] = bgp::fig4_paths();
+    for (er, p) in [(roles.er1, p1), (roles.er2, p2), (roles.er3, p3)] {
+        net.inject_external(
+            SimTime::from_millis(700),
+            er,
+            bgp::BgpExt::Announce { prefix: BGP_PREFIX, attrs: p },
+        );
+    }
+    net.run_until(SimTime::from_secs(4));
+    let best = net.control_plane(roles.r3).best_path(BGP_PREFIX).map(|p| p.route_id);
+    let (rec, _) = net.into_recording();
+    std::fs::write(path, rec.to_bytes())?;
+    println!(
+        "recorded bgp-med: {} groups, {} externals -> {path}",
+        rec.last_group,
+        rec.externals.len(),
+    );
+    println!("production outcome: R3 selects p{} (p3 would be correct)", best.unwrap_or(0));
+    Ok(())
+}
+
+fn read_script(arg: Option<&str>) -> std::io::Result<String> {
+    match arg {
+        Some(path) => std::fs::read_to_string(path),
+        None => {
+            let mut s = String::new();
+            std::io::stdin().read_to_string(&mut s)?;
+            Ok(s)
+        }
+    }
+}
+
+fn debug_rip(rec_path: &str, script: Option<&str>) -> std::io::Result<ExitCode> {
+    let bytes = std::fs::read(rec_path)?;
+    let Some(rec): Option<Recording<RipExt>> = Recording::from_bytes(&bytes) else {
+        eprintln!("{rec_path}: not a rip-blackhole recording");
+        return Ok(ExitCode::FAILURE);
+    };
+    let (g, _) = rip_graph();
+    let ls = LockstepNet::new(&g, DefinedConfig::default(), rec, rip_spawner(&g));
+    let mut session = DebugSession::new(Debugger::new(ls), g.node_count());
+    print!("{}", session.run_script(&read_script(script)?));
+    Ok(ExitCode::SUCCESS)
+}
+
+fn debug_bgp(rec_path: &str, script: Option<&str>) -> std::io::Result<ExitCode> {
+    let bytes = std::fs::read(rec_path)?;
+    let Some(rec): Option<Recording<bgp::BgpExt>> = Recording::from_bytes(&bytes) else {
+        eprintln!("{rec_path}: not a bgp-med recording");
+        return Ok(ExitCode::FAILURE);
+    };
+    let (g, roles) = bgp_graph();
+    let ls = LockstepNet::new(&g, DefinedConfig::default(), rec, bgp_spawner(roles));
+    let mut session = DebugSession::new(Debugger::new(ls), g.node_count());
+    print!("{}", session.run_script(&read_script(script)?));
+    Ok(ExitCode::SUCCESS)
+}
+
+fn main() -> ExitCode {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let result = match args.as_slice() {
+        [cmd] if cmd == "scenarios" => {
+            println!("rip-blackhole  Quagga 0.96.5 RIP timer-refresh black hole (Fig. 5)");
+            println!("bgp-med        XORP 0.4 BGP MED ordering bug network (Fig. 4)");
+            return ExitCode::SUCCESS;
+        }
+        [cmd, scenario, path] if cmd == "record" => match scenario.as_str() {
+            "rip-blackhole" => record_rip(path).map(|()| ExitCode::SUCCESS),
+            "bgp-med" => record_bgp(path).map(|()| ExitCode::SUCCESS),
+            other => {
+                eprintln!("unknown scenario: {other} (try `defined-dbg scenarios`)");
+                return ExitCode::FAILURE;
+            }
+        },
+        [cmd, scenario, path, rest @ ..] if cmd == "debug" && rest.len() <= 1 => {
+            let script = rest.first().map(|s| s.as_str());
+            match scenario.as_str() {
+                "rip-blackhole" => debug_rip(path, script),
+                "bgp-med" => debug_bgp(path, script),
+                other => {
+                    eprintln!("unknown scenario: {other} (try `defined-dbg scenarios`)");
+                    return ExitCode::FAILURE;
+                }
+            }
+        }
+        _ => return usage(),
+    };
+    match result {
+        Ok(code) => code,
+        Err(e) => {
+            eprintln!("defined-dbg: {e}");
+            ExitCode::FAILURE
+        }
+    }
+}

@@ -1,0 +1,28 @@
+//! Umbrella crate for the DEFINED reproduction.
+//!
+//! DEFINED (Lin et al., USENIX ATC 2013) provides deterministic execution
+//! for interactive control-plane debugging: a production network is
+//! instrumented so that message orderings and timer firings become
+//! deterministic (DEFINED-RB), a partial recording of external events is
+//! taken, and a lockstep debugging network (DEFINED-LS) reproduces the
+//! execution exactly for interactive stepping.
+//!
+//! This crate re-exports the workspace:
+//!
+//! * [`netsim`] — deterministic discrete-event network simulator;
+//! * [`topology`] — graphs, ISP-like topologies, trace synthesis;
+//! * [`routing`] — OSPF-, BGP-, and RIP-like control planes (with the
+//!   paper's case-study bugs behind toggles);
+//! * [`checkpoint`] — snapshot strategies with page-level accounting;
+//! * [`core`] — the DEFINED-RB and DEFINED-LS engines, the recorder, the
+//!   debugger, and the threaded lockstep runtime.
+//!
+//! See `examples/quickstart.rs` for the end-to-end flow.
+
+#![warn(missing_docs)]
+
+pub use checkpoint;
+pub use defined_core as core;
+pub use netsim;
+pub use routing;
+pub use topology;

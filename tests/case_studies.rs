@@ -1,0 +1,173 @@
+//! The paper's two case studies (§4) as assertions: both bugs are
+//! nondeterministic without DEFINED, deterministic with it, reproducible
+//! from partial recordings, and fixed by the validated patches.
+
+use defined::core::{DefinedConfig, LockstepNet, RbNetwork};
+use defined::netsim::{NodeId, SimDuration, SimTime};
+use defined::routing::bgp::{fig4_paths, BgpExt, BgpProcess, DecisionMode, Role};
+use defined::routing::rip::{RefreshMode, RipConfig, RipExt, RipProcess};
+use defined::routing::ControlPlane;
+use defined::topology::canonical;
+
+const PREFIX: u32 = 9;
+const DEST: u32 = 77;
+
+fn bgp_processes(roles: &canonical::Fig4Roles, mode: DecisionMode) -> Vec<BgpProcess> {
+    let internal = [roles.r1, roles.r2, roles.r3];
+    (0..6u32)
+        .map(|i| {
+            let id = NodeId(i);
+            if id == roles.er1 || id == roles.er2 {
+                BgpProcess::new(id, Role::External { border: roles.r1 }, mode)
+            } else if id == roles.er3 {
+                BgpProcess::new(id, Role::External { border: roles.r2 }, mode)
+            } else {
+                let peers = internal.iter().copied().filter(|&p| p != id).collect();
+                BgpProcess::new(id, Role::Internal { ibgp_peers: peers }, mode)
+            }
+        })
+        .collect()
+}
+
+fn bgp_rb_run(seed: u64, mode: DecisionMode) -> (RbNetwork<BgpProcess>, canonical::Fig4Roles) {
+    let (graph, roles) =
+        canonical::fig4_bgp(SimDuration::from_millis(8), SimDuration::from_millis(12));
+    let procs = bgp_processes(&roles, mode);
+    let mut net = RbNetwork::new(&graph, DefinedConfig::default(), seed, 0.9, move |id| {
+        procs[id.index()].clone()
+    });
+    let [p1, p2, p3] = fig4_paths();
+    for (er, p) in [(roles.er1, p1), (roles.er2, p2), (roles.er3, p3)] {
+        net.inject_external(
+            SimTime::from_millis(700),
+            er,
+            BgpExt::Announce { prefix: PREFIX, attrs: p },
+        );
+    }
+    net.run_until(SimTime::from_secs(5));
+    (net, roles)
+}
+
+#[test]
+fn bgp_baseline_outcome_is_order_dependent() {
+    // Directly exercise the decision process over all arrival orders: the
+    // buggy mode must disagree with the correct one on some order.
+    let [p1, p2, p3] = fig4_paths();
+    let orders =
+        [[p1, p2, p3], [p1, p3, p2], [p2, p1, p3], [p2, p3, p1], [p3, p1, p2], [p3, p2, p1]];
+    let mut buggy_results = std::collections::BTreeSet::new();
+    for order in orders {
+        let mut r = BgpProcess::new(
+            NodeId(0),
+            Role::Internal { ibgp_peers: vec![] },
+            DecisionMode::BuggyIncremental,
+        );
+        let mut out = defined::routing::Outbox::new();
+        for p in order {
+            r.on_message(NodeId(1), &defined::routing::bgp::BgpMsg::Update { prefix: PREFIX, attrs: p }, &mut out);
+        }
+        buggy_results.insert(r.best_path(PREFIX).unwrap().route_id);
+    }
+    assert!(buggy_results.len() > 1, "bug must be order-dependent: {buggy_results:?}");
+    assert!(buggy_results.contains(&2), "the paper's wrong outcome p2 must occur");
+}
+
+#[test]
+fn bgp_rb_is_deterministic_across_seeds() {
+    let mut outcome = None;
+    for seed in 0..6u64 {
+        let (net, roles) = bgp_rb_run(seed, DecisionMode::BuggyIncremental);
+        let best = net.control_plane(roles.r3).best_path(PREFIX).map(|p| p.route_id);
+        assert!(best.is_some(), "R3 must have selected a path");
+        if let Some(prev) = outcome {
+            assert_eq!(prev, best, "seed {seed} changed the outcome");
+        }
+        outcome = Some(best);
+    }
+}
+
+#[test]
+fn bgp_ls_reproduces_and_patch_validates() {
+    let (net, roles) = bgp_rb_run(0, DecisionMode::BuggyIncremental);
+    let production_best =
+        net.control_plane(roles.r3).best_path(PREFIX).map(|p| p.route_id);
+    let (rec, _) = net.into_recording();
+    assert_eq!(rec.externals.len(), 3, "three announcements recorded");
+
+    // Replay with the buggy decision: same outcome as production.
+    let (graph, _) = canonical::fig4_bgp(SimDuration::from_millis(8), SimDuration::from_millis(12));
+    let procs = bgp_processes(&roles, DecisionMode::BuggyIncremental);
+    let mut ls =
+        LockstepNet::new(&graph, DefinedConfig::default(), rec.clone(), move |id| procs[id.index()].clone());
+    ls.run_to_end();
+    assert_eq!(
+        ls.control_plane(roles.r3).best_path(PREFIX).map(|p| p.route_id),
+        production_best,
+        "debugging network must mirror production"
+    );
+
+    // Replay with the patch: correct best path p3.
+    let procs = bgp_processes(&roles, DecisionMode::CorrectFull);
+    let mut patched =
+        LockstepNet::new(&graph, DefinedConfig::default(), rec, move |id| procs[id.index()].clone());
+    patched.run_to_end();
+    assert_eq!(
+        patched.control_plane(roles.r3).best_path(PREFIX).map(|p| p.route_id),
+        Some(3)
+    );
+}
+
+fn rip_processes(g: &defined::topology::Graph, mode: RefreshMode) -> Vec<RipProcess> {
+    let cfg = RipConfig::emulation(mode);
+    (0..g.node_count() as u32)
+        .map(|i| RipProcess::new(NodeId(i), g.neighbors(NodeId(i)), cfg))
+        .collect()
+}
+
+fn rip_rb_run(seed: u64, mode: RefreshMode) -> (RbNetwork<RipProcess>, canonical::Fig5Roles) {
+    let (graph, roles) = canonical::fig5_rip(SimDuration::from_millis(10));
+    let procs = rip_processes(&graph, mode);
+    let mut net = RbNetwork::new(&graph, DefinedConfig::default(), seed, 0.9, move |id| {
+        procs[id.index()].clone()
+    });
+    net.inject_external(SimTime::from_millis(100), roles.dest, RipExt::Connect { prefix: DEST });
+    net.schedule_node(SimTime::from_secs(8), roles.r2, false);
+    net.run_until(SimTime::from_secs(26));
+    (net, roles)
+}
+
+#[test]
+fn rip_rb_is_deterministic_across_seeds() {
+    let mut outcome = None;
+    for seed in 0..5u64 {
+        let (net, roles) = rip_rb_run(seed, RefreshMode::DestinationOnly);
+        let via = net.control_plane(roles.r1).route(DEST).and_then(|r| r.next_hop);
+        if let Some(prev) = outcome {
+            assert_eq!(prev, via, "seed {seed} changed the outcome");
+        }
+        outcome = Some(via);
+    }
+}
+
+#[test]
+fn rip_buggy_mode_refreshes_from_backup() {
+    let (net, roles) = rip_rb_run(0, RefreshMode::DestinationOnly);
+    // Under the bug, R1 records refreshes triggered by R3's announcements
+    // (matching destination only) — far more than the correct mode allows.
+    let buggy_refreshes = net.control_plane(roles.r1).refresh_count(DEST);
+    let (net_fixed, _) = rip_rb_run(0, RefreshMode::DestinationAndNextHop);
+    let fixed_refreshes = net_fixed.control_plane(roles.r1).refresh_count(DEST);
+    assert!(
+        buggy_refreshes > fixed_refreshes + 5,
+        "bug inflates refreshes: buggy={buggy_refreshes} fixed={fixed_refreshes}"
+    );
+}
+
+#[test]
+fn rip_patch_restores_failover() {
+    let (net, roles) = rip_rb_run(0, RefreshMode::DestinationAndNextHop);
+    let via = net.control_plane(roles.r1).route(DEST).and_then(|r| r.next_hop);
+    // With the patch, R1 must have failed over off the dead router.
+    assert_ne!(via, Some(roles.r2), "patched RIP must not keep the dead next hop");
+    assert_eq!(via, Some(roles.r3));
+}

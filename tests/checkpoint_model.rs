@@ -1,0 +1,147 @@
+//! Model-based property tests for the checkpoint store.
+//!
+//! The store underpins every rollback: if `restore` ever reconstructs the
+//! wrong state, DEFINED silently replays from a corrupt base and every
+//! theorem downstream is void. The model is a plain map from checkpoint id
+//! to a deep copy of the state; the store (under each strategy, including
+//! the page-diffing `MemIntercept`) must agree with it under arbitrary
+//! interleavings of checkpoint / mutate / restore / truncate / release.
+
+use defined::checkpoint::{Checkpointer, Snapshotable, Strategy as CkptStrategy};
+use proptest::prelude::*;
+use std::collections::BTreeMap;
+
+/// A routing-table-like state: large enough to span pages, mutated in
+/// place.
+#[derive(Clone, Debug, PartialEq)]
+struct Table {
+    cells: Vec<u64>,
+}
+
+impl Snapshotable for Table {
+    fn encode(&self, buf: &mut Vec<u8>) {
+        buf.extend_from_slice(&(self.cells.len() as u64).to_le_bytes());
+        for c in &self.cells {
+            buf.extend_from_slice(&c.to_le_bytes());
+        }
+    }
+    fn decode(bytes: &[u8]) -> Option<Self> {
+        let n = u64::from_le_bytes(bytes.get(..8)?.try_into().ok()?) as usize;
+        let mut cells = Vec::with_capacity(n);
+        for i in 0..n {
+            let off = 8 + i * 8;
+            cells.push(u64::from_le_bytes(bytes.get(off..off + 8)?.try_into().ok()?));
+        }
+        Some(Table { cells })
+    }
+}
+
+#[derive(Clone, Debug)]
+enum Op {
+    Checkpoint,
+    /// Poke `cells[i % len] = v`.
+    Mutate(usize, u64),
+    /// Restore the `k`-th oldest retained checkpoint (if any) and truncate
+    /// everything at or after it — the rollback pattern.
+    Rollback(usize),
+    /// Release the oldest `k` retained checkpoints — the commit pattern.
+    Release(usize),
+}
+
+fn op() -> impl Strategy<Value = Op> {
+    prop_oneof![
+        3 => Just(Op::Checkpoint),
+        4 => (any::<usize>(), any::<u64>()).prop_map(|(i, v)| Op::Mutate(i, v)),
+        2 => (0usize..6).prop_map(Op::Rollback),
+        1 => (0usize..4).prop_map(Op::Release),
+    ]
+}
+
+fn run_model(strategy: CkptStrategy, ops: &[Op], size: usize) {
+    let mut cp: Checkpointer<Table> = Checkpointer::new(strategy);
+    let mut state = Table { cells: (0..size as u64).collect() };
+    // The model: retained ids in order, each with its full expected state.
+    let mut model: BTreeMap<u64, Table> = BTreeMap::new();
+    for o in ops {
+        match o {
+            Op::Checkpoint => {
+                let id = cp.checkpoint(&state);
+                model.insert(id.0, state.clone());
+            }
+            Op::Mutate(i, v) => {
+                let n = state.cells.len();
+                state.cells[i % n] = *v;
+            }
+            Op::Rollback(k) => {
+                let ids: Vec<u64> = model.keys().copied().collect();
+                if let Some(&target) = ids.get(*k % ids.len().max(1)) {
+                    let restored =
+                        cp.restore(defined::checkpoint::CheckpointId(target)).expect("retained");
+                    assert_eq!(restored, model[&target], "restore must match the model");
+                    state = restored;
+                    cp.truncate_from(defined::checkpoint::CheckpointId(target));
+                    model.retain(|&id, _| id < target);
+                }
+            }
+            Op::Release(k) => {
+                let ids: Vec<u64> = model.keys().copied().collect();
+                if let Some(&cut) = ids.get(*k % ids.len().max(1)) {
+                    cp.release_before(defined::checkpoint::CheckpointId(cut));
+                    model.retain(|&id, _| id >= cut);
+                }
+            }
+        }
+        assert_eq!(cp.len(), model.len(), "retained count must match the model");
+    }
+    // Every still-retained checkpoint restores to exactly the model state.
+    for (&id, expect) in &model {
+        let got = cp.restore(defined::checkpoint::CheckpointId(id)).expect("retained");
+        assert_eq!(&got, expect, "checkpoint {id} must survive the op sequence");
+    }
+    // Memory accounting stays coherent.
+    let stats = cp.stats();
+    assert_eq!(stats.retained, model.len());
+    assert!(stats.physical_bytes <= stats.virtual_bytes.max(1));
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig { cases: 64, .. ProptestConfig::default() })]
+
+    #[test]
+    fn clone_strategy_matches_model(ops in proptest::collection::vec(op(), 1..60)) {
+        run_model(CkptStrategy::CloneState, &ops, 2_000);
+    }
+
+    #[test]
+    fn fork_strategy_matches_model(ops in proptest::collection::vec(op(), 1..60)) {
+        run_model(CkptStrategy::Fork, &ops, 2_000);
+    }
+
+    #[test]
+    fn mem_intercept_matches_model(ops in proptest::collection::vec(op(), 1..60)) {
+        run_model(CkptStrategy::MemIntercept, &ops, 2_000);
+    }
+
+    /// MI's page sharing: under localized mutation, physical stays far
+    /// below virtual for long checkpoint chains.
+    #[test]
+    fn mi_shares_pages_under_local_mutation(
+        pokes in proptest::collection::vec((0usize..64, any::<u64>()), 20..40),
+    ) {
+        let mut cp: Checkpointer<Table> = Checkpointer::new(CkptStrategy::MemIntercept);
+        let mut t = Table { cells: (0..50_000).collect() }; // ~400 KiB
+        cp.checkpoint(&t);
+        for (i, v) in pokes {
+            t.cells[i] = v; // All pokes land in the first page.
+            cp.checkpoint(&t);
+        }
+        let s = cp.stats();
+        prop_assert!(s.retained >= 21);
+        prop_assert!(
+            (s.physical_bytes as f64) < (s.virtual_bytes as f64) * 0.1,
+            "physical {} vs virtual {}",
+            s.physical_bytes,
+            s.virtual_bytes,
+        );
+    }
+}

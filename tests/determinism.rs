@@ -1,0 +1,155 @@
+//! Cross-crate property tests of the paper's two theorems.
+//!
+//! * Theorem 1 (Reproducibility): replaying the partial recording of an
+//!   RB-instrumented production run in the lockstep debugging network
+//!   reproduces its execution exactly.
+//! * Theorem 2 (Termination): with a finite set of external events, the
+//!   instrumented network keeps making progress — every run reaches the end
+//!   of its horizon with bounded histories and no deadlock.
+//! * Headline determinism: the committed execution is independent of the
+//!   network nondeterminism seed.
+
+use defined::core::ls::first_divergence;
+use defined::core::recorder::trim_log;
+use defined::core::{DefinedConfig, LockstepNet, OrderingMode, RbNetwork};
+use defined::netsim::{NodeId, SimDuration, SimTime};
+use defined::routing::ospf::{OspfConfig, OspfProcess};
+use defined::topology::{brite, canonical, Graph};
+use proptest::prelude::*;
+
+fn topology(kind: u8, n: usize) -> Graph {
+    let delay = SimDuration::from_millis(4);
+    match kind % 4 {
+        0 => canonical::ring(n.max(3), delay),
+        1 => canonical::grid(2, n.max(4) / 2, delay),
+        2 => brite::barabasi_albert(n.max(5), 2, 7 + n as u64),
+        _ => brite::waxman(n.max(5), brite::WaxmanParams::default(), 11 + n as u64),
+    }
+}
+
+fn spawners(g: &Graph) -> Vec<OspfProcess> {
+    let f = OspfProcess::for_graph(g, OspfConfig::stress(g.node_count()));
+    (0..g.node_count()).map(|i| f(NodeId(i as u32))).collect()
+}
+
+fn run_production(
+    g: &Graph,
+    cfg: &DefinedConfig,
+    seed: u64,
+    jitter: f64,
+    fail_edge: Option<usize>,
+    secs: u64,
+) -> RbNetwork<OspfProcess> {
+    let procs = spawners(g);
+    let mut net = RbNetwork::new(g, cfg.clone(), seed, jitter, move |id| procs[id.index()].clone());
+    if let Some(ei) = fail_edge {
+        let e = g.edges()[ei % g.edge_count()];
+        net.schedule_link(SimTime::from_secs(2), e.a, e.b, false);
+        net.schedule_link(SimTime::from_secs(secs.saturating_sub(2).max(3)), e.a, e.b, true);
+    }
+    net.run_until(SimTime::from_secs(secs));
+    net
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig { cases: 8, .. ProptestConfig::default() })]
+
+    /// Headline: committed executions are identical across jitter seeds.
+    #[test]
+    fn determinism_across_seeds(
+        kind in 0u8..4,
+        n in 4usize..9,
+        seeds in (0u64..10_000, 0u64..10_000),
+        jitter in 0.1f64..0.9,
+        fail in proptest::option::of(0usize..8),
+    ) {
+        prop_assume!(seeds.0 != seeds.1);
+        let g = topology(kind, n);
+        let cfg = DefinedConfig::default();
+        let a = run_production(&g, &cfg, seeds.0, jitter, fail, 6);
+        let b = run_production(&g, &cfg, seeds.1, jitter, fail, 6);
+        let upto = a.completed_group(2).min(b.completed_group(2));
+        prop_assert!(upto >= 4, "run too short: {upto}");
+        let la = a.commit_logs();
+        let lb = b.commit_logs();
+        for (i, (x, y)) in la.iter().zip(lb.iter()).enumerate() {
+            prop_assert_eq!(
+                trim_log(x, upto),
+                trim_log(y, upto),
+                "node {} diverged across seeds", i
+            );
+        }
+    }
+
+    /// Theorem 1: LS replay equals the RB production execution.
+    #[test]
+    fn theorem1_ls_reproduces_rb(
+        kind in 0u8..4,
+        n in 4usize..9,
+        seed in 0u64..10_000,
+        jitter in 0.1f64..0.9,
+        ordering in prop_oneof![Just(OrderingMode::Optimized), Just(OrderingMode::Random)],
+        fail in proptest::option::of(0usize..8),
+    ) {
+        let g = topology(kind, n);
+        let cfg = DefinedConfig { ordering, ..DefinedConfig::default() };
+        let net = run_production(&g, &cfg, seed, jitter, fail, 6);
+        let upto = net.completed_group(2);
+        let (rec, rb_logs) = net.into_recording();
+        let procs = spawners(&g);
+        let mut ls = LockstepNet::new(&g, cfg, rec, move |id| procs[id.index()].clone());
+        ls.run_to_end();
+        let div = first_divergence(&rb_logs, ls.logs(), upto);
+        prop_assert!(div.is_none(), "divergence: {:?}", div);
+    }
+
+    /// Theorem 2: runs terminate with bounded rollback activity; histories
+    /// stay bounded under the commit horizon and no deadlock occurs.
+    #[test]
+    fn theorem2_progress_under_rollbacks(
+        kind in 0u8..4,
+        n in 4usize..9,
+        seed in 0u64..10_000,
+    ) {
+        let g = topology(kind, n);
+        let cfg = DefinedConfig {
+            commit_horizon: Some(SimDuration::from_secs(2)),
+            strategy: checkpoint::Strategy::MemIntercept,
+            ..DefinedConfig::default()
+        };
+        // Maximal jitter provokes the most rollbacks.
+        let net = run_production(&g, &cfg, seed, 0.95, Some(1), 8);
+        let m = net.total_metrics();
+        prop_assert_eq!(m.window_violations, 0);
+        // Progress: every node advanced its virtual time close to the end.
+        for i in 0..g.node_count() {
+            let grp = net.sim().process(NodeId(i as u32)).current_group();
+            prop_assert!(grp >= 28, "node {} stalled at group {}", i, grp);
+        }
+        // Histories bounded by the GC horizon.
+        for i in 0..g.node_count() {
+            let len = net.sim().process(NodeId(i as u32)).history_len();
+            prop_assert!(len < 600, "node {} history {}", i, len);
+        }
+    }
+}
+
+/// Deterministic equality must also hold for the protocol state itself, not
+/// just the event logs.
+#[test]
+fn state_digests_match_across_seeds() {
+    let g = canonical::ring(6, SimDuration::from_millis(4));
+    let cfg = DefinedConfig::default();
+    let run = |seed| {
+        let net = run_production(&g, &cfg, seed, 0.7, Some(0), 10);
+        (0..6)
+            .map(|i| {
+                use defined::routing::Snapshotable;
+                net.control_plane(NodeId(i)).digest()
+            })
+            .collect::<Vec<_>>()
+    };
+    // Final tables depend only on committed events; allow the last groups to
+    // settle by running well past the failure.
+    assert_eq!(run(1), run(2));
+}

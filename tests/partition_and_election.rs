@@ -1,0 +1,228 @@
+//! Partitions, beacon gaps, and source failover — the hard cases of
+//! virtual-time maintenance (paper §2.2's leader election and footnote 2's
+//! subnetwork caveat).
+//!
+//! These scenarios are exactly where naive beacon handling breaks: nodes cut
+//! off from the source must skip ticks and jump forward on heal; a crashed
+//! source must be replaced without virtual time stalling or regressing; and
+//! none of it may depend on per-packet network noise, or determinism across
+//! seeds — and with it Theorem 1 — would quietly rot.
+
+use defined::core::ls::first_divergence;
+use defined::core::recorder::trim_log;
+use defined::core::{DefinedConfig, LockstepNet, RbNetwork};
+use defined::netsim::{NodeId, SimDuration, SimTime};
+use defined::routing::ospf::{OspfConfig, OspfProcess};
+use defined::topology::{canonical, Graph};
+
+fn spawners(g: &Graph) -> Vec<OspfProcess> {
+    let f = OspfProcess::for_graph(g, OspfConfig::stress(g.node_count()));
+    (0..g.node_count()).map(|i| f(NodeId(i as u32))).collect()
+}
+
+fn line_net(seed: u64, jitter: f64) -> (Graph, RbNetwork<OspfProcess>) {
+    let g = canonical::line(6, SimDuration::from_millis(5));
+    let procs = spawners(&g);
+    let net = RbNetwork::new(&g, DefinedConfig::default(), seed, jitter, move |id| {
+        procs[id.index()].clone()
+    });
+    (g, net)
+}
+
+/// A short partition (under the watchdog threshold, so no election): the far
+/// side misses beacon ticks, the recording says so, and the healed node
+/// jumps its virtual time forward instead of replaying the gap.
+#[test]
+fn short_partition_skips_ticks_and_heals() {
+    let (_g, mut net) = line_net(3, 0.4);
+    // Cut the line between n2 and n3 for 0.9 s (watchdog needs 1 s).
+    net.schedule_link(SimTime::from_millis(2000), NodeId(2), NodeId(3), false);
+    net.schedule_link(SimTime::from_millis(2900), NodeId(2), NodeId(3), true);
+    net.run_until(SimTime::from_secs(6));
+    let (rec, _) = net.into_recording();
+
+    let groups_of = |node: u32| -> Vec<u64> {
+        rec.ticks.iter().filter(|t| t.node == NodeId(node)).map(|t| t.group).collect()
+    };
+    // Node 0 (source side) ticks contiguously.
+    let near = groups_of(0);
+    assert!(
+        near.windows(2).all(|w| w[1] == w[0] + 1),
+        "source side must not skip ticks: {near:?}",
+    );
+    // Node 5 (far side) has a gap of roughly the partition length.
+    let far = groups_of(5);
+    let max_jump = far.windows(2).map(|w| w[1] - w[0]).max().unwrap_or(0);
+    assert!(
+        (2..=6).contains(&max_jump),
+        "far side must skip ~3 ticks across the cut: jump {max_jump}, ticks {far:?}",
+    );
+    // No election happened: every tick still announced by the initial source.
+    assert!(rec.ticks.iter().all(|t| t.source == NodeId(0)));
+}
+
+/// Theorem 1 across a partition: the lockstep replay — driven by the
+/// recorded tick schedule — reproduces the production execution exactly,
+/// including the virtual-time jump at the healed node.
+#[test]
+fn theorem1_holds_across_partition() {
+    let (g, mut net) = line_net(7, 0.6);
+    net.schedule_link(SimTime::from_millis(2000), NodeId(2), NodeId(3), false);
+    net.schedule_link(SimTime::from_millis(4200), NodeId(2), NodeId(3), true);
+    net.run_until(SimTime::from_secs(7));
+    let upto = net.completed_group(2);
+    let (rec, rb_logs) = net.into_recording();
+    assert!(upto > 15, "run must cover the partition window: {upto}");
+
+    let procs = spawners(&g);
+    let mut ls = LockstepNet::new(&g, DefinedConfig::default(), rec, move |id| {
+        procs[id.index()].clone()
+    });
+    ls.run_to_end();
+    let div = first_divergence(&rb_logs, ls.logs(), upto);
+    assert!(div.is_none(), "divergence across partition: {div:?}");
+}
+
+/// Cross-seed determinism with a partition in the middle: the committed
+/// execution is a function of the recorded externals, not the jitter seed.
+/// (This exact scenario regresses if beacons or anti-messages ride the
+/// jittery data channel.)
+#[test]
+fn committed_logs_identical_across_seeds_with_partition() {
+    let run = |seed: u64| {
+        let (_g, mut net) = line_net(seed, 0.8);
+        net.schedule_link(SimTime::from_millis(2000), NodeId(2), NodeId(3), false);
+        net.schedule_link(SimTime::from_millis(4200), NodeId(2), NodeId(3), true);
+        net.run_until(SimTime::from_secs(7));
+        let upto = net.completed_group(2);
+        (upto, net.commit_logs())
+    };
+    let (ua, la) = run(1);
+    let (ub, lb) = run(31337);
+    let upto = ua.min(ub);
+    assert!(upto > 15);
+    for (i, (x, y)) in la.iter().zip(lb.iter()).enumerate() {
+        assert_eq!(trim_log(x, upto), trim_log(y, upto), "node {i} diverged across seeds");
+    }
+}
+
+/// Source failover: when the beacon source crashes, a survivor claims the
+/// role, virtual time keeps advancing at roughly the beacon rate (the
+/// claimant estimates the ticks missed during the silence), and the tick
+/// records name the new source.
+#[test]
+fn source_crash_fails_over_without_stalling_virtual_time() {
+    let (_g, mut net) = line_net(5, 0.3);
+    net.schedule_node(SimTime::from_secs(3), NodeId(0), false);
+    net.run_until(SimTime::from_secs(10));
+    // 10 s at 4 groups/s = ~40 groups; allow a couple of beacon intervals
+    // for the watchdog + claim back-off dead time.
+    for i in 1..6u32 {
+        let grp = net.sim().process(NodeId(i)).current_group();
+        assert!(grp >= 33, "node {i} stalled at group {grp} after failover");
+    }
+    let (rec, _) = net.into_recording();
+    // The tick schedule switches source: n0 before the crash, a survivor
+    // afterwards (n1 has the shortest claim back-off).
+    let sources: Vec<NodeId> = {
+        let mut s: Vec<NodeId> =
+            rec.ticks.iter().filter(|t| t.node == NodeId(3)).map(|t| t.source).collect();
+        s.dedup();
+        s
+    };
+    assert_eq!(sources, vec![NodeId(0), NodeId(1)], "failover must hand over to n1");
+}
+
+/// Failover is itself deterministic: different jitter seeds elect the same
+/// claimant at the same group and commit identical logs.
+#[test]
+fn failover_is_deterministic_across_seeds() {
+    let run = |seed: u64| {
+        let (_g, mut net) = line_net(seed, 0.7);
+        net.schedule_node(SimTime::from_secs(3), NodeId(0), false);
+        net.run_until(SimTime::from_secs(9));
+        let upto = net.completed_group(2);
+        (upto, net.commit_logs())
+    };
+    let (ua, la) = run(17);
+    let (ub, lb) = run(7700);
+    let upto = ua.min(ub);
+    assert!(upto > 25);
+    for (i, (x, y)) in la.iter().zip(lb.iter()).enumerate() {
+        assert_eq!(trim_log(x, upto), trim_log(y, upto), "node {i} diverged across seeds");
+    }
+}
+
+/// Theorem 1 still holds when the recording spans a source failover: LS
+/// replays the dead source's death cut and the claimant's ticks.
+#[test]
+fn theorem1_holds_across_failover() {
+    let (g, mut net) = line_net(11, 0.5);
+    net.schedule_node(SimTime::from_secs(3), NodeId(0), false);
+    net.run_until(SimTime::from_secs(9));
+    let upto = net.completed_group(2);
+    let (rec, rb_logs) = net.into_recording();
+    assert!(rec.mutes.iter().any(|m| m.node == NodeId(0)), "dead source has a death cut");
+
+    let procs = spawners(&g);
+    let mut ls = LockstepNet::new(&g, DefinedConfig::default(), rec, move |id| {
+        procs[id.index()].clone()
+    });
+    ls.run_to_end();
+    let div = first_divergence(&rb_logs, ls.logs(), upto);
+    assert!(div.is_none(), "divergence across failover: {div:?}");
+}
+
+/// The GVT bound (Theorem 2's progress witness) stays monotone through a
+/// partition *and* a source failover, and fossil collection keeps histories
+/// bounded across both.
+#[test]
+fn gvt_progresses_through_partition_and_failover() {
+    use defined::core::gvt::{fossil_collect, GvtMonitor};
+    let (_g, mut net) = line_net(9, 0.6);
+    // Partition 2–4.2 s, then the healed source dies at 6 s.
+    net.schedule_link(SimTime::from_millis(2000), NodeId(2), NodeId(3), false);
+    net.schedule_link(SimTime::from_millis(4200), NodeId(2), NodeId(3), true);
+    net.schedule_node(SimTime::from_secs(6), NodeId(0), false);
+    let mut mon = GvtMonitor::new();
+    for tick in 1..=40u64 {
+        net.run_until(SimTime::ZERO + SimDuration::from_millis(250) * tick);
+        fossil_collect(&mut net, 3);
+        mon.observe(&net);
+    }
+    assert!(mon.is_monotone(), "GVT regressed: {:?}", mon.samples());
+    assert!(mon.total_advance() >= 25, "advance {}", mon.total_advance());
+    // Liveness pauses during the failover dead time are bounded: within any
+    // 16 samples (4 s) the bound moved.
+    assert!(mon.progresses_within(16));
+    assert_eq!(net.total_metrics().window_violations, 0);
+    for i in 1..6u32 {
+        let len = net.sim().process(NodeId(i)).history_len();
+        assert!(len < 400, "node {i} history {len} bounded by fossil collection");
+    }
+}
+
+/// Lazy cancellation is engaged and effective under heavy jitter: rollbacks
+/// happen, most retracted sends are regenerated identically (kept), and the
+/// anti-message traffic stays a small fraction of application traffic.
+#[test]
+fn lazy_cancellation_tames_antimessage_traffic() {
+    let (_g, mut net) = line_net(13, 0.9);
+    net.run_until(SimTime::from_secs(8));
+    let m = net.total_metrics();
+    assert!(m.rollbacks > 0, "heavy jitter must force rollbacks");
+    assert!(m.lazy_hits > 0, "replays must regenerate identical sends");
+    assert!(
+        m.unsent_ids < m.lazy_hits,
+        "most retractions should be absorbed lazily: unsent {} vs lazy {}",
+        m.unsent_ids,
+        m.lazy_hits,
+    );
+    assert!(
+        m.unsend_msgs * 10 < m.app_msgs_sent,
+        "anti-messages ({}) must stay well under app traffic ({})",
+        m.unsend_msgs,
+        m.app_msgs_sent,
+    );
+    assert_eq!(m.window_violations, 0);
+}

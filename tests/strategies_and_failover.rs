@@ -1,0 +1,172 @@
+//! Integration tests for checkpoint-strategy equivalence, recorded-loss
+//! replay, beacon-source failover, and checkpoint-granularity correctness.
+
+use defined::core::ls::first_divergence;
+use defined::core::recorder::trim_log;
+use defined::core::{DefinedConfig, LockstepNet, RbNetwork};
+use defined::netsim::{NodeId, SimDuration, SimTime};
+use defined::routing::ospf::{OspfConfig, OspfProcess};
+use defined::topology::canonical;
+use defined::topology::Graph;
+
+fn spawners(g: &Graph) -> Vec<OspfProcess> {
+    let f = OspfProcess::for_graph(g, OspfConfig::stress(g.node_count()));
+    (0..g.node_count()).map(|i| f(NodeId(i as u32))).collect()
+}
+
+fn run(g: &Graph, cfg: DefinedConfig, seed: u64) -> RbNetwork<OspfProcess> {
+    let procs = spawners(g);
+    let mut net = RbNetwork::new(g, cfg, seed, 0.7, move |id| procs[id.index()].clone());
+    net.schedule_link(SimTime::from_secs(2), NodeId(0), NodeId(1), false);
+    net.run_until(SimTime::from_secs(7));
+    net
+}
+
+/// The committed execution must be identical regardless of the checkpoint
+/// storage strategy — strategies change cost, never semantics.
+#[test]
+fn strategies_commit_identical_executions() {
+    let g = canonical::ring(5, SimDuration::from_millis(4));
+    let mut logs = Vec::new();
+    let mut upto = u64::MAX;
+    for strategy in [
+        checkpoint::Strategy::CloneState,
+        checkpoint::Strategy::Fork,
+        checkpoint::Strategy::MemIntercept,
+    ] {
+        let cfg = DefinedConfig { strategy, ..DefinedConfig::default() };
+        let net = run(&g, cfg, 4);
+        upto = upto.min(net.completed_group(2));
+        logs.push(net.commit_logs());
+    }
+    for pair in logs.windows(2) {
+        for (i, (a, b)) in pair[0].iter().zip(pair[1].iter()).enumerate() {
+            assert_eq!(trim_log(a, upto), trim_log(b, upto), "node {i}");
+        }
+    }
+}
+
+/// Checkpointing every k-th delivery (the paper's §3 optimisation) must not
+/// change the committed execution either — rollbacks just replay further.
+#[test]
+fn checkpoint_granularity_preserves_execution() {
+    let g = canonical::ring(5, SimDuration::from_millis(4));
+    let mut logs = Vec::new();
+    let mut upto = u64::MAX;
+    let mut rollback_entries = Vec::new();
+    for k in [1u32, 4, 16] {
+        let cfg = DefinedConfig { checkpoint_every: k, ..DefinedConfig::default() };
+        let net = run(&g, cfg, 9);
+        upto = upto.min(net.completed_group(2));
+        rollback_entries.push(net.total_metrics().rolled_entries);
+        logs.push(net.commit_logs());
+    }
+    for pair in logs.windows(2) {
+        for (i, (a, b)) in pair[0].iter().zip(pair[1].iter()).enumerate() {
+            assert_eq!(trim_log(a, upto), trim_log(b, upto), "node {i}");
+        }
+    }
+    // Sparser checkpoints force deeper replays (weakly monotone).
+    assert!(
+        rollback_entries[2] >= rollback_entries[0],
+        "k=16 should replay at least as much as k=1: {rollback_entries:?}"
+    );
+}
+
+/// Recorded message losses replay exactly: a lossy production run's
+/// recording reproduces in LS (Theorem 1 with footnote-4 loss replay).
+#[test]
+fn lossy_run_reproduces_via_drop_replay() {
+    // Loss is injected through link-down flaps, which kill in-flight
+    // packets; the recorder maps them to committed send indexes.
+    let g = canonical::grid(2, 3, SimDuration::from_millis(4));
+    let cfg = DefinedConfig::default();
+    let procs = spawners(&g);
+    let p2 = procs.clone();
+    let mut net = RbNetwork::new(&g, cfg.clone(), 17, 0.6, move |id| procs[id.index()].clone());
+    net.schedule_link(SimTime::from_millis(2_100), NodeId(0), NodeId(1), false);
+    net.schedule_link(SimTime::from_millis(3_600), NodeId(0), NodeId(1), true);
+    net.schedule_link(SimTime::from_millis(4_300), NodeId(2), NodeId(3), false);
+    net.schedule_link(SimTime::from_millis(5_900), NodeId(2), NodeId(3), true);
+    net.run_until(SimTime::from_secs(9));
+    let upto = net.completed_group(3);
+    let (rec, rb_logs) = net.into_recording();
+    assert!(!rec.drops.is_empty(), "flaps should have killed in-flight packets");
+    let mut ls = LockstepNet::new(&g, cfg, rec, move |id| p2[id.index()].clone());
+    ls.run_to_end();
+    let div = first_divergence(&rb_logs, ls.logs(), upto);
+    assert!(div.is_none(), "lossy replay diverged: {div:?}");
+}
+
+/// When the beacon source dies, the election installs a new source and
+/// virtual time keeps advancing (the paper's leader-election requirement).
+#[test]
+fn beacon_source_failover_keeps_time_advancing() {
+    let g = canonical::ring(5, SimDuration::from_millis(4));
+    let cfg = DefinedConfig::default();
+    let procs = spawners(&g);
+    let mut net = RbNetwork::new(&g, cfg, 3, 0.3, move |id| procs[id.index()].clone());
+    // Node 0 is the initial beacon source; kill it at 3 s.
+    net.schedule_node(SimTime::from_secs(3), NodeId(0), false);
+    net.run_until(SimTime::from_secs(3));
+    let group_at_death = (1..5)
+        .map(|i| net.sim().process(NodeId(i)).current_group())
+        .max()
+        .unwrap();
+    net.run_until(SimTime::from_secs(14));
+    for i in 1..5 {
+        let g_now = net.sim().process(NodeId(i)).current_group();
+        assert!(
+            g_now > group_at_death + 10,
+            "node {i}: virtual time stalled after source death ({group_at_death} -> {g_now})"
+        );
+    }
+}
+
+/// Groups remain strictly monotonic at every node across the failover.
+#[test]
+fn failover_groups_monotonic() {
+    let g = canonical::ring(4, SimDuration::from_millis(4));
+    let cfg = DefinedConfig::default();
+    let procs = spawners(&g);
+    let mut net = RbNetwork::new(&g, cfg, 8, 0.3, move |id| procs[id.index()].clone());
+    net.schedule_node(SimTime::from_secs(2), NodeId(0), false);
+    net.run_until(SimTime::from_secs(10));
+    for i in 1..4 {
+        let log = net.sim().process(NodeId(i)).commit_records();
+        let beacon_groups: Vec<u64> = log
+            .iter()
+            .filter(|r| r.ann.class == defined::core::EventClass::Beacon)
+            .map(|r| r.ann.group)
+            .collect();
+        assert!(
+            beacon_groups.windows(2).all(|w| w[0] < w[1]),
+            "node {i} beacon groups not strictly increasing: {beacon_groups:?}"
+        );
+    }
+}
+
+/// Determinism still holds with the production configuration (Fork
+/// checkpoints on arrival + GC horizon), not just the test defaults.
+#[test]
+fn production_config_end_to_end() {
+    let g = canonical::grid(2, 3, SimDuration::from_millis(4));
+    let cfg = DefinedConfig::production(SimDuration::from_secs(2));
+    let run_with = |seed| {
+        let procs = spawners(&g);
+        let mut net =
+            RbNetwork::new(&g, cfg.clone(), seed, 0.8, move |id| procs[id.index()].clone());
+        net.schedule_link(SimTime::from_secs(2), NodeId(1), NodeId(2), false);
+        net.run_until(SimTime::from_secs(8));
+        let upto = net.completed_group(3);
+        let m = net.total_metrics();
+        assert_eq!(m.window_violations, 0);
+        (net.commit_logs(), upto)
+    };
+    let (a, ua) = run_with(5);
+    let (b, ub) = run_with(6);
+    let upto = ua.min(ub);
+    for (i, (x, y)) in a.iter().zip(b.iter()).enumerate() {
+        assert_eq!(trim_log(x, upto), trim_log(y, upto), "node {i}");
+    }
+}
