@@ -1,0 +1,257 @@
+//! Offline shim for `criterion`.
+//!
+//! The build machine has no crates.io access, so this workspace vendors a
+//! minimal timing harness exposing the subset of the criterion API its
+//! benches use: [`Criterion`], benchmark groups, [`Bencher::iter`] /
+//! [`Bencher::iter_batched`], [`BenchmarkId`], [`black_box`], and the
+//! [`criterion_group!`] / [`criterion_main!`] macros.
+//!
+//! Statistics are deliberately simple — median of a small sample — but the
+//! output format (`group/function ... time per iter`) is stable enough to
+//! eyeball figure shapes. `CRITERION_SAMPLE_MS` caps per-benchmark wall
+//! time (default 300 ms) so `cargo bench` terminates quickly.
+
+#![warn(missing_docs)]
+
+use std::fmt::{self, Display};
+use std::time::{Duration, Instant};
+
+/// Re-export of [`std::hint::black_box`]: an identity function opaque to
+/// the optimiser.
+pub use std::hint::black_box;
+
+/// Top-level benchmark driver. Construct with [`Criterion::default`].
+#[derive(Debug)]
+pub struct Criterion {
+    sample_budget: Duration,
+}
+
+impl Default for Criterion {
+    fn default() -> Self {
+        let ms = std::env::var("CRITERION_SAMPLE_MS")
+            .ok()
+            .and_then(|v| v.parse::<u64>().ok())
+            .unwrap_or(300);
+        Criterion { sample_budget: Duration::from_millis(ms) }
+    }
+}
+
+impl Criterion {
+    /// Opens a named group of related benchmarks.
+    pub fn benchmark_group(&mut self, name: impl Into<String>) -> BenchmarkGroup<'_> {
+        BenchmarkGroup { criterion: self, name: name.into() }
+    }
+
+    /// Runs a single stand-alone benchmark.
+    pub fn bench_function<F>(&mut self, name: &str, f: F) -> &mut Self
+    where
+        F: FnMut(&mut Bencher),
+    {
+        run_one(None, name, self.sample_budget, f);
+        self
+    }
+}
+
+/// A named group of benchmarks, opened with [`Criterion::benchmark_group`].
+#[derive(Debug)]
+pub struct BenchmarkGroup<'a> {
+    criterion: &'a mut Criterion,
+    name: String,
+}
+
+impl BenchmarkGroup<'_> {
+    /// Accepted for API compatibility; this shim sizes samples by wall
+    /// time, not by count.
+    pub fn sample_size(&mut self, _n: usize) -> &mut Self {
+        self
+    }
+
+    /// Accepted for API compatibility; bounds nothing beyond the global
+    /// sample budget.
+    pub fn measurement_time(&mut self, _d: Duration) -> &mut Self {
+        self
+    }
+
+    /// Runs one benchmark within the group.
+    pub fn bench_function<F>(&mut self, id: impl IntoBenchmarkId, f: F) -> &mut Self
+    where
+        F: FnMut(&mut Bencher),
+    {
+        run_one(Some(&self.name), &id.into_benchmark_id().0, self.criterion.sample_budget, f);
+        self
+    }
+
+    /// Runs one parameterised benchmark within the group.
+    pub fn bench_with_input<I, F>(&mut self, id: impl IntoBenchmarkId, input: &I, mut f: F) -> &mut Self
+    where
+        F: FnMut(&mut Bencher, &I),
+    {
+        run_one(Some(&self.name), &id.into_benchmark_id().0, self.criterion.sample_budget, |b| {
+            f(b, input)
+        });
+        self
+    }
+
+    /// Ends the group (a no-op beyond API compatibility).
+    pub fn finish(self) {}
+}
+
+/// Identifies a benchmark, optionally combining a name with a parameter.
+#[derive(Debug, Clone)]
+pub struct BenchmarkId(String);
+
+impl BenchmarkId {
+    /// A benchmark named `name`, parameterised by `parameter`.
+    pub fn new(name: impl Into<String>, parameter: impl Display) -> Self {
+        BenchmarkId(format!("{}/{}", name.into(), parameter))
+    }
+
+    /// A benchmark identified by its parameter alone.
+    pub fn from_parameter(parameter: impl Display) -> Self {
+        BenchmarkId(parameter.to_string())
+    }
+}
+
+impl fmt::Display for BenchmarkId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(&self.0)
+    }
+}
+
+/// Conversion into [`BenchmarkId`] accepted by the `bench_*` methods.
+pub trait IntoBenchmarkId {
+    /// Performs the conversion.
+    fn into_benchmark_id(self) -> BenchmarkId;
+}
+
+impl IntoBenchmarkId for BenchmarkId {
+    fn into_benchmark_id(self) -> BenchmarkId {
+        self
+    }
+}
+
+impl IntoBenchmarkId for &str {
+    fn into_benchmark_id(self) -> BenchmarkId {
+        BenchmarkId(self.to_string())
+    }
+}
+
+impl IntoBenchmarkId for String {
+    fn into_benchmark_id(self) -> BenchmarkId {
+        BenchmarkId(self)
+    }
+}
+
+/// How `iter_batched` amortises setup cost; this shim treats every variant
+/// as "one setup per iteration".
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum BatchSize {
+    /// Routine input is small; criterion would batch many per allocation.
+    SmallInput,
+    /// Routine input is large.
+    LargeInput,
+    /// One setup per iteration.
+    PerIteration,
+}
+
+/// Timer handle passed to benchmark closures.
+#[derive(Debug)]
+pub struct Bencher {
+    budget: Duration,
+    /// Median per-iteration time of the most recent `iter*` call.
+    elapsed: Duration,
+}
+
+impl Bencher {
+    /// Times `routine`, repeating it until the sample budget is spent.
+    pub fn iter<O, R: FnMut() -> O>(&mut self, mut routine: R) {
+        self.iter_batched(|| (), |()| routine(), BatchSize::PerIteration);
+    }
+
+    /// Times `routine` over fresh inputs produced by `setup`; setup time is
+    /// excluded from the measurement.
+    pub fn iter_batched<I, O, S, R>(&mut self, mut setup: S, mut routine: R, _size: BatchSize)
+    where
+        S: FnMut() -> I,
+        R: FnMut(I) -> O,
+    {
+        let mut samples = Vec::new();
+        let start = Instant::now();
+        loop {
+            let input = setup();
+            let t = Instant::now();
+            black_box(routine(input));
+            samples.push(t.elapsed());
+            if start.elapsed() >= self.budget || samples.len() >= 101 {
+                break;
+            }
+        }
+        self.elapsed = median(&mut samples);
+    }
+
+}
+
+fn median(samples: &mut [Duration]) -> Duration {
+    if samples.is_empty() {
+        return Duration::ZERO;
+    }
+    samples.sort_unstable();
+    samples[samples.len() / 2]
+}
+
+fn run_one<F>(group: Option<&str>, name: &str, budget: Duration, mut f: F)
+where
+    F: FnMut(&mut Bencher),
+{
+    let mut b = Bencher { budget, elapsed: Duration::ZERO };
+    f(&mut b);
+    let label = match group {
+        Some(g) => format!("{g}/{name}"),
+        None => name.to_string(),
+    };
+    println!("bench {label:<48} {:>12.3?} /iter (median)", b.elapsed);
+}
+
+/// Declares a group of benchmark functions, mirroring criterion's macro.
+#[macro_export]
+macro_rules! criterion_group {
+    ($group:ident, $($target:path),+ $(,)?) => {
+        fn $group() {
+            let mut c = $crate::Criterion::default();
+            $( $target(&mut c); )+
+        }
+    };
+    (name = $group:ident; config = $config:expr; targets = $($target:path),+ $(,)?) => {
+        fn $group() {
+            let mut c = $config;
+            $( $target(&mut c); )+
+        }
+    };
+}
+
+/// Declares the benchmark binary's `main`, mirroring criterion's macro.
+#[macro_export]
+macro_rules! criterion_main {
+    ($($group:path),+ $(,)?) => {
+        fn main() {
+            $( $group(); )+
+        }
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn bench_ids_format() {
+        assert_eq!(BenchmarkId::new("spf", 30).to_string(), "spf/30");
+        assert_eq!(BenchmarkId::from_parameter(8).to_string(), "8");
+    }
+
+    #[test]
+    fn iter_measures_something() {
+        let mut c = Criterion { sample_budget: Duration::from_millis(5) };
+        c.bench_function("noop", |b| b.iter(|| 1 + 1));
+    }
+}

@@ -1,0 +1,133 @@
+//! Offline shim for `crossbeam`.
+//!
+//! The build machine has no crates.io access, so this workspace vendors a
+//! std-backed implementation of the subset it uses: `crossbeam::channel`
+//! with multi-producer **multi-consumer** unbounded channels (std's `mpsc`
+//! receiver is not `Clone`, so the queue lives behind a shared mutex).
+//! Receiving is non-blocking only (`try_recv`/`try_iter`) — exactly what
+//! the threaded lockstep runtime, which synchronises on a barrier, uses.
+
+#![warn(missing_docs)]
+
+pub mod channel {
+    //! Multi-producer multi-consumer unbounded FIFO channels.
+
+    use std::collections::VecDeque;
+    use std::fmt;
+    use std::sync::{Arc, Mutex};
+
+    struct Shared<T> {
+        queue: Mutex<VecDeque<T>>,
+    }
+
+    /// The sending half of an unbounded channel; cloneable.
+    pub struct Sender<T>(Arc<Shared<T>>);
+
+    /// The receiving half of an unbounded channel; cloneable (all clones
+    /// drain the same queue).
+    pub struct Receiver<T>(Arc<Shared<T>>);
+
+    /// Error returned by [`Sender::send`]; carries the rejected value.
+    /// This shim's channels never disconnect, so it is never constructed,
+    /// but the type keeps call sites (`.expect(..)`) source-compatible.
+    #[derive(Debug, PartialEq, Eq)]
+    pub struct SendError<T>(pub T);
+
+    impl<T> fmt::Display for SendError<T> {
+        fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+            write!(f, "sending on a disconnected channel")
+        }
+    }
+
+    /// Error returned by [`Receiver::try_recv`] when the queue is empty.
+    #[derive(Debug, Clone, Copy, PartialEq, Eq)]
+    pub struct TryRecvError;
+
+    /// Creates an unbounded channel, returning the two halves.
+    pub fn unbounded<T>() -> (Sender<T>, Receiver<T>) {
+        let shared = Arc::new(Shared { queue: Mutex::new(VecDeque::new()) });
+        (Sender(Arc::clone(&shared)), Receiver(shared))
+    }
+
+    impl<T> Clone for Sender<T> {
+        fn clone(&self) -> Self {
+            Sender(Arc::clone(&self.0))
+        }
+    }
+
+    impl<T> Clone for Receiver<T> {
+        fn clone(&self) -> Self {
+            Receiver(Arc::clone(&self.0))
+        }
+    }
+
+    impl<T> fmt::Debug for Sender<T> {
+        fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+            f.write_str("Sender { .. }")
+        }
+    }
+
+    impl<T> fmt::Debug for Receiver<T> {
+        fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+            f.write_str("Receiver { .. }")
+        }
+    }
+
+    impl<T> Sender<T> {
+        /// Appends `value` to the queue.
+        pub fn send(&self, value: T) -> Result<(), SendError<T>> {
+            let mut q = self.0.queue.lock().unwrap_or_else(|e| e.into_inner());
+            q.push_back(value);
+            Ok(())
+        }
+    }
+
+    impl<T> Receiver<T> {
+        /// Pops the front of the queue without blocking.
+        pub fn try_recv(&self) -> Result<T, TryRecvError> {
+            let mut q = self.0.queue.lock().unwrap_or_else(|e| e.into_inner());
+            q.pop_front().ok_or(TryRecvError)
+        }
+
+        /// Returns an iterator draining everything currently queued without
+        /// blocking (new items enqueued mid-iteration are also yielded).
+        pub fn try_iter(&self) -> TryIter<'_, T> {
+            TryIter(self)
+        }
+    }
+
+    /// Iterator returned by [`Receiver::try_iter`].
+    pub struct TryIter<'a, T>(&'a Receiver<T>);
+
+    impl<T> Iterator for TryIter<'_, T> {
+        type Item = T;
+
+        fn next(&mut self) -> Option<T> {
+            self.0.try_recv().ok()
+        }
+    }
+
+    #[cfg(test)]
+    mod tests {
+        use super::*;
+
+        #[test]
+        fn fifo_and_try_iter() {
+            let (tx, rx) = unbounded();
+            for i in 0..5 {
+                tx.send(i).unwrap();
+            }
+            assert_eq!(rx.try_iter().collect::<Vec<_>>(), vec![0, 1, 2, 3, 4]);
+            assert_eq!(rx.try_recv(), Err(TryRecvError));
+        }
+
+        #[test]
+        fn cloned_receivers_share_queue() {
+            let (tx, rx1) = unbounded();
+            let rx2 = rx1.clone();
+            tx.send(7u8).unwrap();
+            assert_eq!(rx2.try_recv(), Ok(7));
+            assert_eq!(rx1.try_recv(), Err(TryRecvError));
+        }
+    }
+}

@@ -1,0 +1,113 @@
+//! Offline shim for `proptest`.
+//!
+//! The build machine has no crates.io access, so this workspace vendors a
+//! deterministic property-testing harness exposing the subset of the
+//! proptest API its tests use: the [`Strategy`] trait with `prop_map`,
+//! range/tuple/`Just`/union strategies, [`collection::vec`],
+//! [`option::of`], [`arbitrary::Arbitrary`] (`any::<T>()`), and the
+//! [`proptest!`] / `prop_assert*` / [`prop_oneof!`] macros.
+//!
+//! Differences from real proptest, chosen for an offline reproduction of a
+//! *determinism* paper:
+//!
+//! * case generation is fully deterministic — a fixed seed mixed with the
+//!   test name, overridable via `PROPTEST_SEED`;
+//! * there is no shrinking: a failing case reports its seed and case index
+//!   so it can be replayed exactly;
+//! * `PROPTEST_CASES` overrides the per-test case count.
+
+#![warn(missing_docs)]
+
+pub mod arbitrary;
+pub mod collection;
+pub mod option;
+pub mod prelude;
+pub mod strategy;
+pub mod test_runner;
+
+pub use strategy::Strategy;
+
+#[cfg(test)]
+mod tests {
+    use crate::prelude::*;
+
+    #[derive(Clone, Debug, PartialEq)]
+    enum Op {
+        Push(u8),
+        Pop,
+    }
+
+    fn op() -> impl Strategy<Value = Op> {
+        prop_oneof![
+            3 => any::<u8>().prop_map(Op::Push),
+            1 => Just(Op::Pop),
+        ]
+    }
+
+    proptest! {
+        #![proptest_config(ProptestConfig { cases: 32, ..ProptestConfig::default() })]
+
+        #[test]
+        fn vec_lengths_respect_bounds(v in crate::collection::vec(0u32..10, 2..5)) {
+            prop_assert!(v.len() >= 2 && v.len() < 5);
+            for x in v {
+                prop_assert!(x < 10);
+            }
+        }
+
+        #[test]
+        fn ranges_stay_in_bounds(a in 3u64..17, b in -4i32..9, f in 0.25f64..0.75) {
+            prop_assert!((3..17).contains(&a));
+            prop_assert!((-4..9).contains(&b));
+            prop_assert!((0.25..0.75).contains(&f), "f = {}", f);
+        }
+
+        #[test]
+        fn unions_hit_every_arm_type(ops in crate::collection::vec(op(), 1..40)) {
+            let mut depth = 0i32;
+            for o in &ops {
+                match o {
+                    Op::Push(_) => depth += 1,
+                    Op::Pop => depth -= 1,
+                }
+            }
+            prop_assert!((-40..=40).contains(&depth));
+        }
+
+        #[test]
+        fn assume_rejects_do_not_fail(x in 0u32..100) {
+            prop_assume!(x % 2 == 0);
+            prop_assert!(x % 2 == 0);
+        }
+
+        #[test]
+        fn option_of_produces_both(o in crate::option::of(1usize..5)) {
+            if let Some(v) = o {
+                prop_assert!((1..5).contains(&v));
+            }
+        }
+    }
+
+    #[test]
+    fn determinism_same_seed_same_values() {
+        use crate::test_runner::TestRng;
+        let s = (0u8..200, crate::collection::vec(any::<u64>(), 0..8));
+        let a: Vec<_> = {
+            let mut rng = TestRng::new(42);
+            (0..20).map(|_| s.generate(&mut rng)).collect()
+        };
+        let b: Vec<_> = {
+            let mut rng = TestRng::new(42);
+            (0..20).map(|_| s.generate(&mut rng)).collect()
+        };
+        assert_eq!(a, b);
+    }
+
+    #[test]
+    #[should_panic(expected = "proptest: test failed")]
+    fn failures_panic() {
+        proptest!(|(x in 0u32..10)| {
+            prop_assert!(x < 5, "x was {}", x);
+        });
+    }
+}

@@ -1,0 +1,148 @@
+//! One-stop import surface, mirroring `proptest::prelude`.
+
+pub use crate::arbitrary::{any, Arbitrary};
+pub use crate::strategy::{BoxedStrategy, Just, Strategy};
+pub use crate::test_runner::{ProptestConfig, TestCaseError, TestCaseResult};
+
+pub use crate::{prop_assert, prop_assert_eq, prop_assert_ne, prop_assume, prop_oneof, proptest};
+
+/// Declares deterministic property tests.
+///
+/// Supported forms:
+///
+/// ```ignore
+/// proptest! {
+///     #![proptest_config(ProptestConfig { cases: 64, ..ProptestConfig::default() })]
+///
+///     #[test]
+///     fn my_test(x in 0u32..10, v in proptest::collection::vec(any::<u8>(), 0..5)) {
+///         prop_assert!(x < 10);
+///     }
+/// }
+/// ```
+///
+/// and the immediate closure form `proptest!(|(x in 0u32..10)| { .. })`.
+#[macro_export]
+macro_rules! proptest {
+    (#![proptest_config($config:expr)] $($rest:tt)*) => {
+        $crate::__proptest_items!($config; $($rest)*);
+    };
+    (|($($pat:pat in $strat:expr),* $(,)?)| $body:block) => {{
+        let __config = $crate::test_runner::ProptestConfig::default();
+        let __strat = ($($strat,)*);
+        $crate::test_runner::run_cases("<closure>", &__config, |__rng| {
+            let ($($pat,)*) = $crate::strategy::Strategy::generate(&__strat, __rng);
+            (|| -> ::std::result::Result<(), $crate::test_runner::TestCaseError> {
+                $body;
+                ::std::result::Result::Ok(())
+            })()
+        });
+    }};
+    ($($rest:tt)*) => {
+        $crate::__proptest_items!($crate::test_runner::ProptestConfig::default(); $($rest)*);
+    };
+}
+
+/// Implementation detail of [`proptest!`]: expands each test item.
+#[doc(hidden)]
+#[macro_export]
+macro_rules! __proptest_items {
+    ($config:expr;) => {};
+    (
+        $config:expr;
+        $(#[$meta:meta])*
+        fn $name:ident($($pat:pat in $strat:expr),* $(,)?) $body:block
+        $($rest:tt)*
+    ) => {
+        $(#[$meta])*
+        fn $name() {
+            let __config = $config;
+            let __strat = ($($strat,)*);
+            $crate::test_runner::run_cases(stringify!($name), &__config, |__rng| {
+                let ($($pat,)*) = $crate::strategy::Strategy::generate(&__strat, __rng);
+                (|| -> ::std::result::Result<(), $crate::test_runner::TestCaseError> {
+                    $body;
+                    ::std::result::Result::Ok(())
+                })()
+            });
+        }
+        $crate::__proptest_items!($config; $($rest)*);
+    };
+}
+
+/// Fails the current case (without aborting the whole test run machinery)
+/// when `cond` is false.
+#[macro_export]
+macro_rules! prop_assert {
+    ($cond:expr $(,)?) => {
+        $crate::prop_assert!($cond, "assertion failed: {}", stringify!($cond));
+    };
+    ($cond:expr, $($fmt:tt)+) => {
+        if !$cond {
+            return ::std::result::Result::Err($crate::test_runner::TestCaseError::fail(
+                format!($($fmt)+),
+            ));
+        }
+    };
+}
+
+/// `prop_assert!` for equality, printing both sides on failure.
+#[macro_export]
+macro_rules! prop_assert_eq {
+    ($left:expr, $right:expr $(,)?) => {{
+        let (__l, __r) = (&$left, &$right);
+        if !(*__l == *__r) {
+            return ::std::result::Result::Err($crate::test_runner::TestCaseError::fail(format!(
+                "assertion failed: `(left == right)`\n  left: `{:?}`\n right: `{:?}`",
+                __l, __r
+            )));
+        }
+    }};
+    ($left:expr, $right:expr, $($fmt:tt)+) => {{
+        let (__l, __r) = (&$left, &$right);
+        if !(*__l == *__r) {
+            return ::std::result::Result::Err($crate::test_runner::TestCaseError::fail(format!(
+                "assertion failed: `(left == right)`: {}\n  left: `{:?}`\n right: `{:?}`",
+                format!($($fmt)+),
+                __l,
+                __r
+            )));
+        }
+    }};
+}
+
+/// `prop_assert!` for inequality, printing both sides on failure.
+#[macro_export]
+macro_rules! prop_assert_ne {
+    ($left:expr, $right:expr $(,)?) => {{
+        let (__l, __r) = (&$left, &$right);
+        if *__l == *__r {
+            return ::std::result::Result::Err($crate::test_runner::TestCaseError::fail(format!(
+                "assertion failed: `(left != right)`\n  both: `{:?}`",
+                __l
+            )));
+        }
+    }};
+    ($left:expr, $right:expr, $($fmt:tt)+) => {{
+        let (__l, __r) = (&$left, &$right);
+        if *__l == *__r {
+            return ::std::result::Result::Err($crate::test_runner::TestCaseError::fail(format!(
+                "assertion failed: `(left != right)`: {}\n  both: `{:?}`",
+                format!($($fmt)+),
+                __l
+            )));
+        }
+    }};
+}
+
+/// Discards the current case (re-drawn, not failed) when `cond` is false.
+#[macro_export]
+macro_rules! prop_assume {
+    ($cond:expr $(,)?) => {
+        if !$cond {
+            return ::std::result::Result::Err($crate::test_runner::TestCaseError::reject(
+                stringify!($cond),
+            ));
+        }
+    };
+}

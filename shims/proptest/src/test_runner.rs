@@ -1,0 +1,158 @@
+//! Deterministic RNG, configuration, and the case-running loop behind the
+//! [`proptest!`](crate::proptest) macro.
+
+use std::fmt;
+
+/// Splitmix64-based deterministic RNG. Good enough statistical quality for
+/// test-case generation, and — the property this workspace actually cares
+/// about — bit-for-bit reproducible everywhere.
+#[derive(Clone, Debug)]
+pub struct TestRng {
+    state: u64,
+}
+
+impl TestRng {
+    /// Creates a generator from `seed`.
+    pub fn new(seed: u64) -> Self {
+        TestRng { state: seed.wrapping_mul(0x9e37_79b9_7f4a_7c15).wrapping_add(1) }
+    }
+
+    /// Next raw 64 random bits.
+    pub fn next_u64(&mut self) -> u64 {
+        self.state = self.state.wrapping_add(0x9e37_79b9_7f4a_7c15);
+        let mut z = self.state;
+        z = (z ^ (z >> 30)).wrapping_mul(0xbf58_476d_1ce4_e5b9);
+        z = (z ^ (z >> 27)).wrapping_mul(0x94d0_49bb_1331_11eb);
+        z ^ (z >> 31)
+    }
+
+    /// Uniform value in `[0, bound)`; `bound` must be non-zero.
+    pub fn below(&mut self, bound: u64) -> u64 {
+        debug_assert!(bound > 0);
+        // Multiply-shift rejection-free mapping (Lemire); bias is < 2^-64
+        // per draw, irrelevant for test-case generation.
+        ((self.next_u64() as u128 * bound as u128) >> 64) as u64
+    }
+
+    /// Uniform `f64` in `[0, 1)`.
+    pub fn unit_f64(&mut self) -> f64 {
+        (self.next_u64() >> 11) as f64 * (1.0 / (1u64 << 53) as f64)
+    }
+}
+
+/// Per-test configuration; mirrors the proptest struct shape so
+/// `ProptestConfig { cases: 64, ..ProptestConfig::default() }` compiles.
+#[derive(Clone, Debug)]
+pub struct ProptestConfig {
+    /// Number of successful cases required for the test to pass.
+    pub cases: u32,
+    /// Maximum number of `prop_assume!` rejections tolerated before the
+    /// test errors out as over-constrained.
+    pub max_global_rejects: u32,
+    /// Accepted for API compatibility; this shim never shrinks.
+    pub max_shrink_iters: u32,
+}
+
+impl Default for ProptestConfig {
+    fn default() -> Self {
+        let cases = std::env::var("PROPTEST_CASES")
+            .ok()
+            .and_then(|v| v.parse().ok())
+            .unwrap_or(256);
+        ProptestConfig { cases, max_global_rejects: 65_536, max_shrink_iters: 0 }
+    }
+}
+
+impl ProptestConfig {
+    /// Convenience constructor used by some call sites.
+    pub fn with_cases(cases: u32) -> Self {
+        ProptestConfig { cases, ..ProptestConfig::default() }
+    }
+}
+
+/// Why a single generated case did not pass.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub enum TestCaseError {
+    /// `prop_assume!` rejected the inputs; the case is re-drawn, not failed.
+    Reject(String),
+    /// An assertion failed; the whole test fails.
+    Fail(String),
+}
+
+impl TestCaseError {
+    /// A failed-assertion error.
+    pub fn fail(msg: impl Into<String>) -> Self {
+        TestCaseError::Fail(msg.into())
+    }
+
+    /// A rejected-inputs (assume) error.
+    pub fn reject(msg: impl Into<String>) -> Self {
+        TestCaseError::Reject(msg.into())
+    }
+}
+
+impl fmt::Display for TestCaseError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            TestCaseError::Reject(m) => write!(f, "rejected: {m}"),
+            TestCaseError::Fail(m) => write!(f, "failed: {m}"),
+        }
+    }
+}
+
+/// Result type of one generated case.
+pub type TestCaseResult = Result<(), TestCaseError>;
+
+/// Returns the base seed: `PROPTEST_SEED` if set, a fixed default
+/// otherwise. Failure reports print this value, so replaying is exactly
+/// `PROPTEST_SEED=<printed> cargo test <name>`.
+pub fn base_seed() -> u64 {
+    std::env::var("PROPTEST_SEED")
+        .ok()
+        .and_then(|v| v.parse().ok())
+        .unwrap_or(0xDEF1_4ED0_0000_2013)
+}
+
+fn mix_test_name(base: u64, test_name: &str) -> u64 {
+    // FNV-1a over the test name, so distinct tests explore distinct
+    // sequences under the same base seed.
+    let mut h: u64 = 0xcbf2_9ce4_8422_2325;
+    for b in test_name.bytes() {
+        h ^= b as u64;
+        h = h.wrapping_mul(0x0000_0100_0000_01b3);
+    }
+    base ^ h
+}
+
+/// Runs `case` up to `config.cases` times with per-case deterministic RNGs.
+/// Panics on the first [`TestCaseError::Fail`], reporting enough to replay.
+pub fn run_cases(
+    test_name: &str,
+    config: &ProptestConfig,
+    mut case: impl FnMut(&mut TestRng) -> TestCaseResult,
+) {
+    let base = base_seed();
+    let seed = mix_test_name(base, test_name);
+    let mut passed = 0u32;
+    let mut rejected = 0u32;
+    let mut case_index = 0u64;
+    while passed < config.cases {
+        let mut rng = TestRng::new(seed ^ case_index.wrapping_mul(0xa076_1d64_78bd_642f));
+        match case(&mut rng) {
+            Ok(()) => passed += 1,
+            Err(TestCaseError::Reject(_)) => {
+                rejected += 1;
+                assert!(
+                    rejected <= config.max_global_rejects,
+                    "proptest: test over-constrained: {rejected} rejects in `{test_name}` \
+                     (base seed {base})"
+                );
+            }
+            Err(TestCaseError::Fail(msg)) => panic!(
+                "proptest: test failed: {msg}\n  test: {test_name}\n  case: {case_index}\n  \
+                 replay with PROPTEST_SEED={base}"
+            ),
+        }
+        case_index += 1;
+    }
+}
