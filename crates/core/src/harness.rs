@@ -114,6 +114,56 @@ impl<P: ControlPlane + 'static> RbNetwork<P> {
         self.sim.schedule_node_admin(t, node, up);
     }
 
+    /// Schedules `count` down/up flap cycles of the `a — b` link (see
+    /// [`Simulator::schedule_link_flap`]).
+    pub fn schedule_flap(
+        &mut self,
+        start: SimTime,
+        a: NodeId,
+        b: NodeId,
+        down_for: SimDuration,
+        period: SimDuration,
+        count: u32,
+    ) {
+        self.sim.schedule_link_flap(start, a, b, down_for, period, count);
+    }
+
+    /// Schedules a bisection partition at `cut_at` — every link with exactly
+    /// one endpoint in `side` goes down — healed again at `heal_at` when
+    /// given. Returns the undirected pairs that were cut. The cut is
+    /// computed from the static topology: the heal re-raises every crossing
+    /// link, even one a separate fault had taken down.
+    pub fn schedule_partition(
+        &mut self,
+        cut_at: SimTime,
+        heal_at: Option<SimTime>,
+        side: &[NodeId],
+    ) -> Vec<(NodeId, NodeId)> {
+        let cut = self.sim.schedule_partition(cut_at, side, false);
+        if let Some(t) = heal_at {
+            for &(a, b) in &cut {
+                self.sim.schedule_link_admin(t, a, b, true);
+            }
+        }
+        cut
+    }
+
+    /// Schedules a message-loss window on the `a — b` link: Bernoulli loss
+    /// with probability `p` between `from` and `until`. Losses are committed
+    /// into the partial recording by send index (footnote 4), so the window
+    /// replays exactly in the debugging network.
+    pub fn schedule_loss_window(
+        &mut self,
+        from: SimTime,
+        until: SimTime,
+        a: NodeId,
+        b: NodeId,
+        p: f64,
+    ) {
+        self.sim.schedule_link_loss(from, a, b, netsim::LossModel::Bernoulli { p });
+        self.sim.schedule_link_loss(until, a, b, netsim::LossModel::None);
+    }
+
     /// One node's control plane.
     pub fn control_plane(&self, node: NodeId) -> &P {
         self.sim.process(node).control_plane()
@@ -370,6 +420,65 @@ mod tests {
         assert_eq!(logs.len(), 4);
         let bytes = rec.to_bytes();
         assert_eq!(Recording::from_bytes(&bytes), Some(rec));
+    }
+
+    #[test]
+    fn loss_window_and_flap_reproduce_in_lockstep() {
+        // The new fault hooks must stay inside Theorem 1: a run with a
+        // Bernoulli loss window and a link flap replays exactly from its
+        // partial recording.
+        let g = canonical::ring(4, SimDuration::from_millis(5));
+        let f = OspfProcess::for_graph(&g, OspfConfig::stress(4));
+        let procs: Vec<OspfProcess> = (0..4).map(|i| f(NodeId(i))).collect();
+        let p2 = procs.clone();
+        let mut net =
+            RbNetwork::new(&g, DefinedConfig::default(), 21, 0.5, move |id| procs[id.index()].clone());
+        net.schedule_loss_window(
+            SimTime::from_millis(1500),
+            SimTime::from_millis(3000),
+            NodeId(1),
+            NodeId(2),
+            0.5,
+        );
+        net.schedule_flap(
+            SimTime::from_millis(3500),
+            NodeId(0),
+            NodeId(3),
+            SimDuration::from_millis(400),
+            SimDuration::from_millis(900),
+            2,
+        );
+        net.run_until(SimTime::from_secs(7));
+        let upto = net.completed_group(2);
+        let (rec, rb_logs) = net.into_recording();
+        assert!(!rec.drops.is_empty(), "window + flap should cost some packets");
+        let mut ls = crate::ls::LockstepNet::new(&g, DefinedConfig::default(), rec, move |id| {
+            p2[id.index()].clone()
+        });
+        ls.run_to_end();
+        let div = crate::ls::first_divergence(&rb_logs, ls.logs(), upto);
+        assert!(div.is_none(), "loss-window replay diverged: {div:?}");
+    }
+
+    #[test]
+    fn partition_hook_cuts_and_heals() {
+        let g = canonical::grid(2, 3, SimDuration::from_millis(4));
+        let f = OspfProcess::for_graph(&g, OspfConfig::stress(6));
+        let procs: Vec<OspfProcess> = (0..6).map(|i| f(NodeId(i))).collect();
+        let mut net =
+            RbNetwork::new(&g, DefinedConfig::default(), 2, 0.3, move |id| procs[id.index()].clone());
+        let cut = net.schedule_partition(
+            SimTime::from_secs(2),
+            Some(SimTime::from_secs(4)),
+            &[NodeId(0), NodeId(3)],
+        );
+        // Grid 2x3 (row-major): {0,3} is the left column; 0-1 and 3-4 cross.
+        assert_eq!(cut, vec![(NodeId(0), NodeId(1)), (NodeId(3), NodeId(4))]);
+        net.run_until(SimTime::from_secs(3));
+        assert!(!net.sim().link_up(NodeId(0), NodeId(1)));
+        assert!(net.sim().link_up(NodeId(0), NodeId(3)), "intra-side link stays up");
+        net.run_until(SimTime::from_secs(6));
+        assert!(net.sim().link_up(NodeId(0), NodeId(1)), "partition healed");
     }
 
     #[test]

@@ -73,6 +73,13 @@ pub enum SteppedEvent {
         /// Receiving node.
         node: NodeId,
     },
+    /// A link's loss model changed.
+    LossChange {
+        /// One endpoint.
+        a: NodeId,
+        /// Other endpoint.
+        b: NodeId,
+    },
 }
 
 enum Ev<M, X> {
@@ -81,6 +88,7 @@ enum Ev<M, X> {
     LinkAdmin { a: NodeId, b: NodeId, up: bool },
     NodeAdmin { node: NodeId, up: bool },
     External { node: NodeId, ev: X },
+    LossAdmin { a: NodeId, b: NodeId, loss: LossModel },
 }
 
 struct NodeSlot<P> {
@@ -282,6 +290,56 @@ impl<P: Process> Simulator<P> {
         self.queue.push(t, Ev::NodeAdmin { node, up });
     }
 
+    /// Schedules `count` down/up cycles of the `a — b` link: the link goes
+    /// down at `start + k * period` and comes back `down_for` later, for
+    /// `k` in `0..count`.
+    ///
+    /// # Panics
+    ///
+    /// Panics unless `down_for < period` (each flap must recover before the
+    /// next begins).
+    pub fn schedule_link_flap(
+        &mut self,
+        start: SimTime,
+        a: NodeId,
+        b: NodeId,
+        down_for: SimDuration,
+        period: SimDuration,
+        count: u32,
+    ) {
+        assert!(down_for < period, "flap down time must be shorter than its period");
+        for k in 0..count {
+            let down_at = start + period * k as u64;
+            self.schedule_link_admin(down_at, a, b, false);
+            self.schedule_link_admin(down_at + down_for, a, b, true);
+        }
+    }
+
+    /// Schedules every link with exactly one endpoint in `side` to go down
+    /// (`up = false`) or up (`up = true`) at `t` — a bisection partition of
+    /// the network, or its heal. Returns the affected undirected pairs so
+    /// callers can report or re-heal the exact cut.
+    pub fn schedule_partition(&mut self, t: SimTime, side: &[NodeId], up: bool) -> Vec<(NodeId, NodeId)> {
+        let inside: HashSet<NodeId> = side.iter().copied().collect();
+        let mut cut = Vec::new();
+        for key in self.links.keys() {
+            if key.src < key.dst && inside.contains(&key.src) != inside.contains(&key.dst) {
+                cut.push((key.src, key.dst));
+            }
+        }
+        for &(a, b) in &cut {
+            self.schedule_link_admin(t, a, b, up);
+        }
+        cut
+    }
+
+    /// Schedules both directions of the `a — b` link to switch to `loss` at
+    /// `t` — a message-loss window is one such event installing a Bernoulli
+    /// model and a second one restoring [`LossModel::None`].
+    pub fn schedule_link_loss(&mut self, t: SimTime, a: NodeId, b: NodeId, loss: LossModel) {
+        self.queue.push(t, Ev::LossAdmin { a, b, loss });
+    }
+
     /// Runs until the queue is exhausted or the next event is after
     /// `deadline`; leaves `now == deadline` unless exhausted earlier.
     pub fn run_until(&mut self, deadline: SimTime) {
@@ -389,6 +447,14 @@ impl<P: Process> Simulator<P> {
                     self.trace.record(self.now, TraceKind::External { node });
                     self.with_ctx(node, |p, ctx| p.on_external(ctx, ev));
                     return Some(SteppedEvent::External { node });
+                }
+                Ev::LossAdmin { a, b, loss } => {
+                    for key in [LinkKey { src: a, dst: b }, LinkKey { src: b, dst: a }] {
+                        if let Some(l) = self.links.get_mut(&key) {
+                            l.params.loss = loss;
+                        }
+                    }
+                    return Some(SteppedEvent::LossChange { a, b });
                 }
             }
         }
@@ -877,6 +943,107 @@ mod tests {
         sim.schedule_external(SimTime::from_millis(301), NodeId(0), ());
         sim.run_until(SimTime::from_millis(400));
         assert_eq!(sim.process(NodeId(1)).got, 100, "down link still drops control");
+    }
+
+    #[test]
+    fn link_flap_schedules_paired_transitions() {
+        let mut sim = triangle(6);
+        // Three 100 ms outages every 300 ms starting at 1 s.
+        sim.schedule_link_flap(
+            SimTime::from_secs(1),
+            NodeId(0),
+            NodeId(1),
+            SimDuration::from_millis(100),
+            SimDuration::from_millis(300),
+            3,
+        );
+        sim.trace_mut().set_enabled(true);
+        sim.run_until(SimTime::from_secs(3));
+        let changes: Vec<(SimTime, bool)> = sim
+            .trace()
+            .events()
+            .iter()
+            .filter_map(|e| match e.kind {
+                TraceKind::LinkChange { a, b, up } if a == NodeId(0) && b == NodeId(1) => {
+                    Some((e.time, up))
+                }
+                _ => None,
+            })
+            .collect();
+        assert_eq!(changes.len(), 6, "three down/up pairs: {changes:?}");
+        assert!(changes.iter().step_by(2).all(|&(_, up)| !up));
+        assert!(changes.iter().skip(1).step_by(2).all(|&(_, up)| up));
+        assert_eq!(changes[0].0, SimTime::from_secs(1));
+        assert_eq!(changes[1].0, SimTime::from_millis(1100));
+        assert_eq!(changes[4].0, SimTime::from_millis(1600));
+        assert!(sim.link_up(NodeId(0), NodeId(1)), "link restored after the last flap");
+    }
+
+    #[test]
+    #[should_panic(expected = "flap down time")]
+    fn link_flap_rejects_overlapping_cycles() {
+        let mut sim = triangle(1);
+        sim.schedule_link_flap(
+            SimTime::ZERO,
+            NodeId(0),
+            NodeId(1),
+            SimDuration::from_millis(300),
+            SimDuration::from_millis(300),
+            2,
+        );
+    }
+
+    #[test]
+    fn partition_cuts_exactly_the_crossing_links() {
+        let mut sim = triangle(2);
+        let cut = sim.schedule_partition(SimTime::from_millis(5), &[NodeId(0)], false);
+        assert_eq!(cut, vec![(NodeId(0), NodeId(1)), (NodeId(0), NodeId(2))]);
+        sim.run_until(SimTime::from_millis(10));
+        assert!(!sim.link_up(NodeId(0), NodeId(1)));
+        assert!(!sim.link_up(NodeId(0), NodeId(2)));
+        assert!(sim.link_up(NodeId(1), NodeId(2)), "intra-side link untouched");
+        let healed = sim.schedule_partition(SimTime::from_millis(20), &[NodeId(0)], true);
+        assert_eq!(healed, cut);
+        sim.run_until(SimTime::from_millis(30));
+        assert!(sim.link_up(NodeId(0), NodeId(1)));
+        assert!(sim.link_up(NodeId(0), NodeId(2)));
+    }
+
+    #[test]
+    fn loss_window_drops_only_inside_the_window() {
+        #[derive(Default)]
+        struct Sink {
+            got: usize,
+        }
+        impl Process for Sink {
+            type Msg = u8;
+            type Ext = ();
+            fn on_external(&mut self, ctx: &mut ProcessCtx<'_, u8>, _ev: ()) {
+                if ctx.id() == NodeId(0) {
+                    ctx.send(NodeId(1), 1);
+                }
+            }
+            fn on_message(&mut self, _ctx: &mut ProcessCtx<'_, u8>, _from: NodeId, _m: u8) {
+                self.got += 1;
+            }
+        }
+        let p = LinkParams::with_delay(SimDuration::from_micros(100));
+        let mut sim =
+            SimBuilder::new(2).link(NodeId(0), NodeId(1), p).build(3, |_| Sink::default());
+        // 100 sends before, 100 inside, 100 after a total-loss window.
+        for i in 0..300u64 {
+            sim.schedule_external(SimTime::from_millis(i), NodeId(0), ());
+        }
+        sim.schedule_link_loss(
+            SimTime::from_millis(100),
+            NodeId(0),
+            NodeId(1),
+            LossModel::Bernoulli { p: 1.0 },
+        );
+        sim.schedule_link_loss(SimTime::from_millis(200), NodeId(0), NodeId(1), LossModel::None);
+        sim.run_until(SimTime::from_secs(1));
+        assert_eq!(sim.process(NodeId(1)).got, 200, "only the window's packets die");
+        assert_eq!(sim.drops().len(), 100);
     }
 
     #[test]

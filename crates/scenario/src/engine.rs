@@ -1,0 +1,571 @@
+//! The engine: compiles a [`Scenario`] onto the DEFINED record → replay
+//! workflow. All protocol dispatch lives here; everything downstream of the
+//! dispatch is generic over [`ControlPlane`].
+
+use crate::spec::{ExtSpec, Fault, Probe, ProtocolSpec};
+use crate::{Scenario, ScenarioError};
+use defined_core::debugger::Debugger;
+use defined_core::recorder::{CommitRecord, Recording};
+use defined_core::session::DebugSession;
+use defined_core::wire::Wire;
+use defined_core::{DefinedConfig, LockstepNet, RbNetwork};
+use netsim::{NodeId, SimTime};
+use routing::bgp::{BgpExt, BgpProcess};
+use routing::rip::{RipExt, RipProcess};
+use routing::ControlPlane;
+use topology::Graph;
+
+/// Everything a recorded production run yields: the serialised partial
+/// recording, headline counts for reporting, the probe outcome, and the
+/// committed logs a replay can be checked against.
+#[derive(Clone, Debug)]
+pub struct RecordedRun {
+    /// The serialised partial recording ([`Recording::to_bytes`]).
+    pub bytes: Vec<u8>,
+    /// Highest group the production run completed.
+    pub n_groups: u64,
+    /// Recorded external events.
+    pub n_externals: usize,
+    /// Death cuts (nodes down at the end of the run).
+    pub n_mutes: usize,
+    /// Committed message losses.
+    pub n_drops: usize,
+    /// The probe's report on the production outcome, if any.
+    pub outcome: Option<String>,
+    /// Comparison frontier: groups `<= upto` are settled network-wide and
+    /// must match between production and replay.
+    pub upto: u64,
+    /// Per-node committed delivery logs of the production run.
+    pub logs: Vec<Vec<CommitRecord>>,
+}
+
+impl RecordedRun {
+    /// One-line summary for CLI output.
+    pub fn summary(&self, name: &str) -> String {
+        format!(
+            "recorded {name}: {} groups, {} externals, {} drop(s), {} death cut(s)",
+            self.n_groups, self.n_externals, self.n_drops, self.n_mutes,
+        )
+    }
+}
+
+fn ext_to_rip(ev: &ExtSpec) -> Option<RipExt> {
+    match ev {
+        ExtSpec::RipConnect { prefix } => Some(RipExt::Connect { prefix: *prefix }),
+        _ => None,
+    }
+}
+
+fn ext_to_bgp(ev: &ExtSpec) -> Option<BgpExt> {
+    match ev {
+        ExtSpec::BgpAnnounce { prefix, attrs } => {
+            Some(BgpExt::Announce { prefix: *prefix, attrs: *attrs })
+        }
+        ExtSpec::BgpWithdraw { prefix, route_id } => {
+            Some(BgpExt::Withdraw { prefix: *prefix, route_id: *route_id })
+        }
+        _ => None,
+    }
+}
+
+fn ext_to_ospf(_ev: &ExtSpec) -> Option<()> {
+    None // OSPF takes no runtime externals; validation rejects them.
+}
+
+/// Decodes a recording and checks it was taken on a network of this
+/// scenario's size — `LockstepNet::new` asserts on a mismatch, and a
+/// recording from a same-protocol but different-sized scenario should be a
+/// clean [`ScenarioError::BadRecording`], not a panic.
+fn decode_for<P>(g: &Graph, bytes: &[u8]) -> Result<Recording<P::Ext>, ScenarioError>
+where
+    P: ControlPlane,
+    P::Ext: Wire,
+{
+    let rec = Recording::<P::Ext>::from_bytes(bytes).ok_or(ScenarioError::BadRecording)?;
+    if rec.n_nodes != g.node_count() {
+        return Err(ScenarioError::BadRecording);
+    }
+    Ok(rec)
+}
+
+impl Scenario {
+    /// Checks the description for internal consistency: node and link
+    /// references resolve in the topology, injections fit the protocol,
+    /// fault parameters are well-formed, and event times fall inside the
+    /// run.
+    pub fn validate(&self) -> Result<(), ScenarioError> {
+        self.validate_on(&self.topology.build())
+    }
+
+    /// [`validate`](Self::validate) against an already-built graph, so the
+    /// run paths build the (possibly generator-backed) topology once.
+    fn validate_on(&self, g: &Graph) -> Result<(), ScenarioError> {
+        let err = |msg: String| Err(ScenarioError::Invalid(msg));
+        let n = g.node_count();
+        let end = SimTime::ZERO + self.duration;
+        let check_node = |node: NodeId, what: &str| {
+            if node.index() >= n {
+                err(format!("{what} references node {node} but the topology has {n} nodes"))
+            } else {
+                Ok(())
+            }
+        };
+        let check_edge = |a: NodeId, b: NodeId, what: &str| {
+            if a.index() >= n || b.index() >= n || !g.has_edge(a, b) {
+                err(format!("{what} references link {a}—{b}, which the topology lacks"))
+            } else {
+                Ok(())
+            }
+        };
+        if self.duration == netsim::SimDuration::ZERO {
+            return err("duration must be positive".into());
+        }
+        if !(0.0..=2.0).contains(&self.jitter_frac) {
+            return err(format!("jitter fraction {} out of range [0, 2]", self.jitter_frac));
+        }
+        if matches!(self.protocol, ProtocolSpec::Bgp { .. })
+            && self.topology.fig4_roles().is_none()
+        {
+            return err("the BGP protocol requires the fig4-bgp topology (role assignment)".into());
+        }
+        for inj in &self.workload {
+            check_node(inj.node, "an injection")?;
+            if !inj.ev.fits(&self.protocol) {
+                return err(format!(
+                    "injection {:?} does not fit protocol {}",
+                    inj.ev,
+                    self.protocol.name()
+                ));
+            }
+            if inj.at > end {
+                return err(format!("injection at {} lands after the {} run", inj.at, end));
+            }
+        }
+        let mut loss_windows: Vec<(NodeId, NodeId, SimTime, SimTime)> = Vec::new();
+        for f in &self.faults {
+            let start = match f {
+                Fault::NodeDown { at, .. }
+                | Fault::NodeUp { at, .. }
+                | Fault::LinkDown { at, .. }
+                | Fault::LinkUp { at, .. }
+                | Fault::LinkFlap { at, .. }
+                | Fault::Partition { at, .. } => *at,
+                Fault::LossWindow { from, .. } => *from,
+            };
+            if start > end {
+                return err(format!("a fault at {start} lands after the {end} run"));
+            }
+            match f {
+                Fault::NodeDown { node, .. } | Fault::NodeUp { node, .. } => {
+                    check_node(*node, "a node fault")?;
+                }
+                Fault::LinkDown { a, b, .. } | Fault::LinkUp { a, b, .. } => {
+                    check_edge(*a, *b, "a link fault")?;
+                }
+                Fault::LinkFlap { a, b, down_for, period, count, .. } => {
+                    check_edge(*a, *b, "a link flap")?;
+                    if down_for >= period {
+                        return err(format!(
+                            "flap down time {down_for} must be shorter than its period {period}"
+                        ));
+                    }
+                    if *count == 0 {
+                        return err("a flap needs at least one cycle".into());
+                    }
+                }
+                Fault::Partition { side, heal, at } => {
+                    let unique: std::collections::BTreeSet<NodeId> = side.iter().copied().collect();
+                    if unique.is_empty() || unique.len() >= n {
+                        return err("a partition side must be a nonempty proper node subset".into());
+                    }
+                    for &node in side {
+                        check_node(node, "a partition")?;
+                    }
+                    if let Some(h) = heal {
+                        if h <= at {
+                            return err(format!("partition heal {h} precedes its cut {at}"));
+                        }
+                        if *h > end {
+                            return err(format!("partition heal {h} lands after the {end} run"));
+                        }
+                    }
+                }
+                Fault::LossWindow { from, until, a, b, p } => {
+                    check_edge(*a, *b, "a loss window")?;
+                    if !(0.0..=1.0).contains(p) {
+                        return err(format!("loss probability {p} out of range [0, 1]"));
+                    }
+                    if until <= from {
+                        return err(format!("loss window end {until} precedes its start {from}"));
+                    }
+                    // Windows install/clear a per-link loss model, so two
+                    // overlapping windows on one link would silently
+                    // truncate each other.
+                    let (lo, hi) = if a.0 <= b.0 { (*a, *b) } else { (*b, *a) };
+                    for &(wa, wb, wf, wu) in &loss_windows {
+                        if (wa, wb) == (lo, hi) && *from < wu && wf < *until {
+                            return err(format!(
+                                "overlapping loss windows on link {lo}—{hi} \
+                                 ({wf}..{wu} and {from}..{until})"
+                            ));
+                        }
+                    }
+                    loss_windows.push((lo, hi, *from, *until));
+                }
+            }
+        }
+        match (&self.probe, &self.protocol) {
+            (Probe::None, _) => {}
+            (Probe::RipRoute { node, .. }, ProtocolSpec::Rip { .. })
+            | (Probe::OspfReachable { node }, ProtocolSpec::Ospf)
+            | (Probe::BgpBest { node, .. }, ProtocolSpec::Bgp { .. }) => {
+                check_node(*node, "the probe")?;
+            }
+            (p, proto) => {
+                return err(format!("probe {p:?} does not fit protocol {}", proto.name()));
+            }
+        }
+        Ok(())
+    }
+
+    /// Runs the instrumented production network and extracts the partial
+    /// recording (the `record` half of the workflow).
+    pub fn record_run(&self) -> Result<RecordedRun, ScenarioError> {
+        let g = self.topology.build();
+        self.validate_on(&g)?;
+        match self.protocol {
+            ProtocolSpec::Rip { mode } => {
+                let procs = crate::registry::rip_processes(&g, mode);
+                self.record_typed(&g, procs, ext_to_rip, |net| self.probe_rip(net))
+            }
+            ProtocolSpec::Ospf => {
+                let procs = crate::registry::ospf_processes(&g);
+                self.record_typed(&g, procs, ext_to_ospf, |net| self.probe_ospf(net))
+            }
+            ProtocolSpec::Bgp { mode } => {
+                let roles = self.topology.fig4_roles().expect("validated");
+                let procs = crate::registry::bgp_fig4_processes(&roles, mode);
+                self.record_typed(&g, procs, ext_to_bgp, |net| self.probe_bgp(net))
+            }
+        }
+    }
+
+    /// Replays a serialised recording in lockstep and returns the per-node
+    /// committed logs (for equivalence checks against
+    /// [`RecordedRun::logs`]).
+    pub fn replay_logs(&self, bytes: &[u8]) -> Result<Vec<Vec<CommitRecord>>, ScenarioError> {
+        let g = self.topology.build();
+        self.validate_on(&g)?;
+        match self.protocol {
+            ProtocolSpec::Rip { mode } => {
+                self.replay_typed(&g, crate::registry::rip_processes(&g, mode), bytes)
+            }
+            ProtocolSpec::Ospf => self.replay_typed(&g, crate::registry::ospf_processes(&g), bytes),
+            ProtocolSpec::Bgp { mode } => {
+                let roles = self.topology.fig4_roles().expect("validated");
+                self.replay_typed(&g, crate::registry::bgp_fig4_processes(&roles, mode), bytes)
+            }
+        }
+    }
+
+    /// Loads a serialised recording into a debugging network and drives a
+    /// scripted [`DebugSession`] over it, returning the transcript (the
+    /// `debug` half of the workflow). Deterministic: the same recording and
+    /// script always produce the same transcript.
+    pub fn debug_transcript(&self, bytes: &[u8], script: &str) -> Result<String, ScenarioError> {
+        let g = self.topology.build();
+        self.validate_on(&g)?;
+        match self.protocol {
+            ProtocolSpec::Rip { mode } => {
+                self.debug_typed(&g, crate::registry::rip_processes(&g, mode), bytes, script)
+            }
+            ProtocolSpec::Ospf => {
+                self.debug_typed(&g, crate::registry::ospf_processes(&g), bytes, script)
+            }
+            ProtocolSpec::Bgp { mode } => {
+                let roles = self.topology.fig4_roles().expect("validated");
+                self.debug_typed(
+                    &g,
+                    crate::registry::bgp_fig4_processes(&roles, mode),
+                    bytes,
+                    script,
+                )
+            }
+        }
+    }
+
+    /// Builds the RB-instrumented production network, applies the workload
+    /// and fault schedule, runs to the deadline, and extracts the recording.
+    fn record_typed<P>(
+        &self,
+        g: &Graph,
+        procs: Vec<P>,
+        conv: impl Fn(&ExtSpec) -> Option<P::Ext>,
+        outcome: impl FnOnce(&RbNetwork<P>) -> Option<String>,
+    ) -> Result<RecordedRun, ScenarioError>
+    where
+        P: ControlPlane + Clone + 'static,
+        P::Ext: Wire,
+    {
+        let mut net = RbNetwork::new(g, DefinedConfig::default(), self.seed, self.jitter_frac, {
+            move |id: NodeId| procs[id.index()].clone()
+        });
+        for inj in &self.workload {
+            let ev = conv(&inj.ev).ok_or_else(|| {
+                ScenarioError::Invalid(format!("injection {:?} does not fit the protocol", inj.ev))
+            })?;
+            net.inject_external(inj.at, inj.node, ev);
+        }
+        for f in &self.faults {
+            match f {
+                Fault::NodeDown { at, node } => net.schedule_node(*at, *node, false),
+                Fault::NodeUp { at, node } => net.schedule_node(*at, *node, true),
+                Fault::LinkDown { at, a, b } => net.schedule_link(*at, *a, *b, false),
+                Fault::LinkUp { at, a, b } => net.schedule_link(*at, *a, *b, true),
+                Fault::LinkFlap { at, a, b, down_for, period, count } => {
+                    net.schedule_flap(*at, *a, *b, *down_for, *period, *count);
+                }
+                Fault::Partition { at, heal, side } => {
+                    net.schedule_partition(*at, *heal, side);
+                }
+                Fault::LossWindow { from, until, a, b, p } => {
+                    net.schedule_loss_window(*from, *until, *a, *b, *p);
+                }
+            }
+        }
+        net.run_until(SimTime::ZERO + self.duration);
+        let outcome = outcome(&net);
+        let upto = net.completed_group(2);
+        let (rec, logs) = net.into_recording();
+        Ok(RecordedRun {
+            bytes: rec.to_bytes(),
+            n_groups: rec.last_group,
+            n_externals: rec.externals.len(),
+            n_mutes: rec.mutes.len(),
+            n_drops: rec.drops.len(),
+            outcome,
+            upto,
+            logs,
+        })
+    }
+
+    fn replay_typed<P>(
+        &self,
+        g: &Graph,
+        procs: Vec<P>,
+        bytes: &[u8],
+    ) -> Result<Vec<Vec<CommitRecord>>, ScenarioError>
+    where
+        P: ControlPlane + Clone + 'static,
+        P::Ext: Wire,
+    {
+        let rec = decode_for::<P>(g, bytes)?;
+        let mut ls = LockstepNet::new(g, DefinedConfig::default(), rec, move |id: NodeId| {
+            procs[id.index()].clone()
+        });
+        ls.run_to_end();
+        Ok(ls.logs().to_vec())
+    }
+
+    fn debug_typed<P>(
+        &self,
+        g: &Graph,
+        procs: Vec<P>,
+        bytes: &[u8],
+        script: &str,
+    ) -> Result<String, ScenarioError>
+    where
+        P: ControlPlane + Clone + 'static,
+        P::Ext: Wire,
+    {
+        let rec = decode_for::<P>(g, bytes)?;
+        let ls = LockstepNet::new(g, DefinedConfig::default(), rec, move |id: NodeId| {
+            procs[id.index()].clone()
+        });
+        let mut session = DebugSession::new(Debugger::new(ls), g.node_count());
+        Ok(session.run_script(script))
+    }
+
+    fn probe_rip(&self, net: &RbNetwork<RipProcess>) -> Option<String> {
+        match self.probe {
+            Probe::RipRoute { node, prefix } => {
+                let via = net.control_plane(node).route(prefix).and_then(|r| r.next_hop);
+                Some(match via {
+                    Some(nh) => format!("{node} routes {prefix} via {nh}"),
+                    None => format!("{node} has no route to {prefix}"),
+                })
+            }
+            _ => None,
+        }
+    }
+
+    fn probe_bgp(&self, net: &RbNetwork<BgpProcess>) -> Option<String> {
+        match self.probe {
+            Probe::BgpBest { node, prefix } => {
+                let best = net.control_plane(node).best_path(prefix).map(|p| p.route_id);
+                Some(match best {
+                    Some(id) => format!("{node} selects p{id} for {prefix}"),
+                    None => format!("{node} has no path to {prefix}"),
+                })
+            }
+            _ => None,
+        }
+    }
+
+    fn probe_ospf(&self, net: &RbNetwork<routing::ospf::OspfProcess>) -> Option<String> {
+        match self.probe {
+            Probe::OspfReachable { node } => {
+                Some(format!("{node} reaches {} destinations", net.control_plane(node).routing_table().len()))
+            }
+            _ => None,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::spec::Injection;
+    use defined_core::ls::first_divergence;
+    use netsim::SimDuration;
+
+    fn mini_ospf() -> Scenario {
+        Scenario {
+            name: "mini".into(),
+            description: "4-ring OSPF with one link fault".into(),
+            topology: TopologySpec::Ring { n: 4, delay: SimDuration::from_millis(4) },
+            protocol: ProtocolSpec::Ospf,
+            seed: 5,
+            jitter_frac: 0.4,
+            duration: SimDuration::from_secs(3),
+            workload: vec![],
+            faults: vec![Fault::LinkDown {
+                at: SimTime::from_millis(1500),
+                a: NodeId(0),
+                b: NodeId(1),
+            }],
+            probe: Probe::OspfReachable { node: NodeId(2) },
+        }
+    }
+
+    use crate::spec::TopologySpec;
+
+    #[test]
+    fn record_replay_debug_cycle() {
+        let scn = mini_ospf();
+        let run = scn.record_run().expect("records");
+        assert!(run.n_groups >= 5);
+        assert_eq!(run.outcome.as_deref(), Some("n2 reaches 3 destinations"));
+        let ls = scn.replay_logs(&run.bytes).expect("replays");
+        assert!(first_divergence(&run.logs, &ls, run.upto).is_none());
+        let t1 = scn.debug_transcript(&run.bytes, "stepg 2\nwhere\n").expect("debugs");
+        let t2 = scn.debug_transcript(&run.bytes, "stepg 2\nwhere\n").expect("debugs again");
+        assert_eq!(t1, t2);
+        assert!(t1.contains("group"), "{t1}");
+    }
+
+    #[test]
+    fn bad_recordings_are_rejected() {
+        let scn = mini_ospf();
+        assert!(matches!(
+            scn.debug_transcript(b"garbage", "step\n"),
+            Err(ScenarioError::BadRecording)
+        ));
+        assert!(matches!(scn.replay_logs(&[1, 2, 3]), Err(ScenarioError::BadRecording)));
+    }
+
+    #[test]
+    fn validation_rejects_mismatches() {
+        // BGP off the Fig. 4 topology.
+        let mut scn = mini_ospf();
+        scn.protocol = ProtocolSpec::Bgp { mode: routing::bgp::DecisionMode::CorrectFull };
+        assert!(matches!(scn.record_run(), Err(ScenarioError::Invalid(_))));
+
+        // An injection that does not fit the protocol.
+        let mut scn = mini_ospf();
+        scn.workload.push(Injection {
+            at: SimTime::from_millis(100),
+            node: NodeId(0),
+            ev: ExtSpec::RipConnect { prefix: 7 },
+        });
+        assert!(matches!(scn.record_run(), Err(ScenarioError::Invalid(_))));
+
+        // A fault on a link the topology lacks (0—2 is a chord of the ring).
+        let mut scn = mini_ospf();
+        scn.faults.push(Fault::LinkDown {
+            at: SimTime::from_millis(100),
+            a: NodeId(0),
+            b: NodeId(2),
+        });
+        assert!(matches!(scn.record_run(), Err(ScenarioError::Invalid(_))));
+
+        // A probe that does not fit the protocol.
+        let mut scn = mini_ospf();
+        scn.probe = Probe::RipRoute { node: NodeId(0), prefix: 7 };
+        assert!(matches!(scn.record_run(), Err(ScenarioError::Invalid(_))));
+
+        // A fault scheduled after the end of the run would silently never
+        // fire and report a misleading healthy outcome.
+        let mut scn = mini_ospf();
+        scn.faults.push(Fault::LinkDown {
+            at: SimTime::from_secs(10),
+            a: NodeId(0),
+            b: NodeId(1),
+        });
+        assert!(matches!(scn.record_run(), Err(ScenarioError::Invalid(_))));
+
+        // Overlapping loss windows on one link (either orientation) would
+        // truncate each other when the first window's end clears the model.
+        let mut scn = mini_ospf();
+        scn.faults = vec![
+            Fault::LossWindow {
+                from: SimTime::from_millis(500),
+                until: SimTime::from_millis(2500),
+                a: NodeId(1),
+                b: NodeId(2),
+                p: 0.5,
+            },
+            Fault::LossWindow {
+                from: SimTime::from_millis(2000),
+                until: SimTime::from_millis(2800),
+                a: NodeId(2),
+                b: NodeId(1),
+                p: 0.9,
+            },
+        ];
+        assert!(matches!(scn.record_run(), Err(ScenarioError::Invalid(_))));
+
+        // A partition heal after the run end would silently never heal.
+        let mut scn = mini_ospf();
+        scn.faults = vec![Fault::Partition {
+            at: SimTime::from_millis(500),
+            heal: Some(SimTime::from_secs(50)),
+            side: vec![NodeId(0)],
+        }];
+        assert!(matches!(scn.record_run(), Err(ScenarioError::Invalid(_))));
+
+        // Duplicate ids in a partition side are harmless — the *set* must be
+        // a proper subset, not the raw list length.
+        let mut scn = mini_ospf();
+        scn.faults = vec![Fault::Partition {
+            at: SimTime::from_millis(500),
+            heal: None,
+            side: vec![NodeId(0), NodeId(0), NodeId(1), NodeId(1)],
+        }];
+        assert!(scn.validate().is_ok());
+    }
+
+    #[test]
+    fn wrong_size_recording_is_rejected_cleanly() {
+        // A same-protocol recording from a different-sized network must be
+        // BadRecording, not a LockstepNet size-assert panic.
+        let run = mini_ospf().record_run().expect("records");
+        let mut big = mini_ospf();
+        big.topology = TopologySpec::Ring { n: 5, delay: SimDuration::from_millis(4) };
+        assert!(matches!(big.replay_logs(&run.bytes), Err(ScenarioError::BadRecording)));
+        assert!(matches!(
+            big.debug_transcript(&run.bytes, "step\n"),
+            Err(ScenarioError::BadRecording)
+        ));
+    }
+}

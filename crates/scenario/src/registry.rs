@@ -1,0 +1,456 @@
+//! The scenario registry: named, ready-made scenarios, plus the canonical
+//! per-protocol process spawners the binary and the integration tests share.
+
+use crate::spec::{ExtSpec, Fault, Injection, Probe, ProtocolSpec, TopologySpec};
+use crate::Scenario;
+use netsim::{NodeId, SimDuration, SimTime};
+use routing::bgp::{fig4_paths, BgpProcess, DecisionMode, Role};
+use routing::ospf::{OspfConfig, OspfProcess};
+use routing::rip::{RefreshMode, RipConfig, RipProcess};
+use topology::canonical::Fig4Roles;
+use topology::rocketfuel::Isp;
+use topology::Graph;
+
+/// One RIP process per node, neighbours taken from the graph.
+pub fn rip_processes(g: &Graph, mode: RefreshMode) -> Vec<RipProcess> {
+    let cfg = RipConfig::emulation(mode);
+    (0..g.node_count() as u32)
+        .map(|i| RipProcess::new(NodeId(i), g.neighbors(NodeId(i)), cfg))
+        .collect()
+}
+
+/// One OSPF process per node, interfaces from the graph, stress timers.
+pub fn ospf_processes(g: &Graph) -> Vec<OspfProcess> {
+    let f = OspfProcess::for_graph(g, OspfConfig::stress(g.node_count()));
+    (0..g.node_count() as u32).map(|i| f(NodeId(i))).collect()
+}
+
+/// The six Fig. 4 BGP processes: `ER1`/`ER2` peer with `R1`, `ER3` with
+/// `R2`, and the three internal routers form an iBGP full mesh.
+pub fn bgp_fig4_processes(roles: &Fig4Roles, mode: DecisionMode) -> Vec<BgpProcess> {
+    let internal = [roles.r1, roles.r2, roles.r3];
+    (0..6u32)
+        .map(|i| {
+            let id = NodeId(i);
+            if id == roles.er1 || id == roles.er2 {
+                BgpProcess::new(id, Role::External { border: roles.r1 }, mode)
+            } else if id == roles.er3 {
+                BgpProcess::new(id, Role::External { border: roles.r2 }, mode)
+            } else {
+                let peers = internal.iter().copied().filter(|&p| p != id).collect();
+                BgpProcess::new(id, Role::Internal { ibgp_peers: peers }, mode)
+            }
+        })
+        .collect()
+}
+
+fn ms(x: u64) -> SimTime {
+    SimTime::from_millis(x)
+}
+
+fn dms(x: u64) -> SimDuration {
+    SimDuration::from_millis(x)
+}
+
+/// The Fig. 4 topology the paper's BGP case study uses.
+fn fig4_topology() -> TopologySpec {
+    TopologySpec::Fig4Bgp { internal: dms(8), external: dms(12) }
+}
+
+/// The three Fig. 4 announcements as workload injections.
+fn fig4_workload(at: SimTime) -> Vec<Injection> {
+    let roles = fig4_topology().fig4_roles().expect("fig4");
+    let [p1, p2, p3] = fig4_paths();
+    [(roles.er1, p1), (roles.er2, p2), (roles.er3, p3)]
+        .into_iter()
+        .map(|(er, attrs)| Injection {
+            at,
+            node: er,
+            ev: ExtSpec::BgpAnnounce { prefix: 9, attrs },
+        })
+        .collect()
+}
+
+/// The paper's Fig. 5 case study: the Quagga 0.96.5 timer-refresh black
+/// hole. `R2` dies mid-run; under the buggy refresh mode `R1` keeps the
+/// dead next hop alive.
+fn rip_blackhole() -> Scenario {
+    Scenario {
+        name: "rip-blackhole".into(),
+        description: "Quagga 0.96.5 RIP timer-refresh black hole (Fig. 5)".into(),
+        topology: TopologySpec::Fig5Rip { delay: dms(10) },
+        protocol: ProtocolSpec::Rip { mode: RefreshMode::DestinationOnly },
+        seed: 2,
+        jitter_frac: 0.6,
+        duration: SimDuration::from_secs(26),
+        workload: vec![Injection {
+            at: ms(100),
+            node: NodeId(3),
+            ev: ExtSpec::RipConnect { prefix: 77 },
+        }],
+        faults: vec![Fault::NodeDown { at: SimTime::from_secs(8), node: NodeId(1) }],
+        probe: Probe::RipRoute { node: NodeId(0), prefix: 77 },
+    }
+}
+
+/// The paper's Fig. 4 case study: the XORP 0.4 MED ordering bug. The
+/// announcements are staggered so the updates reach `R3` in the paper's
+/// fatal order `p1, p3, p2`: the buggy incremental decision settles on
+/// `p2` though `p3` is correct.
+fn bgp_med() -> Scenario {
+    let roles = fig4_topology().fig4_roles().expect("fig4");
+    let [p1, p2, p3] = fig4_paths();
+    let workload = [(roles.er1, p1, 700), (roles.er3, p3, 900), (roles.er2, p2, 1100)]
+        .into_iter()
+        .map(|(er, attrs, at)| Injection {
+            at: ms(at),
+            node: er,
+            ev: ExtSpec::BgpAnnounce { prefix: 9, attrs },
+        })
+        .collect();
+    Scenario {
+        name: "bgp-med".into(),
+        description: "XORP 0.4 BGP MED ordering bug network (Fig. 4)".into(),
+        topology: fig4_topology(),
+        protocol: ProtocolSpec::Bgp { mode: DecisionMode::BuggyIncremental },
+        seed: 1,
+        jitter_frac: 0.5,
+        duration: SimDuration::from_secs(4),
+        workload,
+        faults: vec![],
+        probe: Probe::BgpBest { node: NodeId(2), prefix: 9 },
+    }
+}
+
+/// The Fig. 4 network with the validated patch (full decision re-run):
+/// the same workload must settle on `p3`.
+fn bgp_med_patched() -> Scenario {
+    Scenario {
+        name: "bgp-med-patched".into(),
+        description: "Fig. 4 network with the MED patch applied; must select p3".into(),
+        protocol: ProtocolSpec::Bgp { mode: DecisionMode::CorrectFull },
+        ..bgp_med()
+    }
+}
+
+/// RIP count-to-infinity: the destination's only remaining attachment
+/// flaps, so distance vectors chase each other around the ring.
+fn rip_count_to_infinity() -> Scenario {
+    Scenario {
+        name: "rip-count-to-infinity".into(),
+        description: "RIP count-to-infinity race on a ring under link flap".into(),
+        topology: TopologySpec::Ring { n: 4, delay: dms(8) },
+        protocol: ProtocolSpec::Rip { mode: RefreshMode::DestinationAndNextHop },
+        seed: 4,
+        jitter_frac: 0.6,
+        duration: SimDuration::from_secs(16),
+        workload: vec![Injection {
+            at: ms(100),
+            node: NodeId(3),
+            ev: ExtSpec::RipConnect { prefix: 50 },
+        }],
+        faults: vec![Fault::LinkFlap {
+            at: SimTime::from_secs(6),
+            a: NodeId(2),
+            b: NodeId(3),
+            down_for: dms(1200),
+            period: dms(2500),
+            count: 2,
+        }],
+        probe: Probe::RipRoute { node: NodeId(0), prefix: 50 },
+    }
+}
+
+/// OSPF flooding storm on a Rocketfuel-like ISP: a backbone hub is cut
+/// off and heals, forcing LSA storms and SPF churn across 25 PoPs.
+fn ospf_flood_storm() -> Scenario {
+    Scenario {
+        name: "ospf-flood-storm".into(),
+        description: "OSPF flooding storm on the Ebone ISP map with hub partition/heal".into(),
+        topology: TopologySpec::Rocketfuel { isp: Isp::Ebone },
+        protocol: ProtocolSpec::Ospf,
+        seed: 3,
+        jitter_frac: 0.5,
+        duration: SimDuration::from_secs(5),
+        workload: vec![],
+        faults: vec![Fault::Partition {
+            at: ms(1500),
+            heal: Some(SimTime::from_secs(3)),
+            side: vec![NodeId(0)],
+        }],
+        probe: Probe::OspfReachable { node: NodeId(5) },
+    }
+}
+
+/// BGP route churn: announcements arrive, one is withdrawn and re-announced,
+/// and the `p3` peer crashes and restarts. The restart makes this an
+/// RB-exploration scenario (see DESIGN.md §7).
+fn bgp_churn() -> Scenario {
+    let roles = fig4_topology().fig4_roles().expect("fig4");
+    let [p1, _, _] = fig4_paths();
+    let mut workload = fig4_workload(ms(700));
+    workload.push(Injection {
+        at: ms(1500),
+        node: roles.er1,
+        ev: ExtSpec::BgpWithdraw { prefix: 9, route_id: 1 },
+    });
+    workload.push(Injection {
+        at: ms(2200),
+        node: roles.er1,
+        ev: ExtSpec::BgpAnnounce { prefix: 9, attrs: p1 },
+    });
+    Scenario {
+        name: "bgp-churn".into(),
+        description: "BGP route churn with withdraw/re-announce and a peer crash/restart".into(),
+        topology: fig4_topology(),
+        protocol: ProtocolSpec::Bgp { mode: DecisionMode::BuggyIncremental },
+        seed: 6,
+        jitter_frac: 0.5,
+        duration: SimDuration::from_secs(5),
+        workload,
+        faults: vec![
+            Fault::NodeDown { at: ms(2500), node: roles.er3 },
+            Fault::NodeUp { at: ms(3200), node: roles.er3 },
+        ],
+        probe: Probe::BgpBest { node: NodeId(2), prefix: 9 },
+    }
+}
+
+/// Convergence race on a BRITE Waxman graph: node 0's two lowest-numbered
+/// incident links fail 100 ms apart, racing SPF recomputations.
+fn brite_convergence_race() -> Scenario {
+    let topology = TopologySpec::Waxman {
+        n: 12,
+        params: topology::brite::WaxmanParams::default(),
+        seed: 7,
+    };
+    // Pick the fault edges from the (deterministic) generated graph so the
+    // scenario stays valid whatever the generator produced.
+    let g = topology.build();
+    let incident: Vec<_> = g
+        .edges()
+        .iter()
+        .filter(|e| e.a == NodeId(0) || e.b == NodeId(0))
+        .take(2)
+        .map(|e| (e.a, e.b))
+        .collect();
+    let mut faults: Vec<Fault> = incident
+        .iter()
+        .enumerate()
+        .map(|(i, &(a, b))| Fault::LinkDown { at: ms(2000 + 100 * i as u64), a, b })
+        .collect();
+    // Heal the first failure late, racing the second outage's convergence.
+    if let Some(&(a, b)) = incident.first() {
+        faults.push(Fault::LinkUp { at: ms(3500), a, b });
+    }
+    Scenario {
+        name: "brite-race".into(),
+        description: "OSPF convergence race on a Waxman graph: staggered link failures".into(),
+        topology,
+        protocol: ProtocolSpec::Ospf,
+        seed: 5,
+        jitter_frac: 0.7,
+        duration: SimDuration::from_secs(5),
+        workload: vec![],
+        faults,
+        probe: Probe::OspfReachable { node: NodeId(0) },
+    }
+}
+
+/// Beacon-source failover stress: the virtual-time source crashes mid-run;
+/// the survivors elect a claimant and the recording must replay across the
+/// handover.
+fn beacon_failover_stress() -> Scenario {
+    Scenario {
+        name: "beacon-failover".into(),
+        description: "beacon-source crash: survivors elect a new source; time keeps advancing"
+            .into(),
+        topology: TopologySpec::Line { n: 6, delay: dms(5) },
+        protocol: ProtocolSpec::Ospf,
+        seed: 11,
+        jitter_frac: 0.5,
+        duration: SimDuration::from_secs(9),
+        workload: vec![],
+        faults: vec![Fault::NodeDown { at: SimTime::from_secs(3), node: NodeId(0) }],
+        probe: Probe::OspfReachable { node: NodeId(5) },
+    }
+}
+
+/// RIP across a healed bisection: the left column of a grid is cut off,
+/// routes poison, the partition heals, and the tables must reconverge.
+fn rip_partition_heal() -> Scenario {
+    Scenario {
+        name: "rip-partition-heal".into(),
+        description: "RIP reconvergence across a grid bisection that heals".into(),
+        topology: TopologySpec::Grid { rows: 2, cols: 3, delay: dms(4) },
+        protocol: ProtocolSpec::Rip { mode: RefreshMode::DestinationAndNextHop },
+        seed: 9,
+        jitter_frac: 0.5,
+        duration: SimDuration::from_secs(14),
+        workload: vec![Injection {
+            at: ms(100),
+            node: NodeId(5),
+            ev: ExtSpec::RipConnect { prefix: 60 },
+        }],
+        faults: vec![Fault::Partition {
+            at: SimTime::from_secs(3),
+            heal: Some(SimTime::from_secs(5)),
+            side: vec![NodeId(0), NodeId(3)],
+        }],
+        probe: Probe::RipRoute { node: NodeId(0), prefix: 60 },
+    }
+}
+
+/// A message-loss window: an OSPF ring loses half its packets on one link
+/// for 1.5 s. Committed losses enter the recording and replay exactly.
+fn ospf_loss_window() -> Scenario {
+    Scenario {
+        name: "ospf-loss-window".into(),
+        description: "OSPF ring under a 50% message-loss window on one link".into(),
+        topology: TopologySpec::Ring { n: 5, delay: dms(4) },
+        protocol: ProtocolSpec::Ospf,
+        seed: 13,
+        jitter_frac: 0.5,
+        duration: SimDuration::from_secs(6),
+        workload: vec![],
+        faults: vec![Fault::LossWindow {
+            from: ms(1500),
+            until: SimTime::from_secs(3),
+            a: NodeId(1),
+            b: NodeId(2),
+            p: 0.5,
+        }],
+        probe: Probe::OspfReachable { node: NodeId(2) },
+    }
+}
+
+/// Hub crash on a Barabási–Albert graph: the highest-degree node dies, so
+/// a large fraction of shortest paths must reroute at once.
+fn ba_hub_crash() -> Scenario {
+    let topology = TopologySpec::BarabasiAlbert { n: 14, m: 2, seed: 13 };
+    let g = topology.build();
+    let hub = (0..g.node_count() as u32)
+        .max_by_key(|&i| g.degree(NodeId(i)))
+        .map(NodeId)
+        .expect("nonempty graph");
+    // Probe from a node other than the hub (the hub is dead at probe time).
+    let witness = NodeId(if hub == NodeId(0) { 1 } else { 0 });
+    Scenario {
+        name: "ba-hub-crash".into(),
+        description: "OSPF on a Barabási–Albert graph; the highest-degree hub crashes".into(),
+        topology,
+        protocol: ProtocolSpec::Ospf,
+        seed: 8,
+        jitter_frac: 0.4,
+        duration: SimDuration::from_secs(6),
+        workload: vec![],
+        faults: vec![Fault::NodeDown { at: ms(2500), node: hub }],
+        probe: Probe::OspfReachable { node: witness },
+    }
+}
+
+/// Flap storm on a star: two spokes flap against the hub while a third
+/// spoke owns the destination prefix.
+fn rip_star_flap_storm() -> Scenario {
+    Scenario {
+        name: "rip-flap-storm".into(),
+        description: "RIP star under concurrent spoke flaps".into(),
+        topology: TopologySpec::Star { n: 5, delay: dms(6) },
+        protocol: ProtocolSpec::Rip { mode: RefreshMode::DestinationAndNextHop },
+        seed: 15,
+        jitter_frac: 0.6,
+        duration: SimDuration::from_secs(12),
+        workload: vec![Injection {
+            at: ms(100),
+            node: NodeId(4),
+            ev: ExtSpec::RipConnect { prefix: 42 },
+        }],
+        faults: vec![
+            Fault::LinkFlap {
+                at: SimTime::from_secs(3),
+                a: NodeId(0),
+                b: NodeId(1),
+                down_for: dms(900),
+                period: dms(2000),
+                count: 2,
+            },
+            Fault::LinkFlap {
+                at: ms(3700),
+                a: NodeId(0),
+                b: NodeId(2),
+                down_for: dms(900),
+                period: dms(2000),
+                count: 2,
+            },
+        ],
+        probe: Probe::RipRoute { node: NodeId(1), prefix: 42 },
+    }
+}
+
+/// Every bundled scenario, in listing order.
+pub fn registry() -> Vec<Scenario> {
+    vec![
+        rip_blackhole(),
+        bgp_med(),
+        bgp_med_patched(),
+        bgp_churn(),
+        rip_count_to_infinity(),
+        rip_partition_heal(),
+        rip_star_flap_storm(),
+        ospf_flood_storm(),
+        ospf_loss_window(),
+        brite_convergence_race(),
+        beacon_failover_stress(),
+        ba_hub_crash(),
+    ]
+}
+
+/// Looks a bundled scenario up by name.
+pub fn find(name: &str) -> Option<Scenario> {
+    registry().into_iter().find(|s| s.name == name)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn registry_is_at_least_ten_and_named_uniquely() {
+        let reg = registry();
+        assert!(reg.len() >= 10, "registry has {} entries", reg.len());
+        let mut names: Vec<&str> = reg.iter().map(|s| s.name.as_str()).collect();
+        names.sort_unstable();
+        names.dedup();
+        assert_eq!(names.len(), reg.len(), "duplicate scenario names");
+    }
+
+    #[test]
+    fn every_registered_scenario_validates() {
+        for s in registry() {
+            assert!(s.validate().is_ok(), "{}: {:?}", s.name, s.validate());
+        }
+    }
+
+    #[test]
+    fn find_resolves_names() {
+        assert!(find("rip-blackhole").is_some());
+        assert!(find("bgp-med").is_some());
+        assert!(find("no-such-scenario").is_none());
+    }
+
+    #[test]
+    fn spawners_cover_every_node() {
+        let g = topology::canonical::ring(5, SimDuration::from_millis(4));
+        assert_eq!(rip_processes(&g, RefreshMode::DestinationOnly).len(), 5);
+        assert_eq!(ospf_processes(&g).len(), 5);
+        let roles = fig4_topology().fig4_roles().unwrap();
+        assert_eq!(bgp_fig4_processes(&roles, DecisionMode::BuggyIncremental).len(), 6);
+    }
+
+    #[test]
+    fn only_bgp_churn_restarts() {
+        for s in registry() {
+            assert_eq!(s.has_restart(), s.name == "bgp-churn", "{}", s.name);
+        }
+    }
+}

@@ -1,0 +1,433 @@
+//! The `.scn` text format: one directive per line, `#` starts a comment.
+//!
+//! ```text
+//! name ring-loss
+//! description OSPF ring with a loss window and a flap
+//! topology ring 5 4ms
+//! protocol ospf
+//! seed 3
+//! jitter 0.5
+//! duration 6s
+//! fault 1500ms loss 1 2 0.5 until 3s
+//! fault 2s flap 0 1 400ms 900ms 2
+//! probe ospf-reachable 0
+//! ```
+//!
+//! Directives:
+//!
+//! * `name <ident>` / `description <text>` — identity (name required).
+//! * `topology line|ring|star|full-mesh <n> <delay>` ·
+//!   `grid <rows> <cols> <delay>` · `fig4-bgp <internal> <external>` ·
+//!   `fig5-rip <delay>` · `rocketfuel sprintlink|ebone|level3` ·
+//!   `waxman <n> <alpha> <beta> <seed>` · `ba <n> <m> <seed>`.
+//! * `protocol ospf` · `rip destination-only|destination-and-next-hop` ·
+//!   `bgp buggy-incremental|correct-full`.
+//! * `seed <u64>` · `jitter <f64>` · `duration <time>` — run parameters
+//!   (duration required; seed defaults to 0, jitter to 0.5).
+//! * `inject <time> <node> rip-connect <prefix>` ·
+//!   `… bgp-announce <prefix> <route_id> <as_path_len> <neighbor_as> <med>
+//!   <igp_dist>` · `… bgp-withdraw <prefix> <route_id>` — the workload.
+//! * `fault <time> node-down|node-up <node>` ·
+//!   `… link-down|link-up <a> <b>` ·
+//!   `… flap <a> <b> <down_for> <period> <count>` ·
+//!   `… partition <node>… [heal <time>]` ·
+//!   `… loss <a> <b> <p> until <time>` — the fault schedule.
+//! * `probe rip-route <node> <prefix>` · `probe bgp-best <node> <prefix>` ·
+//!   `probe ospf-reachable <node>`.
+//!
+//! Times are `<integer><unit>` with unit `ns`, `us`, `ms`, or `s`.
+
+use crate::spec::{ExtSpec, Fault, Injection, Probe, ProtocolSpec, TopologySpec};
+use crate::{Scenario, ScenarioError};
+use netsim::{NodeId, SimDuration, SimTime};
+use routing::bgp::{DecisionMode, PathAttrs};
+use routing::rip::RefreshMode;
+use topology::brite::WaxmanParams;
+use topology::rocketfuel::Isp;
+
+fn perr(line: usize, msg: impl Into<String>) -> ScenarioError {
+    ScenarioError::Parse { line, msg: msg.into() }
+}
+
+/// Parses a `<integer><unit>` duration token.
+fn parse_duration(tok: &str, line: usize) -> Result<SimDuration, ScenarioError> {
+    let split = tok.find(|c: char| !c.is_ascii_digit()).ok_or_else(|| {
+        perr(line, format!("`{tok}`: expected a duration like `250ms` (unit ns/us/ms/s)"))
+    })?;
+    let (num, unit) = tok.split_at(split);
+    let v: u64 = num.parse().map_err(|_| perr(line, format!("`{tok}`: bad number")))?;
+    match unit {
+        "ns" => Ok(SimDuration::from_nanos(v)),
+        "us" => Ok(SimDuration::from_micros(v)),
+        "ms" => Ok(SimDuration::from_millis(v)),
+        "s" => Ok(SimDuration::from_secs(v)),
+        _ => Err(perr(line, format!("`{tok}`: unknown time unit `{unit}`"))),
+    }
+}
+
+fn parse_time(tok: &str, line: usize) -> Result<SimTime, ScenarioError> {
+    Ok(SimTime::ZERO + parse_duration(tok, line)?)
+}
+
+struct Tokens<'a> {
+    it: std::iter::Peekable<std::str::SplitWhitespace<'a>>,
+    line: usize,
+}
+
+impl<'a> Tokens<'a> {
+    fn new(s: &'a str, line: usize) -> Self {
+        Tokens { it: s.split_whitespace().peekable(), line }
+    }
+
+    fn next(&mut self, what: &str) -> Result<&'a str, ScenarioError> {
+        self.it.next().ok_or_else(|| perr(self.line, format!("missing {what}")))
+    }
+
+    fn peek(&mut self) -> Option<&&'a str> {
+        self.it.peek()
+    }
+
+    fn num<T: std::str::FromStr>(&mut self, what: &str) -> Result<T, ScenarioError> {
+        let tok = self.next(what)?;
+        tok.parse().map_err(|_| perr(self.line, format!("`{tok}`: bad {what}")))
+    }
+
+    fn node(&mut self) -> Result<NodeId, ScenarioError> {
+        Ok(NodeId(self.num::<u32>("node id")?))
+    }
+
+    fn time(&mut self) -> Result<SimTime, ScenarioError> {
+        let tok = self.next("time")?;
+        parse_time(tok, self.line)
+    }
+
+    fn duration(&mut self) -> Result<SimDuration, ScenarioError> {
+        let tok = self.next("duration")?;
+        parse_duration(tok, self.line)
+    }
+
+    fn done(&mut self) -> Result<(), ScenarioError> {
+        match self.it.next() {
+            None => Ok(()),
+            Some(t) => Err(perr(self.line, format!("unexpected trailing token `{t}`"))),
+        }
+    }
+}
+
+fn parse_topology(t: &mut Tokens<'_>) -> Result<TopologySpec, ScenarioError> {
+    let kind = t.next("topology kind")?;
+    let spec = match kind {
+        "line" => TopologySpec::Line { n: t.num("node count")?, delay: t.duration()? },
+        "ring" => TopologySpec::Ring { n: t.num("node count")?, delay: t.duration()? },
+        "star" => TopologySpec::Star { n: t.num("node count")?, delay: t.duration()? },
+        "full-mesh" => TopologySpec::FullMesh { n: t.num("node count")?, delay: t.duration()? },
+        "grid" => TopologySpec::Grid {
+            rows: t.num("row count")?,
+            cols: t.num("column count")?,
+            delay: t.duration()?,
+        },
+        "fig4-bgp" => TopologySpec::Fig4Bgp { internal: t.duration()?, external: t.duration()? },
+        "fig5-rip" => TopologySpec::Fig5Rip { delay: t.duration()? },
+        "rocketfuel" => {
+            let isp = match t.next("isp name")? {
+                "sprintlink" => Isp::Sprintlink,
+                "ebone" => Isp::Ebone,
+                "level3" => Isp::Level3,
+                other => return Err(perr(t.line, format!("unknown isp `{other}`"))),
+            };
+            TopologySpec::Rocketfuel { isp }
+        }
+        "waxman" => TopologySpec::Waxman {
+            n: t.num("node count")?,
+            params: WaxmanParams { alpha: t.num("alpha")?, beta: t.num("beta")? },
+            seed: t.num("seed")?,
+        },
+        "ba" => TopologySpec::BarabasiAlbert {
+            n: t.num("node count")?,
+            m: t.num("edges per node")?,
+            seed: t.num("seed")?,
+        },
+        other => return Err(perr(t.line, format!("unknown topology `{other}`"))),
+    };
+    t.done()?;
+    Ok(spec)
+}
+
+fn parse_protocol(t: &mut Tokens<'_>) -> Result<ProtocolSpec, ScenarioError> {
+    let spec = match t.next("protocol name")? {
+        "ospf" => ProtocolSpec::Ospf,
+        "rip" => {
+            let mode = match t.next("rip refresh mode")? {
+                "destination-only" => RefreshMode::DestinationOnly,
+                "destination-and-next-hop" => RefreshMode::DestinationAndNextHop,
+                other => return Err(perr(t.line, format!("unknown rip mode `{other}`"))),
+            };
+            ProtocolSpec::Rip { mode }
+        }
+        "bgp" => {
+            let mode = match t.next("bgp decision mode")? {
+                "buggy-incremental" => DecisionMode::BuggyIncremental,
+                "correct-full" => DecisionMode::CorrectFull,
+                other => return Err(perr(t.line, format!("unknown bgp mode `{other}`"))),
+            };
+            ProtocolSpec::Bgp { mode }
+        }
+        other => return Err(perr(t.line, format!("unknown protocol `{other}`"))),
+    };
+    t.done()?;
+    Ok(spec)
+}
+
+fn parse_inject(t: &mut Tokens<'_>) -> Result<Injection, ScenarioError> {
+    let at = t.time()?;
+    let node = t.node()?;
+    let ev = match t.next("event kind")? {
+        "rip-connect" => ExtSpec::RipConnect { prefix: t.num("prefix")? },
+        "bgp-announce" => ExtSpec::BgpAnnounce {
+            prefix: t.num("prefix")?,
+            attrs: PathAttrs {
+                route_id: t.num("route id")?,
+                as_path_len: t.num("as-path length")?,
+                neighbor_as: t.num("neighbour as")?,
+                med: t.num("med")?,
+                igp_dist: t.num("igp distance")?,
+            },
+        },
+        "bgp-withdraw" => {
+            ExtSpec::BgpWithdraw { prefix: t.num("prefix")?, route_id: t.num("route id")? }
+        }
+        other => return Err(perr(t.line, format!("unknown event `{other}`"))),
+    };
+    t.done()?;
+    Ok(Injection { at, node, ev })
+}
+
+fn parse_fault(t: &mut Tokens<'_>) -> Result<Fault, ScenarioError> {
+    let at = t.time()?;
+    let fault = match t.next("fault kind")? {
+        "node-down" => Fault::NodeDown { at, node: t.node()? },
+        "node-up" => Fault::NodeUp { at, node: t.node()? },
+        "link-down" => Fault::LinkDown { at, a: t.node()?, b: t.node()? },
+        "link-up" => Fault::LinkUp { at, a: t.node()?, b: t.node()? },
+        "flap" => Fault::LinkFlap {
+            at,
+            a: t.node()?,
+            b: t.node()?,
+            down_for: t.duration()?,
+            period: t.duration()?,
+            count: t.num("cycle count")?,
+        },
+        "partition" => {
+            let mut side = Vec::new();
+            let mut heal = None;
+            while let Some(&tok) = t.peek() {
+                if tok == "heal" {
+                    t.next("heal")?;
+                    heal = Some(t.time()?);
+                    break;
+                }
+                side.push(t.node()?);
+            }
+            if side.is_empty() {
+                return Err(perr(t.line, "partition needs at least one node"));
+            }
+            Fault::Partition { at, heal, side }
+        }
+        "loss" => {
+            let (a, b) = (t.node()?, t.node()?);
+            let p = t.num("loss probability")?;
+            match t.next("`until`")? {
+                "until" => {}
+                other => return Err(perr(t.line, format!("expected `until`, got `{other}`"))),
+            }
+            Fault::LossWindow { from: at, until: t.time()?, a, b, p }
+        }
+        other => return Err(perr(t.line, format!("unknown fault `{other}`"))),
+    };
+    t.done()?;
+    Ok(fault)
+}
+
+fn parse_probe(t: &mut Tokens<'_>) -> Result<Probe, ScenarioError> {
+    let probe = match t.next("probe kind")? {
+        "rip-route" => Probe::RipRoute { node: t.node()?, prefix: t.num("prefix")? },
+        "bgp-best" => Probe::BgpBest { node: t.node()?, prefix: t.num("prefix")? },
+        "ospf-reachable" => Probe::OspfReachable { node: t.node()? },
+        other => return Err(perr(t.line, format!("unknown probe `{other}`"))),
+    };
+    t.done()?;
+    Ok(probe)
+}
+
+/// Parses (and validates) a scenario from `.scn` text.
+pub fn parse(text: &str) -> Result<Scenario, ScenarioError> {
+    let mut name = None;
+    let mut description = String::new();
+    let mut topology = None;
+    let mut protocol = None;
+    let mut seed = 0u64;
+    let mut jitter = 0.5f64;
+    let mut duration = None;
+    let mut workload = Vec::new();
+    let mut faults = Vec::new();
+    let mut probe = Probe::None;
+    for (i, raw) in text.lines().enumerate() {
+        let lineno = i + 1;
+        let line = raw.split('#').next().unwrap_or("").trim();
+        if line.is_empty() {
+            continue;
+        }
+        let (verb, rest) = line.split_once(char::is_whitespace).unwrap_or((line, ""));
+        let mut t = Tokens::new(rest, lineno);
+        match verb {
+            "name" => {
+                name = Some(t.next("scenario name")?.to_string());
+                t.done()?;
+            }
+            "description" => description = rest.trim().to_string(),
+            "topology" => topology = Some(parse_topology(&mut t)?),
+            "protocol" => protocol = Some(parse_protocol(&mut t)?),
+            "seed" => {
+                seed = t.num("seed")?;
+                t.done()?;
+            }
+            "jitter" => {
+                jitter = t.num("jitter fraction")?;
+                t.done()?;
+            }
+            "duration" => {
+                duration = Some(t.duration()?);
+                t.done()?;
+            }
+            "inject" => workload.push(parse_inject(&mut t)?),
+            "fault" => faults.push(parse_fault(&mut t)?),
+            "probe" => probe = parse_probe(&mut t)?,
+            other => return Err(perr(lineno, format!("unknown directive `{other}`"))),
+        }
+    }
+    let scenario = Scenario {
+        name: name.ok_or_else(|| perr(0, "missing `name` directive"))?,
+        description,
+        topology: topology.ok_or_else(|| perr(0, "missing `topology` directive"))?,
+        protocol: protocol.ok_or_else(|| perr(0, "missing `protocol` directive"))?,
+        seed,
+        jitter_frac: jitter,
+        duration: duration.ok_or_else(|| perr(0, "missing `duration` directive"))?,
+        workload,
+        faults,
+        probe,
+    };
+    scenario.validate()?;
+    Ok(scenario)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    const EXAMPLE: &str = "\
+# OSPF ring with a loss window and a flap
+name ring-loss
+description OSPF ring with a loss window and a flap
+topology ring 5 4ms
+protocol ospf
+seed 3
+jitter 0.5
+duration 6s
+fault 1500ms loss 1 2 0.5 until 3s
+fault 2s flap 0 1 400ms 900ms 2
+probe ospf-reachable 0
+";
+
+    #[test]
+    fn parses_the_module_example() {
+        let s = parse(EXAMPLE).expect("parses");
+        assert_eq!(s.name, "ring-loss");
+        assert_eq!(s.topology, TopologySpec::Ring { n: 5, delay: SimDuration::from_millis(4) });
+        assert_eq!(s.protocol, ProtocolSpec::Ospf);
+        assert_eq!(s.seed, 3);
+        assert_eq!(s.duration, SimDuration::from_secs(6));
+        assert_eq!(s.faults.len(), 2);
+        assert_eq!(s.probe, Probe::OspfReachable { node: NodeId(0) });
+        assert!(matches!(s.faults[0], Fault::LossWindow { p, .. } if p == 0.5));
+    }
+
+    #[test]
+    fn parses_every_fault_and_inject_form() {
+        let s = parse(
+            "name all\n\
+             topology fig4-bgp 8ms 12ms\n\
+             protocol bgp buggy-incremental\n\
+             duration 5s\n\
+             inject 700ms 3 bgp-announce 9 1 3 100 10 10\n\
+             inject 1500ms 3 bgp-withdraw 9 1\n\
+             fault 1s node-down 5\n\
+             fault 2s node-up 5\n\
+             fault 1s link-down 0 1\n\
+             fault 2s link-up 0 1\n\
+             fault 1s flap 0 2 100ms 300ms 2\n\
+             fault 1s partition 3 heal 2s\n\
+             fault 1s loss 1 2 0.25 until 2s\n\
+             probe bgp-best 2 9\n",
+        )
+        .expect("parses");
+        assert_eq!(s.workload.len(), 2);
+        assert_eq!(s.faults.len(), 7);
+        assert!(s.has_restart());
+    }
+
+    #[test]
+    fn rip_scenario_round_trips_through_fig5() {
+        let s = parse(
+            "name mini-rip\n\
+             topology fig5-rip 10ms\n\
+             protocol rip destination-only\n\
+             duration 8s\n\
+             inject 100ms 3 rip-connect 77\n\
+             probe rip-route 0 77\n",
+        )
+        .expect("parses");
+        assert_eq!(s.protocol, ProtocolSpec::Rip { mode: RefreshMode::DestinationOnly });
+        assert_eq!(s.workload[0].ev, ExtSpec::RipConnect { prefix: 77 });
+    }
+
+    #[test]
+    fn errors_carry_line_numbers() {
+        let err = parse("name x\ntopology ring 5 4ms\nprotocol ospf\nduration 5s\nfault 1s frobnicate 0\n")
+            .unwrap_err();
+        match err {
+            ScenarioError::Parse { line, msg } => {
+                assert_eq!(line, 5);
+                assert!(msg.contains("frobnicate"), "{msg}");
+            }
+            other => panic!("wrong error: {other:?}"),
+        }
+    }
+
+    #[test]
+    fn missing_directives_are_rejected() {
+        assert!(parse("topology ring 4 1ms\nprotocol ospf\nduration 2s\n").is_err()); // no name
+        assert!(parse("name x\nprotocol ospf\nduration 2s\n").is_err()); // no topology
+        assert!(parse("name x\ntopology ring 4 1ms\nduration 2s\n").is_err()); // no protocol
+        assert!(parse("name x\ntopology ring 4 1ms\nprotocol ospf\n").is_err()); // no duration
+    }
+
+    #[test]
+    fn validation_runs_at_parse_time() {
+        // Node 9 does not exist in a 5-ring: parse must reject it.
+        let err = parse(
+            "name x\ntopology ring 5 4ms\nprotocol ospf\nduration 5s\nfault 1s node-down 9\n",
+        )
+        .unwrap_err();
+        assert!(matches!(err, ScenarioError::Invalid(_)), "{err:?}");
+    }
+
+    #[test]
+    fn bad_durations_are_rejected() {
+        assert!(parse_duration("250ms", 1).is_ok());
+        assert!(parse_duration("3s", 1).is_ok());
+        assert!(parse_duration("17", 1).is_err());
+        assert!(parse_duration("ms", 1).is_err());
+        assert!(parse_duration("3h", 1).is_err());
+    }
+}

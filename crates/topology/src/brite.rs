@@ -15,7 +15,7 @@ const PLANE_KM: f64 = 4000.0;
 const US_PER_KM: f64 = 5.0;
 
 /// Parameters for the Waxman model.
-#[derive(Clone, Copy, Debug)]
+#[derive(Clone, Copy, Debug, PartialEq)]
 pub struct WaxmanParams {
     /// Edge-probability scale (`alpha` in Waxman's formulation); larger
     /// means denser graphs. Typical 0.15–0.4.

@@ -2,181 +2,141 @@
 //! interactively, the paper's full workflow as a command-line tool.
 //!
 //! ```text
-//! defined-dbg record <scenario> <recording-file>
+//! defined-dbg record <scenario> <recording-file> [--seed <u64>]
 //! defined-dbg debug  <scenario> <recording-file> [script-file]
 //! defined-dbg scenarios
 //! ```
 //!
-//! Scenarios bundle a topology, a protocol, and a workload:
-//!
-//! * `rip-blackhole` — the Quagga 0.96.5 timer-refresh black hole (Fig. 5);
-//! * `bgp-med`       — the XORP 0.4 MED ordering bug network (Fig. 4).
+//! `<scenario>` is either a name from the bundled registry (`defined-dbg
+//! scenarios` lists them) or a path to a `.scn` scenario file (see the
+//! `scenario::scn` module docs for the format). Scenarios bundle a
+//! topology, a protocol, a workload of external events, and a fault
+//! schedule.
 //!
 //! `record` runs the DEFINED-RB-instrumented production network and writes
 //! the partial recording (external events, losses, death cuts, beacon tick
-//! schedule) to the file. `debug` rebuilds the debugging network from the
-//! same scenario, loads the recording, and drives a [`DebugSession`] with
-//! commands from the script file (or stdin when omitted) — `help` lists
-//! them. Replays are deterministic, so sessions are exactly repeatable.
+//! schedule) to the file; `--seed` overrides the scenario's network-
+//! nondeterminism seed — sweeping it must not change the committed
+//! execution. `debug` rebuilds the debugging network from the same
+//! scenario, loads the recording, and drives a `DebugSession` with commands
+//! from the script file (or stdin when omitted) — `help` lists them.
+//! Replays are deterministic, so sessions are exactly repeatable.
 
-use defined::core::debugger::Debugger;
-use defined::core::recorder::Recording;
-use defined::core::session::DebugSession;
-use defined::core::{DefinedConfig, LockstepNet, RbNetwork};
-use defined::netsim::{NodeId, SimDuration, SimTime};
-use defined::routing::bgp::{self, BgpProcess, DecisionMode, Role};
-use defined::routing::rip::{RefreshMode, RipConfig, RipExt, RipProcess};
-use defined::topology::{canonical, Graph};
+use defined::scenario::{self, Scenario};
 use std::io::Read as _;
 use std::process::ExitCode;
 
-const RIP_DEST: u32 = 77;
-const BGP_PREFIX: u32 = 9;
-
 fn usage() -> ExitCode {
     eprintln!(
-        "usage: defined-dbg record <scenario> <recording-file>\n\
+        "usage: defined-dbg record <scenario> <recording-file> [--seed <u64>]\n\
          \x20      defined-dbg debug  <scenario> <recording-file> [script-file]\n\
-         \x20      defined-dbg scenarios"
+         \x20      defined-dbg scenarios\n\
+         \n\
+         <scenario> is a registry name (see `defined-dbg scenarios`) or a .scn file path"
     );
     ExitCode::FAILURE
 }
 
-fn rip_graph() -> (Graph, canonical::Fig5Roles) {
-    canonical::fig5_rip(SimDuration::from_millis(10))
-}
-
-fn rip_spawner(g: &Graph) -> impl Fn(NodeId) -> RipProcess + 'static {
-    let g = g.clone();
-    move |id| {
-        RipProcess::new(id, g.neighbors(id), RipConfig::emulation(RefreshMode::DestinationOnly))
+/// Resolves a scenario argument: a registry name, else a `.scn` file path
+/// (anything that ends in `.scn` or names an existing file). Registry first,
+/// so a stray file in the working directory cannot shadow a scenario name.
+fn resolve(arg: &str) -> Result<Scenario, String> {
+    if let Some(scn) = scenario::find(arg) {
+        return Ok(scn);
+    }
+    if arg.ends_with(".scn") || std::path::Path::new(arg).exists() {
+        let text = std::fs::read_to_string(arg).map_err(|e| format!("{arg}: {e}"))?;
+        scenario::scn::parse(&text).map_err(|e| format!("{arg}: {e}"))
+    } else {
+        Err(format!("unknown scenario: {arg} (try `defined-dbg scenarios`)"))
     }
 }
 
-fn bgp_graph() -> (Graph, canonical::Fig4Roles) {
-    canonical::fig4_bgp(SimDuration::from_millis(8), SimDuration::from_millis(12))
-}
-
-fn bgp_spawner(roles: canonical::Fig4Roles) -> impl Fn(NodeId) -> BgpProcess + 'static {
-    move |id| {
-        let internal = [roles.r1, roles.r2, roles.r3];
-        if id == roles.er1 || id == roles.er2 {
-            BgpProcess::new(id, Role::External { border: roles.r1 }, DecisionMode::BuggyIncremental)
-        } else if id == roles.er3 {
-            BgpProcess::new(id, Role::External { border: roles.r2 }, DecisionMode::BuggyIncremental)
-        } else {
-            let peers = internal.iter().copied().filter(|&p| p != id).collect();
-            BgpProcess::new(id, Role::Internal { ibgp_peers: peers }, DecisionMode::BuggyIncremental)
-        }
+fn list_scenarios() -> ExitCode {
+    let reg = scenario::registry();
+    let width = reg.iter().map(|s| s.name.len()).max().unwrap_or(0);
+    for s in &reg {
+        println!("{:width$}  {}", s.name, s.description);
     }
+    ExitCode::SUCCESS
 }
 
-fn record_rip(path: &str) -> std::io::Result<()> {
-    let (g, roles) = rip_graph();
-    let mut net = RbNetwork::new(&g, DefinedConfig::default(), 2, 0.6, rip_spawner(&g));
-    net.inject_external(SimTime::from_millis(100), roles.dest, RipExt::Connect { prefix: RIP_DEST });
-    net.schedule_node(SimTime::from_secs(8), roles.r2, false);
-    net.run_until(SimTime::from_secs(26));
-    let via = net.control_plane(roles.r1).route(RIP_DEST).and_then(|r| r.next_hop);
-    let (rec, _) = net.into_recording();
-    std::fs::write(path, rec.to_bytes())?;
-    println!(
-        "recorded rip-blackhole: {} groups, {} externals, {} death cut(s) -> {path}",
-        rec.last_group,
-        rec.externals.len(),
-        rec.mutes.len(),
-    );
-    println!("production outcome: R1 routes {RIP_DEST} via {via:?} (R2 is dead — black hole)");
-    Ok(())
-}
-
-fn record_bgp(path: &str) -> std::io::Result<()> {
-    let (g, roles) = bgp_graph();
-    let mut net = RbNetwork::new(&g, DefinedConfig::default(), 1, 0.5, bgp_spawner(roles));
-    let [p1, p2, p3] = bgp::fig4_paths();
-    for (er, p) in [(roles.er1, p1), (roles.er2, p2), (roles.er3, p3)] {
-        net.inject_external(
-            SimTime::from_millis(700),
-            er,
-            bgp::BgpExt::Announce { prefix: BGP_PREFIX, attrs: p },
-        );
+fn record(scn: &Scenario, path: &str) -> Result<ExitCode, String> {
+    let run = scn.record_run().map_err(|e| e.to_string())?;
+    std::fs::write(path, &run.bytes).map_err(|e| format!("{path}: {e}"))?;
+    println!("{} -> {path}", run.summary(&scn.name));
+    if let Some(outcome) = &run.outcome {
+        println!("production outcome: {outcome}");
     }
-    net.run_until(SimTime::from_secs(4));
-    let best = net.control_plane(roles.r3).best_path(BGP_PREFIX).map(|p| p.route_id);
-    let (rec, _) = net.into_recording();
-    std::fs::write(path, rec.to_bytes())?;
-    println!(
-        "recorded bgp-med: {} groups, {} externals -> {path}",
-        rec.last_group,
-        rec.externals.len(),
-    );
-    println!("production outcome: R3 selects p{} (p3 would be correct)", best.unwrap_or(0));
-    Ok(())
+    Ok(ExitCode::SUCCESS)
 }
 
-fn read_script(arg: Option<&str>) -> std::io::Result<String> {
+fn read_script(arg: Option<&str>) -> Result<String, String> {
     match arg {
-        Some(path) => std::fs::read_to_string(path),
+        Some(path) => std::fs::read_to_string(path).map_err(|e| format!("{path}: {e}")),
         None => {
             let mut s = String::new();
-            std::io::stdin().read_to_string(&mut s)?;
+            std::io::stdin().read_to_string(&mut s).map_err(|e| e.to_string())?;
             Ok(s)
         }
     }
 }
 
-fn debug_rip(rec_path: &str, script: Option<&str>) -> std::io::Result<ExitCode> {
-    let bytes = std::fs::read(rec_path)?;
-    let Some(rec): Option<Recording<RipExt>> = Recording::from_bytes(&bytes) else {
-        eprintln!("{rec_path}: not a rip-blackhole recording");
-        return Ok(ExitCode::FAILURE);
-    };
-    let (g, _) = rip_graph();
-    let ls = LockstepNet::new(&g, DefinedConfig::default(), rec, rip_spawner(&g));
-    let mut session = DebugSession::new(Debugger::new(ls), g.node_count());
-    print!("{}", session.run_script(&read_script(script)?));
-    Ok(ExitCode::SUCCESS)
+fn debug(scn: &Scenario, rec_path: &str, script: Option<&str>) -> Result<ExitCode, String> {
+    let bytes = std::fs::read(rec_path).map_err(|e| format!("{rec_path}: {e}"))?;
+    let script = read_script(script)?;
+    match scn.debug_transcript(&bytes, &script) {
+        Ok(transcript) => {
+            print!("{transcript}");
+            Ok(ExitCode::SUCCESS)
+        }
+        Err(e) => {
+            eprintln!("{rec_path}: {e}");
+            Ok(ExitCode::FAILURE)
+        }
+    }
 }
 
-fn debug_bgp(rec_path: &str, script: Option<&str>) -> std::io::Result<ExitCode> {
-    let bytes = std::fs::read(rec_path)?;
-    let Some(rec): Option<Recording<bgp::BgpExt>> = Recording::from_bytes(&bytes) else {
-        eprintln!("{rec_path}: not a bgp-med recording");
-        return Ok(ExitCode::FAILURE);
+/// Pulls a `--seed <u64>` pair out of the argument list.
+fn take_seed(args: &mut Vec<String>) -> Result<Option<u64>, String> {
+    let Some(pos) = args.iter().position(|a| a == "--seed") else {
+        return Ok(None);
     };
-    let (g, roles) = bgp_graph();
-    let ls = LockstepNet::new(&g, DefinedConfig::default(), rec, bgp_spawner(roles));
-    let mut session = DebugSession::new(Debugger::new(ls), g.node_count());
-    print!("{}", session.run_script(&read_script(script)?));
-    Ok(ExitCode::SUCCESS)
+    if pos + 1 >= args.len() {
+        return Err("--seed needs a value".into());
+    }
+    let value = args.remove(pos + 1);
+    args.remove(pos);
+    let seed = value.parse().map_err(|_| format!("--seed {value}: not a u64"))?;
+    Ok(Some(seed))
 }
 
 fn main() -> ExitCode {
-    let args: Vec<String> = std::env::args().skip(1).collect();
-    let result = match args.as_slice() {
-        [cmd] if cmd == "scenarios" => {
-            println!("rip-blackhole  Quagga 0.96.5 RIP timer-refresh black hole (Fig. 5)");
-            println!("bgp-med        XORP 0.4 BGP MED ordering bug network (Fig. 4)");
-            return ExitCode::SUCCESS;
-        }
-        [cmd, scenario, path] if cmd == "record" => match scenario.as_str() {
-            "rip-blackhole" => record_rip(path).map(|()| ExitCode::SUCCESS),
-            "bgp-med" => record_bgp(path).map(|()| ExitCode::SUCCESS),
-            other => {
-                eprintln!("unknown scenario: {other} (try `defined-dbg scenarios`)");
+    let mut args: Vec<String> = std::env::args().skip(1).collect();
+    // `--seed` belongs to `record` alone; anywhere else it must be a usage
+    // error, not a silently ignored flag.
+    let seed = if args.first().map(String::as_str) == Some("record") {
+        match take_seed(&mut args) {
+            Ok(seed) => seed,
+            Err(e) => {
+                eprintln!("defined-dbg: {e}");
                 return ExitCode::FAILURE;
             }
-        },
-        [cmd, scenario, path, rest @ ..] if cmd == "debug" && rest.len() <= 1 => {
-            let script = rest.first().map(|s| s.as_str());
-            match scenario.as_str() {
-                "rip-blackhole" => debug_rip(path, script),
-                "bgp-med" => debug_bgp(path, script),
-                other => {
-                    eprintln!("unknown scenario: {other} (try `defined-dbg scenarios`)");
-                    return ExitCode::FAILURE;
-                }
+        }
+    } else {
+        None
+    };
+    let result = match args.as_slice() {
+        [cmd] if cmd == "scenarios" => return list_scenarios(),
+        [cmd, scenario_arg, path] if cmd == "record" => resolve(scenario_arg).and_then(|mut scn| {
+            if let Some(s) = seed {
+                scn = scn.with_seed(s);
             }
+            record(&scn, path)
+        }),
+        [cmd, scenario_arg, path, rest @ ..] if cmd == "debug" && rest.len() <= 1 => {
+            let script = rest.first().map(|s| s.as_str());
+            resolve(scenario_arg).and_then(|scn| debug(&scn, path, script))
         }
         _ => return usage(),
     };

@@ -15,7 +15,9 @@
 //!   paper's case-study bugs behind toggles);
 //! * [`checkpoint`] — snapshot strategies with page-level accounting;
 //! * [`core`] — the DEFINED-RB and DEFINED-LS engines, the recorder, the
-//!   debugger, and the threaded lockstep runtime.
+//!   debugger, and the threaded lockstep runtime;
+//! * [`scenario`] — the declarative scenario & fault-injection engine and
+//!   its registry of named workloads.
 //!
 //! See `examples/quickstart.rs` for the end-to-end flow.
 
@@ -25,4 +27,5 @@ pub use checkpoint;
 pub use defined_core as core;
 pub use netsim;
 pub use routing;
+pub use scenario;
 pub use topology;

@@ -5,34 +5,20 @@
 use defined::core::{DefinedConfig, LockstepNet, RbNetwork};
 use defined::netsim::{NodeId, SimDuration, SimTime};
 use defined::routing::bgp::{fig4_paths, BgpExt, BgpProcess, DecisionMode, Role};
-use defined::routing::rip::{RefreshMode, RipConfig, RipExt, RipProcess};
+use defined::routing::rip::{RefreshMode, RipExt, RipProcess};
 use defined::routing::ControlPlane;
+// The canonical per-protocol spawners live in the scenario registry; the
+// binary and these tests share them instead of keeping copies.
+use defined::scenario::{bgp_fig4_processes, rip_processes};
 use defined::topology::canonical;
 
 const PREFIX: u32 = 9;
 const DEST: u32 = 77;
 
-fn bgp_processes(roles: &canonical::Fig4Roles, mode: DecisionMode) -> Vec<BgpProcess> {
-    let internal = [roles.r1, roles.r2, roles.r3];
-    (0..6u32)
-        .map(|i| {
-            let id = NodeId(i);
-            if id == roles.er1 || id == roles.er2 {
-                BgpProcess::new(id, Role::External { border: roles.r1 }, mode)
-            } else if id == roles.er3 {
-                BgpProcess::new(id, Role::External { border: roles.r2 }, mode)
-            } else {
-                let peers = internal.iter().copied().filter(|&p| p != id).collect();
-                BgpProcess::new(id, Role::Internal { ibgp_peers: peers }, mode)
-            }
-        })
-        .collect()
-}
-
 fn bgp_rb_run(seed: u64, mode: DecisionMode) -> (RbNetwork<BgpProcess>, canonical::Fig4Roles) {
     let (graph, roles) =
         canonical::fig4_bgp(SimDuration::from_millis(8), SimDuration::from_millis(12));
-    let procs = bgp_processes(&roles, mode);
+    let procs = bgp_fig4_processes(&roles, mode);
     let mut net = RbNetwork::new(&graph, DefinedConfig::default(), seed, 0.9, move |id| {
         procs[id.index()].clone()
     });
@@ -96,7 +82,7 @@ fn bgp_ls_reproduces_and_patch_validates() {
 
     // Replay with the buggy decision: same outcome as production.
     let (graph, _) = canonical::fig4_bgp(SimDuration::from_millis(8), SimDuration::from_millis(12));
-    let procs = bgp_processes(&roles, DecisionMode::BuggyIncremental);
+    let procs = bgp_fig4_processes(&roles, DecisionMode::BuggyIncremental);
     let mut ls =
         LockstepNet::new(&graph, DefinedConfig::default(), rec.clone(), move |id| procs[id.index()].clone());
     ls.run_to_end();
@@ -107,7 +93,7 @@ fn bgp_ls_reproduces_and_patch_validates() {
     );
 
     // Replay with the patch: correct best path p3.
-    let procs = bgp_processes(&roles, DecisionMode::CorrectFull);
+    let procs = bgp_fig4_processes(&roles, DecisionMode::CorrectFull);
     let mut patched =
         LockstepNet::new(&graph, DefinedConfig::default(), rec, move |id| procs[id.index()].clone());
     patched.run_to_end();
@@ -115,13 +101,6 @@ fn bgp_ls_reproduces_and_patch_validates() {
         patched.control_plane(roles.r3).best_path(PREFIX).map(|p| p.route_id),
         Some(3)
     );
-}
-
-fn rip_processes(g: &defined::topology::Graph, mode: RefreshMode) -> Vec<RipProcess> {
-    let cfg = RipConfig::emulation(mode);
-    (0..g.node_count() as u32)
-        .map(|i| RipProcess::new(NodeId(i), g.neighbors(NodeId(i)), cfg))
-        .collect()
 }
 
 fn rip_rb_run(seed: u64, mode: RefreshMode) -> (RbNetwork<RipProcess>, canonical::Fig5Roles) {

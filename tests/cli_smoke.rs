@@ -1,7 +1,8 @@
-//! Smoke tests for the `defined-dbg` binary: the record → debug round trip
-//! of both bundled scenarios, driven exactly as a user would drive them.
-//! These keep the CLI wired into tier-1 — a build that breaks the binary's
-//! argument handling or the recording file format fails here.
+//! Smoke tests for the `defined-dbg` binary: record → debug round trips of
+//! registry scenarios and `.scn` file scenarios, driven exactly as a user
+//! would drive them. These keep the CLI wired into tier-1 — a build that
+//! breaks the binary's argument handling, the scenario registry, the `.scn`
+//! parser, or the recording file format fails here.
 
 use std::path::PathBuf;
 use std::process::{Command, Output};
@@ -27,51 +28,104 @@ fn assert_success(out: &Output, what: &str) {
 }
 
 #[test]
-fn scenarios_lists_both_bundled_scenarios() {
+fn scenarios_lists_the_full_registry() {
     let out = defined_dbg().arg("scenarios").output().expect("spawns");
     assert_success(&out, "defined-dbg scenarios");
     let stdout = String::from_utf8_lossy(&out.stdout);
-    assert!(stdout.contains("rip-blackhole"), "missing rip scenario: {stdout}");
-    assert!(stdout.contains("bgp-med"), "missing bgp scenario: {stdout}");
+    assert!(stdout.lines().count() >= 10, "registry shrank below 10 entries:\n{stdout}");
+    for name in ["rip-blackhole", "bgp-med", "ospf-flood-storm", "beacon-failover"] {
+        assert!(stdout.contains(name), "missing scenario {name}: {stdout}");
+    }
+}
+
+/// Records `scenario` and debugs it twice with the same script; the two
+/// transcripts must match byte for byte (deterministic replay).
+fn round_trip(scenario: &str, tag: &str) {
+    let rec = tmp_path(&format!("{tag}.rec"));
+    let script = tmp_path(&format!("{tag}.script"));
+    std::fs::write(&script, "help\nrun\nwhere\ninspect 0\nlog 0\n").expect("writes script");
+
+    let out = defined_dbg().args(["record", scenario]).arg(&rec).output().expect("spawns");
+    assert_success(&out, &format!("record {scenario}"));
+    assert!(rec.exists(), "recording file written");
+
+    let out = defined_dbg()
+        .args(["debug", scenario])
+        .arg(&rec)
+        .arg(&script)
+        .output()
+        .expect("spawns");
+    assert_success(&out, &format!("debug {scenario}"));
+    let stdout = String::from_utf8_lossy(&out.stdout);
+    assert!(!stdout.is_empty(), "debug session produced no output");
+
+    let again = defined_dbg()
+        .args(["debug", scenario])
+        .arg(&rec)
+        .arg(&script)
+        .output()
+        .expect("spawns");
+    assert_success(&again, &format!("debug {scenario} (second run)"));
+    assert_eq!(out.stdout, again.stdout, "{scenario}: replay transcripts diverged");
+
+    let _ = std::fs::remove_file(&rec);
+    let _ = std::fs::remove_file(&script);
 }
 
 #[test]
 fn record_then_debug_rip_blackhole_round_trips() {
-    let rec = tmp_path("rip.rec");
-    let script = tmp_path("rip.script");
-    std::fs::write(&script, "help\nrun\nwhere\ninspect 0\nlog 0\n").expect("writes script");
+    round_trip("rip-blackhole", "rip");
+}
 
-    let out = defined_dbg()
-        .args(["record", "rip-blackhole"])
-        .arg(&rec)
+#[test]
+fn record_then_debug_bgp_med_round_trips() {
+    round_trip("bgp-med", "bgp");
+}
+
+#[test]
+fn record_then_debug_loss_window_round_trips() {
+    round_trip("ospf-loss-window", "olw");
+}
+
+#[test]
+fn scn_file_scenario_records_and_debugs() {
+    // A scenario loaded from a .scn file gets the same workflow as a
+    // registry entry. The file lives in the repo's scenarios/ directory
+    // (tests run with the package root as the working directory).
+    round_trip("scenarios/ring-loss.scn", "scn");
+}
+
+#[test]
+fn seed_flag_sweeps_jitter_without_changing_the_outcome() {
+    let rec_a = tmp_path("seed-a.rec");
+    let rec_b = tmp_path("seed-b.rec");
+    let outcome = |out: &Output| {
+        String::from_utf8_lossy(&out.stdout)
+            .lines()
+            .find(|l| l.starts_with("production outcome:"))
+            .expect("outcome line")
+            .to_string()
+    };
+    let a = defined_dbg()
+        .args(["record", "bgp-med"])
+        .arg(&rec_a)
+        .args(["--seed", "17"])
         .output()
         .expect("spawns");
-    assert_success(&out, "record rip-blackhole");
-    assert!(rec.exists(), "recording file written");
-
-    let out = defined_dbg()
-        .args(["debug", "rip-blackhole"])
-        .arg(&rec)
-        .arg(&script)
+    assert_success(&a, "record --seed 17");
+    let b = defined_dbg()
+        .args(["record", "bgp-med"])
+        .arg(&rec_b)
+        .args(["--seed", "40404"])
         .output()
         .expect("spawns");
-    assert_success(&out, "debug rip-blackhole");
-    let stdout = String::from_utf8_lossy(&out.stdout);
-    assert!(!stdout.is_empty(), "debug session produced no output");
+    assert_success(&b, "record --seed 40404");
+    // Different jitter seeds, identical committed outcome — the paper's
+    // headline property, exercised from the CLI surface.
+    assert_eq!(outcome(&a), outcome(&b), "outcome must not depend on the seed");
 
-    // Deterministic replay: driving the same session twice prints the same
-    // transcript byte for byte.
-    let again = defined_dbg()
-        .args(["debug", "rip-blackhole"])
-        .arg(&rec)
-        .arg(&script)
-        .output()
-        .expect("spawns");
-    assert_success(&again, "debug rip-blackhole (second run)");
-    assert_eq!(out.stdout, again.stdout, "replay transcripts diverged");
-
-    let _ = std::fs::remove_file(&rec);
-    let _ = std::fs::remove_file(&script);
+    let _ = std::fs::remove_file(&rec_a);
+    let _ = std::fs::remove_file(&rec_b);
 }
 
 #[test]
@@ -79,12 +133,8 @@ fn debug_script_via_stdin_is_accepted() {
     use std::io::Write as _;
     use std::process::Stdio;
 
-    let rec = tmp_path("bgp.rec");
-    let out = defined_dbg()
-        .args(["record", "bgp-med"])
-        .arg(&rec)
-        .output()
-        .expect("spawns");
+    let rec = tmp_path("stdin.rec");
+    let out = defined_dbg().args(["record", "bgp-med"]).arg(&rec).output().expect("spawns");
     assert_success(&out, "record bgp-med");
 
     let mut child = defined_dbg()
@@ -104,7 +154,17 @@ fn debug_script_via_stdin_is_accepted() {
 
 #[test]
 fn bad_usage_exits_nonzero() {
-    for args in [&[][..], &["frobnicate"][..], &["record", "no-such-scenario", "/tmp/x"][..]] {
+    for args in [
+        &[][..],
+        &["frobnicate"][..],
+        &["record", "no-such-scenario", "/tmp/x"][..],
+        &["record", "bgp-med", "/tmp/x", "--seed"][..],
+        &["record", "bgp-med", "/tmp/x", "--seed", "not-a-number"][..],
+        &["record", "/tmp/no-such-file.scn", "/tmp/x"][..],
+        // --seed belongs to record; elsewhere it must not be silently eaten.
+        &["debug", "bgp-med", "/tmp/x", "--seed", "9"][..],
+        &["scenarios", "--seed", "9"][..],
+    ] {
         let out = defined_dbg().args(args).output().expect("spawns");
         assert!(
             !out.status.success(),
@@ -112,6 +172,25 @@ fn bad_usage_exits_nonzero() {
             String::from_utf8_lossy(&out.stdout)
         );
     }
+}
+
+#[test]
+fn registry_names_are_not_shadowed_by_cwd_files() {
+    // A stray file in the working directory named after a registry scenario
+    // must not hijack the name: the registry wins, files need a path/.scn.
+    let dir = tmp_path("shadow-dir");
+    std::fs::create_dir_all(&dir).expect("mkdir");
+    std::fs::write(dir.join("bgp-med"), b"not a scenario").expect("writes");
+    let rec = tmp_path("shadow.rec");
+    let out = defined_dbg()
+        .current_dir(&dir)
+        .args(["record", "bgp-med"])
+        .arg(&rec)
+        .output()
+        .expect("spawns");
+    assert_success(&out, "record bgp-med with a shadowing cwd file");
+    let _ = std::fs::remove_file(&rec);
+    let _ = std::fs::remove_dir_all(&dir);
 }
 
 #[test]

@@ -5,14 +5,11 @@ use defined::core::ls::first_divergence;
 use defined::core::recorder::trim_log;
 use defined::core::{DefinedConfig, LockstepNet, RbNetwork};
 use defined::netsim::{NodeId, SimDuration, SimTime};
-use defined::routing::ospf::{OspfConfig, OspfProcess};
+use defined::routing::ospf::OspfProcess;
+// The canonical OSPF spawner lives in the scenario registry.
+use defined::scenario::ospf_processes as spawners;
 use defined::topology::canonical;
 use defined::topology::Graph;
-
-fn spawners(g: &Graph) -> Vec<OspfProcess> {
-    let f = OspfProcess::for_graph(g, OspfConfig::stress(g.node_count()));
-    (0..g.node_count()).map(|i| f(NodeId(i as u32))).collect()
-}
 
 fn run(g: &Graph, cfg: DefinedConfig, seed: u64) -> RbNetwork<OspfProcess> {
     let procs = spawners(g);
