@@ -1,0 +1,127 @@
+//! Fig. 9 (new for this reproduction): reverse-step latency versus run
+//! length.
+//!
+//! The claim under test is the headline property of checkpointed reverse
+//! execution: a backward step restores the nearest whole-network checkpoint
+//! and re-executes at most one checkpoint interval of events, so its
+//! latency is bounded by the *checkpoint interval* — it must stay flat as
+//! the recorded run grows 10×. A cyclic-debugging baseline (re-replaying
+//! from event zero, what DDB/MIO-style tools avoid the same way) is
+//! measured alongside for contrast: it grows linearly with run length.
+//!
+//! Benchmarks:
+//!
+//! * `fig9_reverse/reverse_step/<secs>s` — one `reverse_step(1)` +
+//!   `step(1)` pair at the end of a recording of the given length.
+//! * `fig9_reverse/goto_mid/<secs>s` — a long backward jump to the middle.
+//! * `fig9_reverse/replay_from_zero/<secs>s` — the baseline: rebuild and
+//!   replay the prefix from scratch.
+
+use checkpoint::{RetentionPolicy, Strategy};
+use criterion::{criterion_group, criterion_main, BatchSize, BenchmarkId, Criterion};
+use std::cell::RefCell;
+use std::rc::Rc;
+use defined_core::debugger::{Debugger, StepGranularity};
+use defined_core::{DefinedConfig, LockstepNet, RbNetwork};
+use netsim::{NodeId, SimDuration, SimTime};
+use routing::ospf::{OspfConfig, OspfProcess};
+use topology::canonical;
+
+/// Checkpoint cadence used throughout (events). Rewind work is bounded by
+/// this, whatever the run length.
+const INTERVAL: u64 = 32;
+
+/// Records an OSPF ring run of `secs` simulated seconds and returns the
+/// replay inputs.
+fn recorded(secs: u64) -> (topology::Graph, defined_core::recorder::Recording<()>, Vec<OspfProcess>) {
+    let g = canonical::ring(5, SimDuration::from_millis(4));
+    let procs: Vec<OspfProcess> = {
+        let f = OspfProcess::for_graph(&g, OspfConfig::stress(5));
+        (0..5).map(|i| f(NodeId(i))).collect()
+    };
+    let spawn = procs.clone();
+    let mut net =
+        RbNetwork::new(&g, DefinedConfig::default(), 11, 0.4, move |id| spawn[id.index()].clone());
+    net.run_until(SimTime::from_secs(secs));
+    let (rec, _) = net.into_recording();
+    (g, rec, procs)
+}
+
+fn debugger_at_end(
+    g: &topology::Graph,
+    rec: &defined_core::recorder::Recording<()>,
+    procs: &[OspfProcess],
+) -> (Debugger<OspfProcess>, u64) {
+    let procs = procs.to_vec();
+    let ls = LockstepNet::new(g, DefinedConfig::default(), rec.clone(), move |id: NodeId| {
+        procs[id.index()].clone()
+    });
+    let mut dbg = Debugger::new(ls);
+    dbg.enable_time_travel(INTERVAL, Strategy::MemIntercept, RetentionPolicy::default());
+    dbg.run_to_end();
+    let end = dbg.delivered();
+    (dbg, end)
+}
+
+fn bench_reverse(c: &mut Criterion) {
+    let mut group = c.benchmark_group("fig9_reverse");
+    group.sample_size(20);
+    // 4 s vs 40 s of recorded execution: a 10× growth in run length.
+    for secs in [4u64, 40] {
+        let (g, rec, procs) = recorded(secs);
+        let (mut dbg, end) = debugger_at_end(&g, &rec, &procs);
+        assert!(end > 100, "run long enough to be interesting");
+
+        group.bench_function(BenchmarkId::new("reverse_step", format!("{secs}s")), |b| {
+            b.iter(|| {
+                // Back one, forward one: position-stable across iterations,
+                // each rewind restores a checkpoint and replays < INTERVAL
+                // events regardless of `end`.
+                dbg.reverse_step(1).expect("time travel on");
+                dbg.step(StepGranularity::Event).expect("forward replay");
+                assert!(dbg.last_rewind_replayed() < INTERVAL);
+            });
+        });
+
+        // A long backward jump: end → end/2. The unmeasured setup walks
+        // back to the end; only the backward jump itself is timed — it
+        // restores one checkpoint and replays < INTERVAL events however
+        // far it travels.
+        let (dbg, end) = debugger_at_end(&g, &rec, &procs);
+        let dbg = Rc::new(RefCell::new(dbg));
+        group.bench_function(BenchmarkId::new("goto_mid", format!("{secs}s")), |b| {
+            let setup_dbg = Rc::clone(&dbg);
+            let run_dbg = Rc::clone(&dbg);
+            b.iter_batched(
+                move || {
+                    setup_dbg.borrow_mut().goto(end).expect("forward");
+                },
+                move |()| {
+                    let mut d = run_dbg.borrow_mut();
+                    d.goto(end / 2).expect("reachable");
+                    assert!(d.last_rewind_replayed() < INTERVAL);
+                },
+                BatchSize::PerIteration,
+            );
+        });
+
+        // Baseline: cyclic debugging. Reproducing "one event earlier" by
+        // replaying from event zero costs O(run length).
+        group.bench_function(BenchmarkId::new("replay_from_zero", format!("{secs}s")), |b| {
+            b.iter(|| {
+                let procs = procs.to_vec();
+                let mut ls =
+                    LockstepNet::new(&g, DefinedConfig::default(), rec.clone(), move |id: NodeId| {
+                        procs[id.index()].clone()
+                    });
+                for _ in 0..end - 1 {
+                    ls.step_event();
+                }
+            });
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_reverse);
+criterion_main!(benches);

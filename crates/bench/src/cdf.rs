@@ -22,7 +22,7 @@ impl Cdf {
     /// Builds a CDF from samples (NaNs are dropped).
     pub fn new(mut samples: Vec<f64>) -> Self {
         samples.retain(|x| x.is_finite());
-        samples.sort_by(|a, b| a.partial_cmp(b).unwrap());
+        samples.sort_by(f64::total_cmp);
         Cdf { sorted: samples }
     }
 

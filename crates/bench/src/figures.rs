@@ -542,8 +542,10 @@ pub fn fig8d(scale: Scale) -> FigureData {
                 break;
             }
         }
+        // Saturating: a network already converged at the first post-burst
+        // check reports 0, not a debug-build underflow panic.
         let conv = converged_at
-            .map(|c| (c - burst_end).as_secs_f64())
+            .map(|c| c.saturating_sub(burst_end).as_secs_f64())
             .unwrap_or(30.0);
         // Report settle time plus the mean per-event spacing contribution,
         // mirroring the paper's "convergence time" under sustained load.

@@ -205,7 +205,7 @@ impl OspfRunner {
             );
             stats
                 .convergence
-                .push(converged_at.map(|c| (c - t).as_secs_f64()));
+                .push(converged_at.map(|c| c.saturating_sub(t).as_secs_f64()));
             t = self.now().max(t);
         }
         stats.rb = self.rb_metrics();

@@ -28,10 +28,12 @@
 mod cost;
 mod pages;
 mod store;
+mod timeline;
 
 pub use cost::{CostModel, ForkTiming};
 pub use pages::{PageImage, PAGE_SIZE};
 pub use store::{CheckpointId, Checkpointer, MemStats, Strategy};
+pub use timeline::{RetentionPolicy, Timeline};
 
 /// FNV-1a digest over bytes; the cheap state-comparison primitive used
 /// throughout the workspace.

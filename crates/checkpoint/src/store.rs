@@ -153,6 +153,19 @@ impl<S: Snapshotable> Checkpointer<S> {
         }
     }
 
+    /// Discards exactly the checkpoint `id`, wherever it sits in the order
+    /// (retention thinning). A no-op for unknown ids. Page-diff images are
+    /// self-contained, so removing an interior checkpoint never invalidates
+    /// its neighbours.
+    pub fn remove(&mut self, id: CheckpointId) {
+        let slice = self.entries.make_contiguous();
+        let pos = slice.partition_point(|(i, _)| *i < id);
+        if slice.get(pos).map(|(i, _)| *i == id).unwrap_or(false) {
+            let (_, stored) = self.entries.remove(pos).expect("checked");
+            self.virtual_bytes -= stored.logical_len();
+        }
+    }
+
     /// Discards checkpoints at or after `id` (rollback invalidates them).
     pub fn truncate_from(&mut self, id: CheckpointId) {
         while self.entries.back().map(|(i, _)| *i >= id).unwrap_or(false) {
@@ -335,6 +348,27 @@ mod tests {
         assert_eq!(cp.latest(), Some(a));
         assert!(cp.restore(b).is_none());
         assert!(cp.restore(c).is_none());
+    }
+
+    #[test]
+    fn remove_discards_only_the_target() {
+        for strategy in [Strategy::CloneState, Strategy::Fork, Strategy::MemIntercept] {
+            let mut cp = Checkpointer::new(strategy);
+            let mut t = Table::new(1000);
+            let a = cp.checkpoint(&t);
+            t.poke(3, 30);
+            let b = cp.checkpoint(&t);
+            t.poke(3, 99);
+            let c = cp.checkpoint(&t);
+            cp.remove(b);
+            assert_eq!(cp.len(), 2);
+            assert!(cp.restore(b).is_none());
+            // Neighbours stay restorable: page-diff images are self-contained.
+            assert_eq!(cp.restore(a).unwrap().cells[3], 3);
+            assert_eq!(cp.restore(c).unwrap().cells[3], 99);
+            cp.remove(b); // Unknown id: a no-op.
+            assert_eq!(cp.len(), 2);
+        }
     }
 
     #[test]

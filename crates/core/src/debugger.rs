@@ -4,9 +4,24 @@
 //! network, steps through events at chosen granularity, inspects and
 //! manipulates node state, sets breakpoints on state predicates, and
 //! validates patches in place — the workflow of both case studies.
+//!
+//! # Reverse execution
+//!
+//! With time travel enabled the debugger also steps *backward*:
+//! [`Debugger::reverse_step`], [`Debugger::reverse_continue`], and
+//! [`Debugger::goto`]. The engine takes a whole-network checkpoint
+//! ([`crate::ls::LsImage`], stored page-diffed in a
+//! [`checkpoint::Timeline`]) every `interval` delivered events; any
+//! backward jump restores the nearest checkpoint at or before the target
+//! and re-executes forward at most `interval` events. Because the lockstep
+//! replay is deterministic (Theorem 1), the re-executed prefix — logs,
+//! state, and transcript — is byte-identical to the original pass, so
+//! rewind cost is O(checkpoint interval), not O(run length).
 
-use crate::ls::{LockstepNet, LsEvent};
+use crate::ls::{LockstepNet, LsEvent, LsImage};
 use crate::recorder::CommitRecord;
+use crate::wire::Wire;
+use checkpoint::{MemStats, RetentionPolicy, Strategy, Timeline};
 use netsim::NodeId;
 use routing::ControlPlane;
 
@@ -43,18 +58,51 @@ struct Watch<P: ControlPlane> {
     last: u64,
 }
 
+/// Why a time-travel request could not be satisfied.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum TimeTravelError {
+    /// Time travel was never enabled on this debugger.
+    Disabled,
+    /// The target position precedes the earliest retained checkpoint.
+    BeforeHistory,
+}
+
+impl std::fmt::Display for TimeTravelError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            TimeTravelError::Disabled => write!(f, "time travel is not enabled"),
+            TimeTravelError::BeforeHistory => {
+                write!(f, "target precedes the earliest retained checkpoint")
+            }
+        }
+    }
+}
+
+impl std::error::Error for TimeTravelError {}
+
+/// The reverse-execution engine: a position-keyed checkpoint timeline plus
+/// the cadence it is filled at.
+struct TimeTravel<P: ControlPlane> {
+    interval: u64,
+    timeline: Timeline<LsImage<P>>,
+    /// Events re-executed by the most recent backward jump (bounded by the
+    /// retained checkpoint spacing — the O(interval) claim, observable).
+    last_rewind_replayed: u64,
+}
+
 /// An interactive debugger session.
 pub struct Debugger<P: ControlPlane> {
     net: LockstepNet<P>,
     breakpoints: Vec<Predicate<P>>,
     watches: Vec<Watch<P>>,
     delivered: u64,
+    travel: Option<TimeTravel<P>>,
 }
 
 impl<P: ControlPlane> Debugger<P> {
     /// Wraps a loaded debugging network.
     pub fn new(net: LockstepNet<P>) -> Self {
-        Debugger { net, breakpoints: Vec::new(), watches: Vec::new(), delivered: 0 }
+        Debugger { net, breakpoints: Vec::new(), watches: Vec::new(), delivered: 0, travel: None }
     }
 
     /// The underlying lockstep network.
@@ -107,6 +155,15 @@ impl<P: ControlPlane> Debugger<P> {
         changes
     }
 
+    /// Re-baselines every watch against the current state (after a
+    /// navigation jump, so the next change report compares against the
+    /// landed-on position, not the departed-from one).
+    fn reprime_watches(&mut self) {
+        for w in &mut self.watches {
+            w.last = (w.project)(&self.net);
+        }
+    }
+
     /// Inspects a node's control-plane state.
     pub fn inspect(&self, node: NodeId) -> &P {
         self.net.control_plane(node)
@@ -121,11 +178,14 @@ impl<P: ControlPlane> Debugger<P> {
     /// Steps once at the given granularity.
     ///
     /// Returns `None` when the recording is exhausted.
-    pub fn step(&mut self, granularity: StepGranularity) -> Option<StepReport> {
+    pub fn step(&mut self, granularity: StepGranularity) -> Option<StepReport>
+    where
+        P::Msg: Wire,
+        P::Ext: Wire,
+    {
         match granularity {
             StepGranularity::Event => {
-                let ev = self.net.step_event()?;
-                self.delivered += 1;
+                let ev = self.advance()?;
                 let hit = self.breakpoints.iter().any(|p| p(&ev, &self.net));
                 let watch_changes = self.poll_watches();
                 Some(StepReport {
@@ -145,8 +205,7 @@ impl<P: ControlPlane> Debugger<P> {
                         break;
                     }
                     // Stop before crossing into the next group.
-                    let Some(ev) = self.net.step_event() else { break };
-                    self.delivered += 1;
+                    let Some(ev) = self.advance() else { break };
                     let fired = self.breakpoints.iter().any(|p| p(&ev, &self.net));
                     let group_now = self.net.current_group();
                     events.push(ev);
@@ -176,10 +235,13 @@ impl<P: ControlPlane> Debugger<P> {
     /// Runs until any watch value changes or the recording ends; returns
     /// the triggering event and the changes.
     #[allow(clippy::type_complexity)]
-    pub fn run_until_watch_change(&mut self) -> Option<(LsEvent, Vec<(String, u64, u64)>)> {
+    pub fn run_until_watch_change(&mut self) -> Option<(LsEvent, Vec<(String, u64, u64)>)>
+    where
+        P::Msg: Wire,
+        P::Ext: Wire,
+    {
         loop {
-            let ev = self.net.step_event()?;
-            self.delivered += 1;
+            let ev = self.advance()?;
             let changes = self.poll_watches();
             if !changes.is_empty() {
                 return Some((ev, changes));
@@ -189,10 +251,13 @@ impl<P: ControlPlane> Debugger<P> {
 
     /// Runs until a breakpoint fires or the recording ends; returns the
     /// triggering event if any.
-    pub fn run_until_break(&mut self) -> Option<LsEvent> {
+    pub fn run_until_break(&mut self) -> Option<LsEvent>
+    where
+        P::Msg: Wire,
+        P::Ext: Wire,
+    {
         loop {
-            let ev = self.net.step_event()?;
-            self.delivered += 1;
+            let ev = self.advance()?;
             if self.breakpoints.iter().any(|p| p(&ev, &self.net)) {
                 return Some(ev);
             }
@@ -200,11 +265,183 @@ impl<P: ControlPlane> Debugger<P> {
     }
 
     /// Runs the rest of the recording; returns per-node logs.
-    pub fn run_to_end(&mut self) -> Vec<Vec<CommitRecord>> {
-        while self.net.step_event().is_some() {
-            self.delivered += 1;
-        }
+    pub fn run_to_end(&mut self) -> Vec<Vec<CommitRecord>>
+    where
+        P::Msg: Wire,
+        P::Ext: Wire,
+    {
+        while self.advance().is_some() {}
         self.net.logs().to_vec()
+    }
+}
+
+/// Reverse execution. Requires [`Wire`] codecs for the protocol's message
+/// and external payload types so in-flight messages checkpoint with the
+/// rest of the network image.
+impl<P> Debugger<P>
+where
+    P: ControlPlane,
+    P::Msg: Wire,
+    P::Ext: Wire,
+{
+    /// Enables time travel: a whole-network checkpoint every `interval`
+    /// delivered events (plus one immediately, anchoring the reachable
+    /// history at the current position), stored under `strategy` and
+    /// thinned per `policy`.
+    ///
+    /// Smaller intervals rewind faster but checkpoint more often; see
+    /// DESIGN.md §8 for the cadence/latency trade-off.
+    pub fn enable_time_travel(
+        &mut self,
+        interval: u64,
+        strategy: Strategy,
+        policy: RetentionPolicy,
+    ) {
+        let mut timeline = Timeline::new(strategy, policy);
+        timeline.record(self.delivered, &self.net.capture_image());
+        self.travel =
+            Some(TimeTravel { interval: interval.max(1), timeline, last_rewind_replayed: 0 });
+    }
+
+    /// Whether reverse execution is available.
+    pub fn time_travel_enabled(&self) -> bool {
+        self.travel.is_some()
+    }
+
+    /// The checkpoint cadence, when time travel is enabled.
+    pub fn checkpoint_interval(&self) -> Option<u64> {
+        self.travel.as_ref().map(|t| t.interval)
+    }
+
+    /// Events re-executed by the most recent backward jump — bounded by the
+    /// retained checkpoint spacing, never by the run length.
+    pub fn last_rewind_replayed(&self) -> u64 {
+        self.travel.as_ref().map(|t| t.last_rewind_replayed).unwrap_or(0)
+    }
+
+    /// Memory statistics of the checkpoint timeline.
+    pub fn timeline_stats(&self) -> Option<MemStats> {
+        self.travel.as_ref().map(|t| t.timeline.stats())
+    }
+
+    /// Delivers one event and checkpoints when the cadence comes due.
+    fn advance(&mut self) -> Option<LsEvent> {
+        let ev = self.net.step_event()?;
+        self.delivered += 1;
+        if let Some(t) = &mut self.travel {
+            if self.delivered.is_multiple_of(t.interval) && !t.timeline.contains(self.delivered) {
+                t.timeline.record(self.delivered, &self.net.capture_image());
+            }
+        }
+        Some(ev)
+    }
+
+    /// Jumps to `target` (an absolute delivered-event position), in either
+    /// direction, and returns the position landed on.
+    ///
+    /// Forward jumps re-execute from here. Backward jumps restore the
+    /// nearest checkpoint at or before `target` and re-execute forward —
+    /// O(checkpoint interval) work. Navigation re-execution does not fire
+    /// breakpoints or watch reports; watches are re-baselined at the
+    /// landing position. A forward target past the end of the recording
+    /// lands at the end.
+    pub fn goto(&mut self, target: u64) -> Result<u64, TimeTravelError> {
+        if target < self.delivered {
+            let t = self.travel.as_mut().ok_or(TimeTravelError::Disabled)?;
+            let (pos, img) =
+                t.timeline.restore_at_or_before(target).ok_or(TimeTravelError::BeforeHistory)?;
+            self.net.restore_image(img);
+            self.delivered = pos;
+            let mut replayed = 0u64;
+            while self.delivered < target && self.advance().is_some() {
+                replayed += 1;
+            }
+            if let Some(t) = &mut self.travel {
+                t.last_rewind_replayed = replayed;
+            }
+        } else {
+            while self.delivered < target && self.advance().is_some() {}
+        }
+        self.reprime_watches();
+        Ok(self.delivered)
+    }
+
+    /// Steps `n` events backward (clamped at the earliest retained
+    /// checkpoint's position); returns the position landed on.
+    pub fn reverse_step(&mut self, n: u64) -> Result<u64, TimeTravelError> {
+        match self.goto(self.delivered.saturating_sub(n)) {
+            Err(TimeTravelError::BeforeHistory) => {
+                // Clamp to the earliest reachable position instead of
+                // failing: "step as far back as you can".
+                let earliest = self
+                    .travel
+                    .as_ref()
+                    .and_then(|t| t.timeline.positions().next())
+                    .ok_or(TimeTravelError::Disabled)?;
+                self.goto(earliest)
+            }
+            r => r,
+        }
+    }
+
+    /// Runs *backward* to the most recent earlier event at which a
+    /// breakpoint fired or a watch value changed (in either direction of
+    /// the value), landing just after that event.
+    ///
+    /// Returns the triggering event and the watch changes observed at it,
+    /// or `Ok(None)` after landing at the start of retained history with
+    /// no hit. Scanning restores checkpoint segments and replays them
+    /// forward, newest segment first, so the cost is proportional to the
+    /// distance travelled, not the run length.
+    #[allow(clippy::type_complexity)]
+    pub fn reverse_continue(
+        &mut self,
+    ) -> Result<Option<(LsEvent, Vec<(String, u64, u64)>)>, TimeTravelError> {
+        if self.travel.is_none() {
+            return Err(TimeTravelError::Disabled);
+        }
+        let origin = self.delivered;
+        let mut upper = origin;
+        loop {
+            let Some(before) = upper.checked_sub(1) else {
+                // Scanned all the way down to position 0 with no hit; land
+                // there (the scan itself left us at the top of the last
+                // segment).
+                self.goto(0)?;
+                return Ok(None);
+            };
+            let seg = self
+                .travel
+                .as_mut()
+                .expect("checked above")
+                .timeline
+                .restore_at_or_before(before);
+            let Some((seg_start, img)) = seg else {
+                // Everything at or below `upper` is out of retained
+                // history; stay where the scan left us (== `upper`).
+                self.goto(upper)?;
+                return Ok(None);
+            };
+            self.net.restore_image(img);
+            self.delivered = seg_start;
+            self.reprime_watches();
+            // Scan positions (seg_start, upper], recording the *last* hit
+            // strictly before the origin.
+            let mut hit: Option<(u64, LsEvent, Vec<(String, u64, u64)>)> = None;
+            while self.delivered < upper {
+                let Some(ev) = self.advance() else { break };
+                let fired = self.breakpoints.iter().any(|p| p(&ev, &self.net));
+                let changes = self.poll_watches();
+                if (fired || !changes.is_empty()) && self.delivered < origin {
+                    hit = Some((self.delivered, ev, changes));
+                }
+            }
+            if let Some((pos, ev, changes)) = hit {
+                self.goto(pos)?;
+                return Ok(Some((ev, changes)));
+            }
+            upper = seg_start;
+        }
     }
 }
 
@@ -318,5 +555,179 @@ mod tests {
         assert!(dbg.net().is_done());
         assert!(dbg.delivered() > 50);
         assert!(dbg.step(StepGranularity::Event).is_none());
+    }
+
+    fn travel_session(interval: u64) -> Debugger<OspfProcess> {
+        let mut dbg = session();
+        dbg.enable_time_travel(
+            interval,
+            checkpoint::Strategy::MemIntercept,
+            checkpoint::RetentionPolicy::default(),
+        );
+        dbg
+    }
+
+    fn event_keys(r: &StepReport) -> Vec<(u64, u32, NodeId, u64)> {
+        r.events
+            .iter()
+            .map(|e| (e.group, e.chain, e.node, e.record.payload_digest))
+            .collect()
+    }
+
+    /// Forward → reverse → forward reproduces the same events (Theorem 1
+    /// applied twice).
+    #[test]
+    fn reverse_step_then_forward_is_byte_identical() {
+        let mut dbg = travel_session(8);
+        let first: Vec<_> = (0..40)
+            .map(|_| event_keys(&dbg.step(StepGranularity::Event).expect("events")))
+            .collect();
+        assert_eq!(dbg.reverse_step(25), Ok(15));
+        assert!(
+            dbg.last_rewind_replayed() < 8,
+            "rewind replayed {} events, more than the interval",
+            dbg.last_rewind_replayed()
+        );
+        let again: Vec<_> = (0..25)
+            .map(|_| event_keys(&dbg.step(StepGranularity::Event).expect("events")))
+            .collect();
+        assert_eq!(again, first[15..], "re-executed events diverged");
+        assert_eq!(dbg.delivered(), 40);
+    }
+
+    #[test]
+    fn goto_jumps_both_directions_and_clamps_at_the_end() {
+        let mut dbg = travel_session(16);
+        let full = dbg.run_to_end();
+        let end = dbg.delivered();
+        assert_eq!(dbg.goto(0), Ok(0));
+        assert!(dbg.net().logs().iter().all(|l| l.is_empty()), "goto 0 rewinds the logs");
+        assert_eq!(dbg.goto(end + 1000), Ok(end), "past-the-end forward goto lands at the end");
+        assert_eq!(dbg.run_to_end(), full, "round trip through position 0 diverged");
+        // Backward jumps re-execute at most one checkpoint interval.
+        assert_eq!(dbg.goto(end / 2), Ok(end / 2));
+        assert!(dbg.last_rewind_replayed() < 16);
+    }
+
+    #[test]
+    fn reverse_continue_finds_the_last_watch_change() {
+        let mut dbg = travel_session(8);
+        let adjacencies =
+            |net: &LockstepNet<OspfProcess>| net.control_plane(NodeId(2)).up_neighbors().len() as u64;
+        dbg.add_watch("n2 adjacencies", adjacencies);
+        // Run forward long enough for the adjacency count to settle.
+        for _ in 0..120 {
+            if dbg.step(StepGranularity::Event).is_none() {
+                break;
+            }
+        }
+        let here = dbg.delivered();
+        let (ev, changes) = dbg
+            .reverse_continue()
+            .expect("time travel on")
+            .expect("adjacency changed somewhere behind us");
+        assert!(dbg.delivered() < here);
+        assert_eq!(ev.node, NodeId(2), "the change happened at the watched node");
+        assert_eq!(changes.len(), 1);
+        let stop_at = dbg.delivered();
+        // The hit is the *most recent* change: re-running forward from just
+        // after it up to `here` must not change the watch again.
+        while dbg.delivered() < here {
+            let r = dbg.step(StepGranularity::Event).expect("replayable");
+            assert!(r.watch_changes.is_empty(), "a later change existed: {:?}", r.watch_changes);
+        }
+        // Reverse again from the stop position: the next hit (the same
+        // value changing in the other direction of travel) is strictly
+        // earlier.
+        dbg.goto(stop_at).unwrap();
+        if let Some(_hit) = dbg.reverse_continue().expect("enabled") {
+            assert!(dbg.delivered() < stop_at);
+        }
+    }
+
+    #[test]
+    fn reverse_continue_respects_breakpoints() {
+        let mut dbg = travel_session(8);
+        dbg.run_to_end();
+        let end = dbg.delivered();
+        dbg.add_breakpoint(|ev, _| {
+            ev.record.ann.class == EventClass::Beacon && ev.record.ann.group == 3
+        });
+        let (ev, changes) = dbg.reverse_continue().expect("enabled").expect("group 3 is behind");
+        assert_eq!(ev.record.ann.group, 3);
+        assert_eq!(ev.record.ann.class, EventClass::Beacon);
+        assert!(changes.is_empty(), "no watches registered");
+        assert!(dbg.delivered() < end);
+        // It stopped at the *last* matching event: no later beacon of
+        // group 3 exists between here and the end.
+        let here = dbg.delivered();
+        let later = dbg.run_until_break();
+        assert!(later.is_none(), "found a later group-3 beacon after position {here}");
+    }
+
+    #[test]
+    fn reverse_continue_without_hits_lands_at_history_start() {
+        let mut dbg = travel_session(8);
+        for _ in 0..30 {
+            dbg.step(StepGranularity::Event);
+        }
+        // No breakpoints, no watches: scan the whole history, land at 0.
+        assert_eq!(dbg.reverse_continue(), Ok(None));
+        assert_eq!(dbg.delivered(), 0);
+        // At position 0, reverse-continue is a no-op.
+        assert_eq!(dbg.reverse_continue(), Ok(None));
+        assert_eq!(dbg.delivered(), 0);
+    }
+
+    #[test]
+    fn time_travel_disabled_errors() {
+        let mut dbg = session();
+        for _ in 0..10 {
+            dbg.step(StepGranularity::Event);
+        }
+        assert_eq!(dbg.goto(2), Err(TimeTravelError::Disabled));
+        assert_eq!(dbg.reverse_step(1), Err(TimeTravelError::Disabled));
+        assert_eq!(dbg.reverse_continue(), Err(TimeTravelError::Disabled));
+        assert!(dbg.timeline_stats().is_none());
+        // Forward goto works without checkpoints.
+        assert_eq!(dbg.goto(15), Ok(15));
+    }
+
+    #[test]
+    fn late_enable_bounds_reachable_history() {
+        let mut dbg = session();
+        for _ in 0..20 {
+            dbg.step(StepGranularity::Event);
+        }
+        dbg.enable_time_travel(
+            8,
+            checkpoint::Strategy::Fork,
+            checkpoint::RetentionPolicy::default(),
+        );
+        for _ in 0..20 {
+            dbg.step(StepGranularity::Event);
+        }
+        // Position 5 precedes the anchor (20): unreachable.
+        assert_eq!(dbg.goto(5), Err(TimeTravelError::BeforeHistory));
+        // reverse_step clamps at the anchor instead.
+        assert_eq!(dbg.reverse_step(10_000), Ok(20));
+    }
+
+    #[test]
+    fn watches_reprime_across_jumps() {
+        let mut dbg = travel_session(8);
+        dbg.add_watch("n1 state", |net| {
+            crate::order::debug_digest(net.control_plane(NodeId(1)))
+        });
+        for _ in 0..60 {
+            dbg.step(StepGranularity::Event);
+        }
+        // Jumping must not report the jump itself as a watch change: the
+        // next step's report reflects only that step.
+        dbg.reverse_step(30).unwrap();
+        let r = dbg.step(StepGranularity::Event).expect("events");
+        for (label, old, new) in &r.watch_changes {
+            assert_ne!(old, new, "self-change reported for {label}");
+        }
     }
 }

@@ -33,30 +33,49 @@ use crate::harness::RbNetwork;
 use netsim::{NodeId, SimTime};
 use routing::ControlPlane;
 
+/// Minimum of `f` over the nodes that can currently schedule a rollback:
+/// up, and already joined virtual time (a just-restarted node whose clock
+/// still reads 0 has an empty history and cannot roll anything back, so it
+/// must not drag the bound to 0 while it waits for its first beacon).
+/// Falls back to the minimum over *all* synced nodes' frozen clocks when no
+/// such node exists — in an all-nodes-crashed window no new rollback can be
+/// scheduled at all, so the frozen bound still holds; collapsing to 0 here
+/// (the old `unwrap_or(0)`) regressed the monotone Lemma-2 witness and made
+/// [`GvtMonitor`] report a spurious violation.
+fn bound_over_nodes<P: ControlPlane + 'static>(
+    net: &RbNetwork<P>,
+    f: impl Fn(&crate::rb::RbShim<P>) -> u64,
+) -> u64 {
+    let synced = |i: usize| net.sim().process(NodeId(i as u32)).current_group() > 0;
+    let over = |live: bool| {
+        (0..net.sim().node_count())
+            .filter(|&i| (!live || net.sim().node_up(NodeId(i as u32))) && synced(i))
+            .map(|i| f(net.sim().process(NodeId(i as u32))))
+            .min()
+    };
+    over(true).or_else(|| over(false)).unwrap_or(0)
+}
+
 /// The classic GVT lower bound, in groups: the minimum over *live* nodes of
 /// the local virtual clock (current group).
 ///
 /// Administratively-down nodes are excluded: their clocks froze at death,
 /// but a dead node can never roll anything back, so it does not hold the
 /// bound (its last in-flight messages are covered by the caller's margin).
+/// When *no* node is up the bound does not collapse to 0 — it is the
+/// minimum over the frozen clocks, since a fully crashed network schedules
+/// no new rollbacks either.
 pub fn gvt_estimate<P: ControlPlane + 'static>(net: &RbNetwork<P>) -> u64 {
-    (0..net.sim().node_count())
-        .filter(|&i| net.sim().node_up(NodeId(i as u32)))
-        .map(|i| net.sim().process(NodeId(i as u32)).current_group())
-        .min()
-        .unwrap_or(0)
+    bound_over_nodes(net, |shim| shim.current_group())
 }
 
 /// The rollback floor, in groups: the minimum over live nodes of the
 /// earliest *uncommitted* (still rollback-able) history entry. Everything
 /// below it has been committed; the gap `gvt_estimate - rollback_floor` is
-/// the state fossil collection can still release.
+/// the state fossil collection can still release. Shares
+/// [`gvt_estimate`]'s frozen-clock fallback for all-crashed windows.
 pub fn rollback_floor<P: ControlPlane + 'static>(net: &RbNetwork<P>) -> u64 {
-    (0..net.sim().node_count())
-        .filter(|&i| net.sim().node_up(NodeId(i as u32)))
-        .map(|i| net.sim().process(NodeId(i as u32)).earliest_live_group())
-        .min()
-        .unwrap_or(0)
+    bound_over_nodes(net, |shim| shim.earliest_live_group())
 }
 
 /// Commits every history entry in groups `<= gvt_estimate - margin` on all
@@ -122,12 +141,27 @@ impl GvtMonitor {
     }
 
     /// Records the current estimate and floor.
+    ///
+    /// While no live node has a running virtual clock — an all-crashed
+    /// window, or the resync gap right after a mass restart before the
+    /// first beacon — the previous bound is *held*: no node can schedule a
+    /// rollback in such a window, so the last established bound remains
+    /// valid, and holding it keeps the Lemma-2 witness monotone instead of
+    /// reporting a spurious violation.
     pub fn observe<P: ControlPlane + 'static>(&mut self, net: &RbNetwork<P>) {
-        self.samples.push(GvtSample {
-            at: net.sim().now(),
-            gvt: gvt_estimate(net),
-            floor: rollback_floor(net),
+        let any_live_synced = (0..net.sim().node_count()).any(|i| {
+            let id = NodeId(i as u32);
+            net.sim().node_up(id) && net.sim().process(id).current_group() > 0
         });
+        let mut gvt = gvt_estimate(net);
+        let mut floor = rollback_floor(net);
+        if !any_live_synced {
+            if let Some(prev) = self.samples.last() {
+                gvt = gvt.max(prev.gvt);
+                floor = floor.max(prev.floor);
+            }
+        }
+        self.samples.push(GvtSample { at: net.sim().now(), gvt, floor });
     }
 
     /// The samples collected so far.
@@ -253,6 +287,67 @@ mod tests {
                 .collect::<Vec<_>>()
         };
         assert_eq!(run(11), run(987));
+    }
+
+    /// Regression: with every node crashed, the GVT bound used to collapse
+    /// to 0 (`min` over an empty live set, `unwrap_or(0)`), breaking the
+    /// monotone witness. The bound must hold through an all-crashed window
+    /// and the restart-resync gap that follows.
+    #[test]
+    fn gvt_holds_through_crash_all_then_restart() {
+        let mut net = ring_net(7, 0.5);
+        // Kill every node at 3 s; bring them all back at 4 s.
+        for i in 0..5u32 {
+            net.schedule_node(SimTime::from_millis(3000), NodeId(i), false);
+            net.schedule_node(SimTime::from_millis(4000), NodeId(i), true);
+        }
+        let mut mon = GvtMonitor::new();
+        let mut held = None;
+        for tick in 1..=18u64 {
+            // Sample every 250 ms through crash (t=3s) and restart (t=4s),
+            // stopping before a post-restart election could reboot virtual
+            // time from scratch.
+            net.run_until(SimTime::ZERO + SimDuration::from_millis(250) * tick);
+            mon.observe(&net);
+            if tick == 12 {
+                held = Some(mon.samples().last().unwrap().gvt);
+            }
+            if tick == 14 {
+                // Mid-window, all nodes down: the raw estimate reports the
+                // frozen-clock bound, not 0.
+                assert!((0..5).all(|i| !net.sim().node_up(NodeId(i))));
+                assert!(gvt_estimate(&net) > 0, "estimate collapsed to 0 mid-window");
+            }
+        }
+        let held = held.expect("sampled at the crash instant");
+        assert!(held >= 8, "3 s of 250 ms beacons ran before the crash: {held}");
+        assert!(
+            mon.is_monotone(),
+            "GVT must not regress through an all-crashed window: {:?}",
+            mon.samples()
+        );
+        // Every in-window and post-restart sample holds the bound.
+        for s in &mon.samples()[12..] {
+            assert_eq!(s.gvt, held, "bound not held at {}: {:?}", s.at, s);
+        }
+    }
+
+    /// The stateless estimate itself reports the frozen-clock bound (not 0)
+    /// while every node is down.
+    #[test]
+    fn estimate_uses_frozen_clocks_when_all_down() {
+        let mut net = ring_net(3, 0.4);
+        net.run_until(SimTime::from_secs(2));
+        let before = gvt_estimate(&net);
+        assert!(before >= 5);
+        for i in 0..5u32 {
+            net.schedule_node(SimTime::from_millis(2100), NodeId(i), false);
+        }
+        net.run_until(SimTime::from_millis(2500));
+        assert!((0..5).all(|i| !net.sim().node_up(NodeId(i))), "all nodes down");
+        let frozen = gvt_estimate(&net);
+        assert!(frozen >= before, "frozen bound {frozen} regressed below {before}");
+        assert!(rollback_floor(&net) > 0 || frozen == 0);
     }
 
     #[test]

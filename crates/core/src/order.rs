@@ -124,6 +124,47 @@ impl OrderKey {
     }
 }
 
+impl EventClass {
+    fn from_u8(v: u8) -> Option<Self> {
+        match v {
+            0 => Some(EventClass::External),
+            1 => Some(EventClass::Beacon),
+            2 => Some(EventClass::Message),
+            _ => None,
+        }
+    }
+}
+
+impl Annotation {
+    /// Appends a stable binary encoding of every field.
+    pub fn encode(&self, buf: &mut Vec<u8>) {
+        buf.extend_from_slice(&self.group.to_le_bytes());
+        buf.extend_from_slice(&self.chain.to_le_bytes());
+        buf.push(self.class as u8);
+        buf.extend_from_slice(&self.delay.to_le_bytes());
+        buf.extend_from_slice(&self.origin.0.to_le_bytes());
+        buf.extend_from_slice(&self.origin_seq.to_le_bytes());
+        buf.extend_from_slice(&self.sender.0.to_le_bytes());
+        buf.extend_from_slice(&self.emit.to_le_bytes());
+        buf.extend_from_slice(&self.lineage.to_le_bytes());
+    }
+
+    /// Decodes what [`Annotation::encode`] wrote.
+    pub fn decode(r: &mut routing::enc::Reader<'_>) -> Option<Self> {
+        Some(Annotation {
+            group: r.u64()?,
+            chain: r.u32()?,
+            class: EventClass::from_u8(r.u8()?)?,
+            delay: r.u64()?,
+            origin: NodeId(r.u32()?),
+            origin_seq: r.u64()?,
+            sender: NodeId(r.u32()?),
+            emit: r.u32()?,
+            lineage: r.u64()?,
+        })
+    }
+}
+
 /// Mixes a sequence of words into a deterministic 64-bit digest (lineage
 /// chaining).
 fn mix(parts: &[u64]) -> u64 {
@@ -433,6 +474,26 @@ mod tests {
         let cb = Annotation::child(&b, NodeId(4), 10, 1, 24);
         assert_eq!(ca, cb);
         assert_eq!(ca.key(OrderingMode::Optimized), cb.key(OrderingMode::Optimized));
+    }
+
+    #[test]
+    fn annotation_round_trips() {
+        for ann in [
+            Annotation::external(NodeId(2), 5, 1),
+            Annotation::beacon(NodeId(0), 9, 400),
+            Annotation::child(&Annotation::external(NodeId(3), 7, 1), NodeId(2), 9, 4, 24),
+        ] {
+            let mut buf = Vec::new();
+            ann.encode(&mut buf);
+            let mut r = routing::enc::Reader::new(&buf);
+            assert_eq!(Annotation::decode(&mut r), Some(ann));
+            assert_eq!(r.remaining(), 0);
+        }
+        // A bad class byte fails cleanly.
+        let mut bad = Vec::new();
+        Annotation::external(NodeId(2), 5, 1).encode(&mut bad);
+        bad[12] = 7;
+        assert!(Annotation::decode(&mut routing::enc::Reader::new(&bad)).is_none());
     }
 
     #[test]

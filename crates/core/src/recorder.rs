@@ -235,6 +235,24 @@ pub struct CommitRecord {
     pub payload_digest: u64,
 }
 
+impl CommitRecord {
+    /// Appends the wire encoding of this record.
+    pub fn encode(&self, buf: &mut Vec<u8>) {
+        self.key.encode(buf);
+        self.ann.encode(buf);
+        put_u64(buf, self.payload_digest);
+    }
+
+    /// Decodes one record, advancing the reader.
+    pub fn decode(r: &mut Reader<'_>) -> Option<Self> {
+        Some(CommitRecord {
+            key: OrderKey::decode(r)?,
+            ann: Annotation::decode(r)?,
+            payload_digest: r.u64()?,
+        })
+    }
+}
+
 /// Trims a committed log to events in groups `<= last_group`, the window
 /// over which two runs are comparable (later groups may still have had
 /// messages in flight when the production run stopped).

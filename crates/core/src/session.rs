@@ -8,21 +8,37 @@
 //! step [n]          deliver the next n events (default 1)
 //! stepg [n]         step n whole groups (default 1)
 //! run               run until a breakpoint fires or the recording ends
+//! rstep [n]         step n events backward (reverse-step; default 1)
+//! rcont             run backward to the last earlier breakpoint/watch hit
+//!                   (reverse-continue)
+//! goto P            jump to absolute event position P, either direction
+//! checkpoints       show the reverse-execution checkpoint timeline
 //! break group G     break on the first event of group G
 //! break node N      break on any delivery at node N
 //! clear             remove all breakpoints
-//! watch N           watch node N's state digest; `run` stops when it changes
+//! watch N           watch node N's state digest; `run` stops when it
+//!                   changes, `rcont` when it last changed
 //! unwatch           remove all watches
 //! inspect N         print node N's control-plane state
 //! log N [K]         print node N's last K committed records (default 5)
 //! where             current group / delivered-event count
 //! help              list commands
 //! ```
+//!
+//! Replays are deterministic, so stepping forward again after `rstep` /
+//! `goto` reproduces the original output byte for byte.
 
-use crate::debugger::{Debugger, StepGranularity};
+use crate::debugger::{Debugger, StepGranularity, TimeTravelError};
+use crate::wire::Wire;
+use checkpoint::{RetentionPolicy, Strategy};
 use netsim::NodeId;
 use routing::ControlPlane;
 use std::fmt::Write as _;
+
+/// Default checkpoint cadence for session-level time travel, in delivered
+/// events: dense enough that any `rstep` re-executes at most a few dozen
+/// events, sparse enough that page-diff images stay cheap (DESIGN.md §8).
+pub const DEFAULT_CHECKPOINT_INTERVAL: u64 = 32;
 
 /// Why a command was rejected.
 #[derive(Clone, Debug, PartialEq, Eq)]
@@ -33,6 +49,8 @@ pub enum SessionError {
     BadArguments(String),
     /// A node id is out of range for the debugging network.
     NoSuchNode(u32),
+    /// A reverse-execution request could not be satisfied.
+    TimeTravel(TimeTravelError),
 }
 
 impl std::fmt::Display for SessionError {
@@ -41,7 +59,14 @@ impl std::fmt::Display for SessionError {
             SessionError::UnknownCommand(c) => write!(f, "unknown command: {c} (try `help`)"),
             SessionError::BadArguments(m) => write!(f, "bad arguments: {m}"),
             SessionError::NoSuchNode(n) => write!(f, "no such node: n{n}"),
+            SessionError::TimeTravel(e) => write!(f, "time travel: {e}"),
         }
+    }
+}
+
+impl From<TimeTravelError> for SessionError {
+    fn from(e: TimeTravelError) -> Self {
+        SessionError::TimeTravel(e)
     }
 }
 
@@ -55,9 +80,26 @@ pub struct DebugSession<P: ControlPlane> {
     watching: bool,
 }
 
-impl<P: ControlPlane> DebugSession<P> {
+impl<P> DebugSession<P>
+where
+    P: ControlPlane,
+    P::Msg: Wire,
+    P::Ext: Wire,
+{
     /// Wraps a debugger for a network of `n_nodes` nodes.
-    pub fn new(dbg: Debugger<P>, n_nodes: usize) -> Self {
+    ///
+    /// Time travel is enabled by default (page-diff checkpoints every
+    /// [`DEFAULT_CHECKPOINT_INTERVAL`] events), so every session — and
+    /// every registry scenario driven through one — is debuggable
+    /// backwards.
+    pub fn new(mut dbg: Debugger<P>, n_nodes: usize) -> Self {
+        if !dbg.time_travel_enabled() {
+            dbg.enable_time_travel(
+                DEFAULT_CHECKPOINT_INTERVAL,
+                Strategy::MemIntercept,
+                RetentionPolicy::default(),
+            );
+        }
         DebugSession { dbg, n_nodes, watching: false }
     }
 
@@ -194,6 +236,64 @@ impl<P: ControlPlane> DebugSession<P> {
                     }
                 }
             }
+            "rstep" | "reverse-step" => {
+                let n: u64 = match it.next() {
+                    None => 1,
+                    Some(t) => t.parse().map_err(|_| {
+                        SessionError::BadArguments(format!("`{t}` is not a count"))
+                    })?,
+                };
+                let pos = self.dbg.reverse_step(n)?;
+                Ok(format!(
+                    "<- position {pos} | group {} | replayed {} event(s)\n",
+                    self.dbg.net().current_group(),
+                    self.dbg.last_rewind_replayed(),
+                ))
+            }
+            "goto" => {
+                let target: u64 = it
+                    .next()
+                    .and_then(|t| t.parse().ok())
+                    .ok_or_else(|| SessionError::BadArguments("goto <event-position>".into()))?;
+                let pos = self.dbg.goto(target)?;
+                Ok(format!(
+                    "-> position {pos} | group {}{}\n",
+                    self.dbg.net().current_group(),
+                    if pos < target { " (end of recording)" } else { "" },
+                ))
+            }
+            "rcont" | "reverse-continue" => match self.dbg.reverse_continue()? {
+                None => Ok(format!(
+                    "(start of retained history, position {})\n",
+                    self.dbg.delivered(),
+                )),
+                Some((ev, changes)) => {
+                    let mut out = String::new();
+                    for (label, old, new) in changes {
+                        let _ = writeln!(out, "* watch {label}: {old:016x} -> {new:016x}");
+                    }
+                    let _ = writeln!(
+                        out,
+                        "* stopped after [g{} c{}] {} @ {:?} | position {}",
+                        ev.group,
+                        ev.chain,
+                        class_name(ev.record.ann.class),
+                        ev.node,
+                        self.dbg.delivered(),
+                    );
+                    Ok(out)
+                }
+            },
+            "checkpoints" => match self.dbg.timeline_stats() {
+                None => Ok("time travel is not enabled\n".into()),
+                Some(s) => Ok(format!(
+                    "{} checkpoint(s) | interval {} | {} KiB physical of {} KiB virtual\n",
+                    s.retained,
+                    self.dbg.checkpoint_interval().unwrap_or(0),
+                    s.physical_bytes / 1024,
+                    s.virtual_bytes / 1024,
+                )),
+            },
             "break" => match it.next() {
                 Some("group") => {
                     let g: u64 = it
@@ -268,9 +368,9 @@ impl<P: ControlPlane> DebugSession<P> {
                 self.dbg.delivered(),
                 if self.dbg.net().is_done() { "done" } else { "running" },
             )),
-            "help" => Ok("commands: step [n] | stepg [n] | run | break group G | \
-                          break node N | clear | watch N | unwatch | inspect N | \
-                          log N [K] | where | help\n"
+            "help" => Ok("commands: step [n] | stepg [n] | run | rstep [n] | rcont | \
+                          goto P | checkpoints | break group G | break node N | clear | \
+                          watch N | unwatch | inspect N | log N [K] | where | help\n"
                 .into()),
             other => Err(SessionError::UnknownCommand(other.to_string())),
         }
@@ -398,6 +498,72 @@ mod tests {
         s.exec("clear").unwrap();
         let out = s.exec("run").unwrap();
         assert!(out.contains("exhausted"), "{out}");
+    }
+
+    /// Forward → reverse → forward: the re-executed `step` output is byte
+    /// for byte the original output (Theorem 1 applied twice).
+    #[test]
+    fn reverse_then_forward_transcript_is_byte_identical() {
+        let mut s = session();
+        let first = s.exec("step 30").unwrap();
+        let back = s.exec("rstep 30").unwrap();
+        assert!(back.starts_with("<- position 0 | group"), "{back}");
+        let again = s.exec("step 30").unwrap();
+        assert_eq!(first, again, "forward -> reverse -> forward diverged");
+        // And through an interior position too.
+        s.exec("rstep 7").unwrap();
+        let tail = s.exec("step 7").unwrap();
+        let mut lines = first.lines().rev().take(7).collect::<Vec<_>>();
+        lines.reverse();
+        assert_eq!(tail.trim_end().lines().collect::<Vec<_>>(), lines);
+    }
+
+    #[test]
+    fn goto_verb_navigates_both_directions() {
+        let mut s = session();
+        s.exec("step 40").unwrap();
+        let out = s.exec("goto 10").unwrap();
+        assert!(out.starts_with("-> position 10 | group"), "{out}");
+        let out = s.exec("goto 35").unwrap();
+        assert!(out.starts_with("-> position 35"), "{out}");
+        let w = s.exec("where").unwrap();
+        assert!(w.contains("35 events delivered"), "{w}");
+        // A huge forward target lands at the end of the recording.
+        let out = s.exec("goto 1000000000").unwrap();
+        assert!(out.contains("(end of recording)"), "{out}");
+    }
+
+    #[test]
+    fn rcont_stops_at_the_last_breakpoint_hit_behind() {
+        let mut s = session();
+        s.exec("break group 2").unwrap();
+        s.exec("goto 200").unwrap();
+        let out = s.exec("rcont").unwrap();
+        assert!(out.contains("* stopped after [g"), "{out}");
+        // Without breakpoints or watches, rcont lands at history start.
+        s.exec("clear").unwrap();
+        let out = s.exec("rcont").unwrap();
+        assert!(out.contains("start of retained history, position 0"), "{out}");
+    }
+
+    #[test]
+    fn checkpoints_verb_reports_the_timeline() {
+        let mut s = session();
+        s.exec("step 100").unwrap();
+        let out = s.exec("checkpoints").unwrap();
+        assert!(out.contains("checkpoint(s) | interval 32"), "{out}");
+    }
+
+    #[test]
+    fn reverse_verbs_reject_bad_arguments() {
+        let mut s = session();
+        assert!(matches!(s.exec("rstep zap"), Err(SessionError::BadArguments(_))));
+        assert!(matches!(s.exec("goto"), Err(SessionError::BadArguments(_))));
+        assert!(matches!(s.exec("goto x"), Err(SessionError::BadArguments(_))));
+        // Long aliases work.
+        s.exec("step 5").unwrap();
+        assert!(s.exec("reverse-step 2").unwrap().starts_with("<- position 3"));
+        assert!(s.exec("reverse-continue").is_ok());
     }
 
     #[test]

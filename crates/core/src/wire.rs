@@ -3,11 +3,13 @@
 //! Recordings must survive serialisation so a debugging session can load a
 //! production recording from disk. The [`Wire`] trait is the minimal codec
 //! contract; implementations are provided for the protocol external-input
-//! types used in the case studies.
+//! types used in the case studies, and for the protocol *message* types so
+//! a whole debugging network — including its in-flight messages — can be
+//! checkpointed through the page-diff snapshot store (reverse execution).
 
 use netsim::NodeId;
 use routing::enc::{put_u16, put_u32, put_u64, put_u8, Reader};
-use routing::{bgp, rip};
+use routing::{bgp, ospf, rip};
 
 /// A self-delimiting binary codec.
 pub trait Wire: Sized {
@@ -99,6 +101,95 @@ impl Wire for NodeId {
     }
 }
 
+impl Wire for ospf::Lsa {
+    fn encode(&self, buf: &mut Vec<u8>) {
+        put_u32(buf, self.origin.0);
+        put_u64(buf, self.seq);
+        put_u64(buf, self.links.len() as u64);
+        for &(peer, cost) in &self.links {
+            put_u32(buf, peer.0);
+            put_u64(buf, cost);
+        }
+    }
+    fn decode(r: &mut Reader<'_>) -> Option<Self> {
+        let origin = NodeId(r.u32()?);
+        let seq = r.u64()?;
+        let n = r.len()?;
+        let mut links = Vec::with_capacity(n);
+        for _ in 0..n {
+            links.push((NodeId(r.u32()?), r.u64()?));
+        }
+        Some(ospf::Lsa { origin, seq, links })
+    }
+}
+
+impl Wire for ospf::OspfMsg {
+    fn encode(&self, buf: &mut Vec<u8>) {
+        match self {
+            ospf::OspfMsg::Hello => put_u8(buf, 0),
+            ospf::OspfMsg::Lsa(lsa) => {
+                put_u8(buf, 1);
+                lsa.encode(buf);
+            }
+            ospf::OspfMsg::Ack { origin, seq } => {
+                put_u8(buf, 2);
+                put_u32(buf, origin.0);
+                put_u64(buf, *seq);
+            }
+        }
+    }
+    fn decode(r: &mut Reader<'_>) -> Option<Self> {
+        match r.u8()? {
+            0 => Some(ospf::OspfMsg::Hello),
+            1 => Some(ospf::OspfMsg::Lsa(ospf::Lsa::decode(r)?)),
+            2 => Some(ospf::OspfMsg::Ack { origin: NodeId(r.u32()?), seq: r.u64()? }),
+            _ => None,
+        }
+    }
+}
+
+impl Wire for rip::RipAnnouncement {
+    fn encode(&self, buf: &mut Vec<u8>) {
+        put_u64(buf, self.entries.len() as u64);
+        for &(prefix, metric) in &self.entries {
+            put_u32(buf, prefix);
+            put_u32(buf, metric);
+        }
+    }
+    fn decode(r: &mut Reader<'_>) -> Option<Self> {
+        let n = r.len()?;
+        let mut entries = Vec::with_capacity(n);
+        for _ in 0..n {
+            entries.push((r.u32()?, r.u32()?));
+        }
+        Some(rip::RipAnnouncement { entries })
+    }
+}
+
+impl Wire for bgp::BgpMsg {
+    fn encode(&self, buf: &mut Vec<u8>) {
+        match self {
+            bgp::BgpMsg::Update { prefix, attrs } => {
+                put_u8(buf, 0);
+                put_u32(buf, *prefix);
+                attrs.encode(buf);
+            }
+            bgp::BgpMsg::Withdraw { prefix, route_id } => {
+                put_u8(buf, 1);
+                put_u32(buf, *prefix);
+                put_u32(buf, *route_id);
+            }
+        }
+    }
+    fn decode(r: &mut Reader<'_>) -> Option<Self> {
+        match r.u8()? {
+            0 => Some(bgp::BgpMsg::Update { prefix: r.u32()?, attrs: bgp::PathAttrs::decode(r)? }),
+            1 => Some(bgp::BgpMsg::Withdraw { prefix: r.u32()?, route_id: r.u32()? }),
+            _ => None,
+        }
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -137,8 +228,34 @@ mod tests {
     }
 
     #[test]
+    fn protocol_messages() {
+        round_trip(ospf::OspfMsg::Hello);
+        round_trip(ospf::OspfMsg::Lsa(ospf::Lsa {
+            origin: NodeId(3),
+            seq: 9,
+            links: vec![(NodeId(1), 4), (NodeId(2), 7)],
+        }));
+        round_trip(ospf::OspfMsg::Ack { origin: NodeId(3), seq: 9 });
+        round_trip(rip::RipAnnouncement { entries: vec![(7, 1), (9, 16)] });
+        round_trip(rip::RipAnnouncement { entries: vec![] });
+        let attrs = bgp::PathAttrs {
+            route_id: 2,
+            as_path_len: 1,
+            neighbor_as: 7,
+            med: 3,
+            igp_dist: 5,
+        };
+        round_trip(bgp::BgpMsg::Update { prefix: 8, attrs });
+        round_trip(bgp::BgpMsg::Withdraw { prefix: 8, route_id: 2 });
+    }
+
+    #[test]
     fn corrupt_input_fails_cleanly() {
         let mut r = Reader::new(&[2]);
         assert!(bgp::BgpExt::decode(&mut r).is_none());
+        let mut r = Reader::new(&[3]);
+        assert!(ospf::OspfMsg::decode(&mut r).is_none());
+        let mut r = Reader::new(&[9]);
+        assert!(bgp::BgpMsg::decode(&mut r).is_none());
     }
 }

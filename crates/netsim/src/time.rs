@@ -17,19 +17,22 @@ impl SimTime {
     /// The largest representable instant; used as an "infinite" deadline.
     pub const MAX: SimTime = SimTime(u64::MAX);
 
-    /// Creates an instant `s` seconds after start.
+    /// Creates an instant `s` seconds after start, saturating at
+    /// [`SimTime::MAX`] — untrusted inputs (e.g. a `.scn` file's
+    /// `duration 99999999999s`) must not be able to overflow-panic a debug
+    /// build.
     pub fn from_secs(s: u64) -> Self {
-        SimTime(s * 1_000_000_000)
+        SimTime(s.saturating_mul(1_000_000_000))
     }
 
-    /// Creates an instant `ms` milliseconds after start.
+    /// Creates an instant `ms` milliseconds after start (saturating).
     pub fn from_millis(ms: u64) -> Self {
-        SimTime(ms * 1_000_000)
+        SimTime(ms.saturating_mul(1_000_000))
     }
 
-    /// Creates an instant `us` microseconds after start.
+    /// Creates an instant `us` microseconds after start (saturating).
     pub fn from_micros(us: u64) -> Self {
-        SimTime(us * 1_000)
+        SimTime(us.saturating_mul(1_000))
     }
 
     /// Returns the instant as fractional seconds.
@@ -46,25 +49,33 @@ impl SimTime {
     pub fn saturating_sub(self, other: SimTime) -> SimDuration {
         SimDuration(self.0.saturating_sub(other.0))
     }
+
+    /// Difference between two instants, or `None` when `other` is later —
+    /// for call sites where "the other event has not happened yet" is a
+    /// representable state rather than a logic error.
+    pub fn checked_sub(self, other: SimTime) -> Option<SimDuration> {
+        Some(SimDuration(self.0.checked_sub(other.0)?))
+    }
 }
 
 impl SimDuration {
     /// The zero-length duration.
     pub const ZERO: SimDuration = SimDuration(0);
 
-    /// Creates a duration of `s` seconds.
+    /// Creates a duration of `s` seconds, saturating at the largest
+    /// representable duration (see [`SimTime::from_secs`]).
     pub fn from_secs(s: u64) -> Self {
-        SimDuration(s * 1_000_000_000)
+        SimDuration(s.saturating_mul(1_000_000_000))
     }
 
-    /// Creates a duration of `ms` milliseconds.
+    /// Creates a duration of `ms` milliseconds (saturating).
     pub fn from_millis(ms: u64) -> Self {
-        SimDuration(ms * 1_000_000)
+        SimDuration(ms.saturating_mul(1_000_000))
     }
 
-    /// Creates a duration of `us` microseconds.
+    /// Creates a duration of `us` microseconds (saturating).
     pub fn from_micros(us: u64) -> Self {
-        SimDuration(us * 1_000)
+        SimDuration(us.saturating_mul(1_000))
     }
 
     /// Creates a duration of `ns` nanoseconds.
@@ -96,6 +107,16 @@ impl SimDuration {
     pub fn mul_f64(self, f: f64) -> Self {
         SimDuration::from_secs_f64(self.as_secs_f64() * f)
     }
+
+    /// Saturating difference between two durations.
+    pub fn saturating_sub(self, other: SimDuration) -> SimDuration {
+        SimDuration(self.0.saturating_sub(other.0))
+    }
+
+    /// Difference between two durations, or `None` on underflow.
+    pub fn checked_sub(self, other: SimDuration) -> Option<SimDuration> {
+        Some(SimDuration(self.0.checked_sub(other.0)?))
+    }
 }
 
 impl Add<SimDuration> for SimTime {
@@ -111,6 +132,10 @@ impl AddAssign<SimDuration> for SimTime {
     }
 }
 
+/// Plain subtraction panics on underflow in debug builds. Use it only
+/// where an earlier-minus-later difference is a genuine logic error; where
+/// "not yet" is representable (convergence times, scheduling deltas),
+/// reach for [`SimTime::saturating_sub`] or [`SimTime::checked_sub`].
 impl Sub<SimTime> for SimTime {
     type Output = SimDuration;
     fn sub(self, rhs: SimTime) -> SimDuration {
@@ -131,6 +156,8 @@ impl AddAssign for SimDuration {
     }
 }
 
+/// Duration subtraction saturates at zero: "no time left" is the natural
+/// floor for every scheduling computation in the workspace.
 impl Sub for SimDuration {
     type Output = SimDuration;
     fn sub(self, rhs: SimDuration) -> SimDuration {
@@ -209,6 +236,34 @@ mod tests {
             SimDuration::from_millis(1) - SimDuration::from_millis(2),
             SimDuration::ZERO
         );
+    }
+
+    /// Constructors saturate instead of overflowing — with overflow checks
+    /// on (debug builds / the debug-profile CI job), `u64::MAX` seconds
+    /// must produce `MAX`, not a panic.
+    #[test]
+    fn constructors_saturate_on_overflow() {
+        assert_eq!(SimTime::from_secs(u64::MAX), SimTime::MAX);
+        assert_eq!(SimTime::from_millis(u64::MAX), SimTime::MAX);
+        assert_eq!(SimTime::from_micros(u64::MAX), SimTime::MAX);
+        assert_eq!(SimDuration::from_secs(u64::MAX).0, u64::MAX);
+        assert_eq!(SimDuration::from_millis(u64::MAX).0, u64::MAX);
+        assert_eq!(SimDuration::from_micros(u64::MAX).0, u64::MAX);
+        // In-range values are exact, not merely clamped.
+        assert_eq!(SimTime::from_secs(3).0, 3_000_000_000);
+    }
+
+    #[test]
+    fn checked_sub_reports_underflow() {
+        let a = SimTime::from_millis(5);
+        let b = SimTime::from_millis(9);
+        assert_eq!(b.checked_sub(a), Some(SimDuration::from_millis(4)));
+        assert_eq!(a.checked_sub(b), None);
+        let d = SimDuration::from_millis(5);
+        let e = SimDuration::from_millis(9);
+        assert_eq!(e.checked_sub(d), Some(SimDuration::from_millis(4)));
+        assert_eq!(d.checked_sub(e), None);
+        assert_eq!(d.saturating_sub(e), SimDuration::ZERO);
     }
 
     #[test]

@@ -92,6 +92,13 @@ impl<'a> Reader<'a> {
     pub fn boolean(&mut self) -> Option<bool> {
         Some(self.u8()? != 0)
     }
+
+    /// Reads exactly `n` raw bytes (for length-prefixed nested encodings).
+    pub fn bytes(&mut self, n: usize) -> Option<&'a [u8]> {
+        let v = self.buf.get(self.pos..self.pos.checked_add(n)?)?;
+        self.pos += n;
+        Some(v)
+    }
 }
 
 #[cfg(test)]

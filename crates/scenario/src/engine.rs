@@ -94,7 +94,17 @@ impl Scenario {
     /// fault parameters are well-formed, and event times fall inside the
     /// run.
     pub fn validate(&self) -> Result<(), ScenarioError> {
-        self.validate_on(&self.topology.build())
+        self.checked_build().map(|_| ())
+    }
+
+    /// Validates the topology parameters, builds the graph, and validates
+    /// the rest of the scenario against it — the one entry point every run
+    /// path shares, so no untrusted spec reaches a generator panic.
+    fn checked_build(&self) -> Result<Graph, ScenarioError> {
+        self.topology.check().map_err(ScenarioError::Invalid)?;
+        let g = self.topology.build();
+        self.validate_on(&g)?;
+        Ok(g)
     }
 
     /// [`validate`](Self::validate) against an already-built graph, so the
@@ -231,8 +241,7 @@ impl Scenario {
     /// Runs the instrumented production network and extracts the partial
     /// recording (the `record` half of the workflow).
     pub fn record_run(&self) -> Result<RecordedRun, ScenarioError> {
-        let g = self.topology.build();
-        self.validate_on(&g)?;
+        let g = self.checked_build()?;
         match self.protocol {
             ProtocolSpec::Rip { mode } => {
                 let procs = crate::registry::rip_processes(&g, mode);
@@ -254,8 +263,7 @@ impl Scenario {
     /// committed logs (for equivalence checks against
     /// [`RecordedRun::logs`]).
     pub fn replay_logs(&self, bytes: &[u8]) -> Result<Vec<Vec<CommitRecord>>, ScenarioError> {
-        let g = self.topology.build();
-        self.validate_on(&g)?;
+        let g = self.checked_build()?;
         match self.protocol {
             ProtocolSpec::Rip { mode } => {
                 self.replay_typed(&g, crate::registry::rip_processes(&g, mode), bytes)
@@ -273,8 +281,7 @@ impl Scenario {
     /// `debug` half of the workflow). Deterministic: the same recording and
     /// script always produce the same transcript.
     pub fn debug_transcript(&self, bytes: &[u8], script: &str) -> Result<String, ScenarioError> {
-        let g = self.topology.build();
-        self.validate_on(&g)?;
+        let g = self.checked_build()?;
         match self.protocol {
             ProtocolSpec::Rip { mode } => {
                 self.debug_typed(&g, crate::registry::rip_processes(&g, mode), bytes, script)
@@ -376,6 +383,7 @@ impl Scenario {
     ) -> Result<String, ScenarioError>
     where
         P: ControlPlane + Clone + 'static,
+        P::Msg: Wire,
         P::Ext: Wire,
     {
         let rec = decode_for::<P>(g, bytes)?;

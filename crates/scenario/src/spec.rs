@@ -88,9 +88,68 @@ pub enum TopologySpec {
     },
 }
 
+/// Upper bound on generated scenario sizes. Scenarios describe debugging
+/// workloads, not internet-scale graphs; the cap turns a hostile or
+/// fat-fingered node count in a `.scn` file into a clean validation error
+/// instead of a multi-gigabyte allocation (or, for `grid`, a debug-build
+/// multiplication overflow) inside the topology generators.
+pub const MAX_SCENARIO_NODES: usize = 512;
+
 impl TopologySpec {
+    /// Validates the generator *parameters* without building anything —
+    /// every precondition the topology generators would otherwise enforce
+    /// by panic (node-count bounds, `waxman`'s `n >= 2`, `ba`'s
+    /// `n > m >= 1`, finite Waxman parameters) becomes an `Err` here, so
+    /// untrusted `.scn` input can never panic or exhaust memory through
+    /// [`TopologySpec::build`].
+    pub fn check(&self) -> Result<(), String> {
+        let bounded = |n: usize, what: &str| {
+            if n < 2 {
+                Err(format!("{what}: need at least 2 nodes, got {n}"))
+            } else if n > MAX_SCENARIO_NODES {
+                Err(format!("{what}: {n} nodes exceeds the {MAX_SCENARIO_NODES}-node cap"))
+            } else {
+                Ok(())
+            }
+        };
+        match *self {
+            TopologySpec::Line { n, .. } => bounded(n, "line"),
+            TopologySpec::Ring { n, .. } => bounded(n, "ring"),
+            TopologySpec::Star { n, .. } => bounded(n, "star"),
+            TopologySpec::FullMesh { n, .. } => bounded(n, "full-mesh"),
+            TopologySpec::Grid { rows, cols, .. } => {
+                let n = rows
+                    .checked_mul(cols)
+                    .ok_or_else(|| format!("grid: {rows}x{cols} overflows"))?;
+                bounded(n, "grid")
+            }
+            TopologySpec::Fig4Bgp { .. } | TopologySpec::Fig5Rip { .. } => Ok(()),
+            TopologySpec::Rocketfuel { .. } => Ok(()),
+            TopologySpec::Waxman { n, params, .. } => {
+                bounded(n, "waxman")?;
+                if !params.alpha.is_finite() || params.alpha < 0.0 {
+                    return Err(format!("waxman: alpha {} must be finite and >= 0", params.alpha));
+                }
+                if !params.beta.is_finite() || params.beta <= 0.0 {
+                    return Err(format!("waxman: beta {} must be finite and > 0", params.beta));
+                }
+                Ok(())
+            }
+            TopologySpec::BarabasiAlbert { n, m, .. } => {
+                bounded(n, "ba")?;
+                if m == 0 || m >= n {
+                    return Err(format!("ba: need n > m >= 1, got n {n}, m {m}"));
+                }
+                Ok(())
+            }
+        }
+    }
+
     /// Builds the graph this spec describes. Deterministic: the same spec
     /// always yields the same graph.
+    ///
+    /// Call [`TopologySpec::check`] first on untrusted specs — the
+    /// generators enforce their preconditions by panic.
     pub fn build(&self) -> Graph {
         match *self {
             TopologySpec::Line { n, delay } => canonical::line(n, delay),

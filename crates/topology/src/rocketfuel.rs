@@ -107,11 +107,13 @@ pub fn build(isp: Isp) -> Graph {
         }
     }
 
-    // Regional PoPs dual-home to their two nearest hubs.
+    // Regional PoPs dual-home to their two nearest hubs. `total_cmp`, not
+    // `partial_cmp(..).unwrap()`: coincident or otherwise degenerate
+    // coordinates must never be able to panic topology generation.
     for v in hubs..n {
         let mut order: Vec<usize> = (0..hubs).collect();
         order.sort_by(|&a, &b| {
-            dist_km(pos[v], pos[a]).partial_cmp(&dist_km(pos[v], pos[b])).unwrap()
+            dist_km(pos[v], pos[a]).total_cmp(&dist_km(pos[v], pos[b]))
         });
         for &h in order.iter().take(2) {
             g.add_edge(NodeId(v as u32), NodeId(h as u32), delay_of(pos[v], pos[h]));

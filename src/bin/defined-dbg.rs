@@ -21,6 +21,11 @@
 //! scenario, loads the recording, and drives a `DebugSession` with commands
 //! from the script file (or stdin when omitted) — `help` lists them.
 //! Replays are deterministic, so sessions are exactly repeatable.
+//!
+//! Sessions are also *reversible*: `rstep [n]`, `rcont`, and `goto P` walk
+//! execution backward over periodic whole-network checkpoints, so any
+//! recorded scenario can be navigated in either direction; stepping
+//! forward again reproduces the original transcript byte for byte.
 
 use defined::scenario::{self, Scenario};
 use std::io::Read as _;

@@ -95,6 +95,63 @@ fn scn_file_scenario_records_and_debugs() {
     round_trip("scenarios/ring-loss.scn", "scn");
 }
 
+/// Record → debug → reverse-step → forward-step through the real binary:
+/// the re-executed forward block must be byte-identical to the original
+/// one, and the whole reverse session must be exactly repeatable.
+#[test]
+fn record_debug_reverse_step_forward_step_round_trips() {
+    let rec = tmp_path("reverse.rec");
+    let fwd_script = tmp_path("reverse-fwd.script");
+    let rev_script = tmp_path("reverse-rev.script");
+    std::fs::write(&fwd_script, "step 25\n").expect("writes script");
+    std::fs::write(&rev_script, "step 25\nrstep 10\nstep 10\nwhere\n").expect("writes script");
+
+    let out = defined_dbg().args(["record", "ospf-flood-storm"]).arg(&rec).output().expect("spawns");
+    assert_success(&out, "record ospf-flood-storm");
+
+    let fwd = defined_dbg()
+        .args(["debug", "ospf-flood-storm"])
+        .arg(&rec)
+        .arg(&fwd_script)
+        .output()
+        .expect("spawns");
+    assert_success(&fwd, "debug (forward)");
+    let fwd_lines: Vec<String> =
+        String::from_utf8_lossy(&fwd.stdout).lines().map(str::to_string).collect();
+
+    let rev = defined_dbg()
+        .args(["debug", "ospf-flood-storm"])
+        .arg(&rec)
+        .arg(&rev_script)
+        .output()
+        .expect("spawns");
+    assert_success(&rev, "debug (reverse)");
+    let rev_text = String::from_utf8_lossy(&rev.stdout).to_string();
+    let rev_lines: Vec<String> = rev_text.lines().map(str::to_string).collect();
+
+    // The reverse session's re-executed `step 10` block reproduces the
+    // last 10 lines of the forward-only session's `step 25` block.
+    assert!(rev_text.contains("<- position 15"), "reverse-step missing:\n{rev_text}");
+    let step10 = rev_lines.iter().rposition(|l| l == "> step 10").expect("step 10 echo");
+    let replayed = &rev_lines[step10 + 1..step10 + 11];
+    let original = &fwd_lines[fwd_lines.len() - 10..];
+    assert_eq!(replayed, original, "reverse -> forward replay diverged from the original");
+    assert!(rev_text.contains("25 events delivered"), "{rev_text}");
+
+    // The reverse session itself is deterministic.
+    let again = defined_dbg()
+        .args(["debug", "ospf-flood-storm"])
+        .arg(&rec)
+        .arg(&rev_script)
+        .output()
+        .expect("spawns");
+    assert_eq!(rev.stdout, again.stdout, "reverse transcripts diverged");
+
+    let _ = std::fs::remove_file(&rec);
+    let _ = std::fs::remove_file(&fwd_script);
+    let _ = std::fs::remove_file(&rev_script);
+}
+
 #[test]
 fn seed_flag_sweeps_jitter_without_changing_the_outcome() {
     let rec_a = tmp_path("seed-a.rec");
