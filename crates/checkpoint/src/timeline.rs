@@ -72,6 +72,15 @@ impl<S: Snapshotable> Timeline<S> {
         Some((pos, self.store.restore(id)?))
     }
 
+    /// The position of the checkpoint nearest at-or-before `position`,
+    /// without restoring it — the cheap peek a replay farm uses to decide
+    /// whether seeding from a checkpoint beats running forward from where
+    /// it already is.
+    pub fn position_at_or_before(&self, position: u64) -> Option<u64> {
+        let at = self.index.partition_point(|&(p, _)| p <= position);
+        self.index.get(at.checked_sub(1)?).map(|&(p, _)| p)
+    }
+
     /// Whether a checkpoint exists exactly at `position`.
     pub fn contains(&self, position: u64) -> bool {
         self.index.binary_search_by_key(&position, |&(p, _)| p).is_ok()
@@ -152,6 +161,24 @@ mod tests {
             assert_eq!(t.restore_at_or_before(0), Some((0, Word(0))));
             assert_eq!(t.restore_at_or_before(1_000), Some((70, Word(70))));
         }
+    }
+
+    #[test]
+    fn peek_matches_restore_without_touching_the_store() {
+        // Two identical timelines: one only peeks, the other restores.
+        let peeker = filled(Strategy::Fork, 64, 10, 8);
+        let mut restorer = filled(Strategy::Fork, 64, 10, 8);
+        for q in [0, 5, 30, 35, 1_000] {
+            assert_eq!(
+                peeker.position_at_or_before(q),
+                restorer.restore_at_or_before(q).map(|(p, _)| p)
+            );
+        }
+        // The peeks above performed no restores; the restores did.
+        assert_eq!(peeker.stats().restores, 0);
+        assert_eq!(restorer.stats().restores, 5);
+        let empty: Timeline<Word> = Timeline::new(Strategy::Fork, RetentionPolicy::default());
+        assert_eq!(empty.position_at_or_before(9), None);
     }
 
     #[test]

@@ -7,8 +7,16 @@
 //! examine the other execution paths. [`explore_orderings`] does exactly
 //! that: it replays the same partial recording under a sweep of salted
 //! ordering functions until a predicate (e.g. "the bug manifested") holds.
+//!
+//! Each salted replay is independent, so the sweep runs on the replay farm
+//! ([`crate::farm`]): [`explore_orderings_farm`] fans the salts across a
+//! worker pool and still returns the *earliest* matching salt in the given
+//! sequence — not the first to finish — so the parallel answer is
+//! byte-identical to the serial one. The serial entry points below are the
+//! farm at `jobs = 1`.
 
 use crate::config::{DefinedConfig, OrderingMode};
+use crate::farm::{self, FarmConfig};
 use crate::ls::LockstepNet;
 use crate::recorder::Recording;
 use netsim::NodeId;
@@ -21,6 +29,8 @@ use topology::Graph;
 ///
 /// Each replay is a complete, valid execution of the recorded external
 /// events — just under a different (still deterministic) schedule.
+///
+/// Serial wrapper over [`explore_orderings_farm`] at [`FarmConfig::serial`].
 pub fn explore_orderings<P, F, S>(
     graph: &Graph,
     base_cfg: &DefinedConfig,
@@ -31,23 +41,63 @@ pub fn explore_orderings<P, F, S>(
 ) -> Option<(u64, LockstepNet<P>)>
 where
     P: ControlPlane,
-    P::Ext: Clone,
-    S: Fn(NodeId) -> P,
-    F: Fn(&LockstepNet<P>) -> bool,
+    P::Ext: Sync,
+    S: Fn(NodeId) -> P + Sync,
+    F: Fn(&LockstepNet<P>) -> bool + Sync,
 {
-    for salt in salts {
-        let cfg = DefinedConfig { ordering: OrderingMode::Permuted(salt), ..base_cfg.clone() };
-        let mut ls = LockstepNet::new(graph, cfg, recording.clone(), &spawn);
-        ls.run_to_end();
-        if predicate(&ls) {
-            return Some((salt, ls));
+    explore_orderings_farm(graph, base_cfg, recording, spawn, salts, predicate, &FarmConfig::serial())
+}
+
+/// [`explore_orderings`] on the replay farm: the salts are evaluated by
+/// `farm.jobs` workers, and the result is the match *earliest in the salt
+/// sequence* — identical to the serial sweep for every job count. Salts
+/// past the earliest match are skipped once it is known.
+///
+/// The salt sequence is consumed lazily in bounded batches, so an
+/// unbounded sweep (`0..`) terminates at the first match just as the
+/// serial loop always has; only one batch of salts is ever materialised.
+pub fn explore_orderings_farm<P, F, S>(
+    graph: &Graph,
+    base_cfg: &DefinedConfig,
+    recording: &Recording<P::Ext>,
+    spawn: S,
+    salts: impl IntoIterator<Item = u64>,
+    predicate: F,
+    farm: &FarmConfig,
+) -> Option<(u64, LockstepNet<P>)>
+where
+    P: ControlPlane,
+    P::Ext: Sync,
+    S: Fn(NodeId) -> P + Sync,
+    F: Fn(&LockstepNet<P>) -> bool + Sync,
+{
+    let mut salts = salts.into_iter();
+    let jobs = farm.jobs.max(1);
+    // Batches are processed in sequence order, so the first batch with a
+    // hit contains the globally earliest one; within a batch `sweep_min`
+    // guarantees the earliest index. Jobs=1 gets a batch of 1 — exactly
+    // the serial lazy loop.
+    let batch_len = if jobs == 1 { 1 } else { jobs * 8 };
+    loop {
+        let batch: Vec<u64> = salts.by_ref().take(batch_len).collect();
+        if batch.is_empty() {
+            return None;
+        }
+        let hit = farm::sweep_min(jobs, batch.len(), |i| {
+            let ls = salted_replay(graph, base_cfg, recording, &spawn, batch[i]);
+            predicate(&ls).then_some(ls)
+        });
+        if let Some((i, ls)) = hit {
+            return Some((batch[i], ls));
         }
     }
-    None
 }
 
 /// Convenience: counts how many of the given salts satisfy the predicate —
 /// a rough measure of how order-dependent an outcome is.
+///
+/// Serial wrapper over [`ordering_sensitivity_farm`] at
+/// [`FarmConfig::serial`].
 pub fn ordering_sensitivity<P, F, S>(
     graph: &Graph,
     base_cfg: &DefinedConfig,
@@ -58,22 +108,86 @@ pub fn ordering_sensitivity<P, F, S>(
 ) -> (usize, usize)
 where
     P: ControlPlane,
-    P::Ext: Clone,
-    S: Fn(NodeId) -> P,
-    F: Fn(&LockstepNet<P>) -> bool,
+    P::Ext: Sync,
+    S: Fn(NodeId) -> P + Sync,
+    F: Fn(&LockstepNet<P>) -> bool + Sync,
 {
-    let mut hits = 0;
-    let mut total = 0;
-    for salt in salts {
-        total += 1;
-        let cfg = DefinedConfig { ordering: OrderingMode::Permuted(salt), ..base_cfg.clone() };
-        let mut ls = LockstepNet::new(graph, cfg, recording.clone(), &spawn);
-        ls.run_to_end();
-        if predicate(&ls) {
-            hits += 1;
-        }
-    }
-    (hits, total)
+    ordering_sensitivity_farm(graph, base_cfg, recording, spawn, salts, predicate, &FarmConfig::serial())
+}
+
+/// [`ordering_sensitivity`] on the replay farm. Every salt is evaluated
+/// (no early exit — the count needs them all, so pass a *finite*
+/// sequence); the tally is a pure function of the salt sequence,
+/// independent of `farm.jobs`.
+pub fn ordering_sensitivity_farm<P, F, S>(
+    graph: &Graph,
+    base_cfg: &DefinedConfig,
+    recording: &Recording<P::Ext>,
+    spawn: S,
+    salts: impl IntoIterator<Item = u64>,
+    predicate: F,
+    farm: &FarmConfig,
+) -> (usize, usize)
+where
+    P: ControlPlane,
+    P::Ext: Sync,
+    S: Fn(NodeId) -> P + Sync,
+    F: Fn(&LockstepNet<P>) -> bool + Sync,
+{
+    let salts: Vec<u64> = salts.into_iter().collect();
+    let hits = farm::map_indexed(farm.jobs, salts.len(), |i| {
+        let ls = salted_replay(graph, base_cfg, recording, &spawn, salts[i]);
+        predicate(&ls)
+    });
+    (hits.iter().filter(|&&h| h).count(), salts.len())
+}
+
+/// Maps *every* salt of a finite sequence to `project(replay)` on the
+/// replay farm, in salt order — one full sweep that yields whatever
+/// per-ordering observation the caller wants (an outcome string, a digest,
+/// a metric). Strictly one replay per salt, so a caller needing both
+/// "first match" and "how many match" pays a single sweep instead of two.
+/// The result vector is a pure function of the salt sequence, independent
+/// of `farm.jobs`.
+pub fn ordering_survey_farm<P, T, F, S>(
+    graph: &Graph,
+    base_cfg: &DefinedConfig,
+    recording: &Recording<P::Ext>,
+    spawn: S,
+    salts: impl IntoIterator<Item = u64>,
+    project: F,
+    farm: &FarmConfig,
+) -> Vec<T>
+where
+    P: ControlPlane,
+    P::Ext: Sync,
+    T: Send,
+    S: Fn(NodeId) -> P + Sync,
+    F: Fn(&LockstepNet<P>) -> T + Sync,
+{
+    let salts: Vec<u64> = salts.into_iter().collect();
+    farm::map_indexed(farm.jobs, salts.len(), |i| {
+        let ls = salted_replay(graph, base_cfg, recording, &spawn, salts[i]);
+        project(&ls)
+    })
+}
+
+/// One complete replay under the salted permuted ordering.
+fn salted_replay<P, S>(
+    graph: &Graph,
+    base_cfg: &DefinedConfig,
+    recording: &Recording<P::Ext>,
+    spawn: &S,
+    salt: u64,
+) -> LockstepNet<P>
+where
+    P: ControlPlane,
+    S: Fn(NodeId) -> P,
+{
+    let cfg = DefinedConfig { ordering: OrderingMode::Permuted(salt), ..base_cfg.clone() };
+    let mut ls = LockstepNet::new(graph, cfg, recording.clone(), spawn);
+    ls.run_to_end();
+    ls
 }
 
 #[cfg(test)]
@@ -103,18 +217,12 @@ mod tests {
             .collect()
     }
 
-    /// §4's discussion, end to end: even if the production ordering masks
-    /// the MED bug, sweeping ordering functions in the debugging network
-    /// finds an execution path where it manifests.
-    #[test]
-    fn exploration_finds_the_masked_bgp_bug() {
+    fn fig4_recording() -> (Graph, canonical::Fig4Roles, Recording<BgpExt>) {
         let (graph, roles) =
             canonical::fig4_bgp(SimDuration::from_millis(8), SimDuration::from_millis(12));
         let cfg = DefinedConfig::default();
         let procs = processes(&roles);
-        let mut net = RbNetwork::new(&graph, cfg.clone(), 1, 0.5, move |id| {
-            procs[id.index()].clone()
-        });
+        let mut net = RbNetwork::new(&graph, cfg, 1, 0.5, move |id| procs[id.index()].clone());
         let [p1, p2, p3] = fig4_paths();
         for (er, p) in [(roles.er1, p1), (roles.er2, p2), (roles.er3, p3)] {
             net.inject_external(
@@ -125,7 +233,16 @@ mod tests {
         }
         net.run_until(SimTime::from_secs(4));
         let (rec, _) = net.into_recording();
+        (graph, roles, rec)
+    }
 
+    /// §4's discussion, end to end: even if the production ordering masks
+    /// the MED bug, sweeping ordering functions in the debugging network
+    /// finds an execution path where it manifests.
+    #[test]
+    fn exploration_finds_the_masked_bgp_bug() {
+        let (graph, roles, rec) = fig4_recording();
+        let cfg = DefinedConfig::default();
         let roles2 = roles;
         let found = explore_orderings(
             &graph,
@@ -153,5 +270,39 @@ mod tests {
         );
         assert!(correct_hits > 0 && correct_hits < total, "mixed outcomes across orderings");
         let _ = salt;
+    }
+
+    /// The farm returns the identical earliest salt and final state for
+    /// every worker count, and the identical sensitivity tally.
+    #[test]
+    fn farm_sweeps_are_job_count_invariant() {
+        let (graph, roles, rec) = fig4_recording();
+        let cfg = DefinedConfig::default();
+        let roles2 = roles;
+        let spawn = |id: NodeId| processes(&roles2)[id.index()].clone();
+        let bug = |ls: &LockstepNet<BgpProcess>| {
+            ls.control_plane(roles2.r3).best_path(PREFIX).map(|p| p.route_id) == Some(2)
+        };
+        let serial = explore_orderings(&graph, &cfg, &rec, spawn, 0..32u64, bug)
+            .expect("bug reachable");
+        let serial_digest = crate::order::debug_digest(&serial.1.logs());
+        let serial_sense = ordering_sensitivity(&graph, &cfg, &rec, spawn, 0..32u64, bug);
+        for jobs in [2usize, 8] {
+            let farm = FarmConfig::with_jobs(jobs);
+            let (salt, ls) =
+                explore_orderings_farm(&graph, &cfg, &rec, spawn, 0..32u64, bug, &farm)
+                    .expect("bug reachable");
+            assert_eq!(salt, serial.0, "jobs={jobs}: earliest salt changed");
+            assert_eq!(
+                crate::order::debug_digest(&ls.logs()),
+                serial_digest,
+                "jobs={jobs}: final execution changed"
+            );
+            assert_eq!(
+                ordering_sensitivity_farm(&graph, &cfg, &rec, spawn, 0..32u64, bug, &farm),
+                serial_sense,
+                "jobs={jobs}: sensitivity tally changed"
+            );
+        }
     }
 }

@@ -1,0 +1,344 @@
+//! The replay farm: parallel, checkpoint-accelerated probe execution for
+//! the mechanised search engines ([`crate::explore`], [`crate::bisect`]).
+//!
+//! DEFINED's determinism (Theorem 1) makes replays *comparable*, so
+//! debugging searches — ordering sweeps, prefix bisection — are
+//! embarrassingly parallel: every probe is an independent deterministic
+//! replay. This module supplies the two ingredients that turn the serial
+//! engines into a farm without changing their answers:
+//!
+//! * **Worker pools** whose results are a pure function of the probe
+//!   *schedule*, never of thread timing. A salt sweep claims indices in
+//!   order and keeps the minimum-index hit (`sweep_min`), so the parallel
+//!   sweep returns the *earliest* matching salt, not the first to finish; a
+//!   bisection round probes a fixed set of midpoints and combines them by
+//!   position (`map_indexed`), so speculative k-way bisection converges
+//!   to the same group as the serial binary search.
+//! * **Checkpoint-seeded probe sessions** ([`ProbeSession`]): each worker
+//!   owns a [`LockstepNet`] plus a [`Timeline`] of group-boundary images
+//!   captured during its own forward replays. A prefix probe restores the
+//!   nearest checkpoint at or before the target group and re-executes at
+//!   most one checkpoint interval — sublinear per probe, instead of a full
+//!   replay from event zero.
+//!
+//! DESIGN.md §9 gives the determinism argument in full.
+
+use crate::config::DefinedConfig;
+use crate::ls::{LockstepNet, LsHistory, LsImage};
+use crate::recorder::Recording;
+use crate::wire::Wire;
+use checkpoint::{RetentionPolicy, Strategy, Timeline};
+use netsim::NodeId;
+use parking_lot::Mutex;
+use routing::ControlPlane;
+use std::sync::atomic::{AtomicUsize, Ordering};
+use topology::Graph;
+
+/// Default spacing, in groups, between the images a [`ProbeSession`]
+/// retains along its forward replays. Small enough that a probe re-executes
+/// only a short tail; large enough that image capture stays off the hot
+/// path.
+pub const DEFAULT_PROBE_CHECKPOINT_INTERVAL: u64 = 8;
+
+/// How a farm runs its probes. Every field influences only *cost*; the
+/// results of the search engines are identical for any configuration
+/// (asserted by `tests/farm_determinism.rs`).
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct FarmConfig {
+    /// Worker threads. `1` runs probes inline on the calling thread.
+    pub jobs: usize,
+    /// Midpoints probed per bisection round (k-way speculation). `1` is
+    /// exactly the serial binary search; the probe *schedule* is a function
+    /// of this value alone, so `replays` in a [`crate::bisect::BisectReport`]
+    /// does not depend on `jobs`.
+    pub speculation: usize,
+    /// Groups between retained probe-session checkpoints.
+    pub checkpoint_every: u64,
+}
+
+impl FarmConfig {
+    /// The serial configuration: one inline worker, binary (non-speculative)
+    /// bisection. The rewritten serial engines use exactly this, so their
+    /// behaviour is the farm's `jobs = 1` column by construction.
+    pub fn serial() -> Self {
+        FarmConfig { jobs: 1, speculation: 1, checkpoint_every: DEFAULT_PROBE_CHECKPOINT_INTERVAL }
+    }
+
+    /// `jobs` workers with matching speculation width (each bisection round
+    /// keeps every worker busy).
+    pub fn with_jobs(jobs: usize) -> Self {
+        let jobs = jobs.max(1);
+        FarmConfig { jobs, speculation: jobs, ..FarmConfig::serial() }
+    }
+}
+
+impl Default for FarmConfig {
+    fn default() -> Self {
+        FarmConfig::serial()
+    }
+}
+
+/// Runs `eval(0..n)` across `jobs` workers and returns the results in
+/// index order — a deterministic parallel map. Workers claim indices from a
+/// shared counter; placement by index erases completion order.
+pub(crate) fn map_indexed<T, F>(jobs: usize, n: usize, eval: F) -> Vec<T>
+where
+    T: Send,
+    F: Fn(usize) -> T + Sync,
+{
+    let jobs = jobs.max(1).min(n.max(1));
+    if jobs == 1 {
+        return (0..n).map(eval).collect();
+    }
+    let next = AtomicUsize::new(0);
+    let slots: Mutex<Vec<Option<T>>> = Mutex::new((0..n).map(|_| None).collect());
+    std::thread::scope(|scope| {
+        for _ in 0..jobs {
+            scope.spawn(|| loop {
+                let i = next.fetch_add(1, Ordering::SeqCst);
+                if i >= n {
+                    break;
+                }
+                let out = eval(i);
+                slots.lock()[i] = Some(out);
+            });
+        }
+    });
+    slots.into_inner().into_iter().map(|s| s.expect("every index evaluated")).collect()
+}
+
+/// Runs `eval(0..n)` across `jobs` workers until the *smallest* index with
+/// a `Some` result is known; returns that `(index, value)`.
+///
+/// Determinism: indices are claimed in increasing order, so by the time any
+/// hit at index `i` is recorded, every index below `i` has been claimed and
+/// will finish evaluating; the minimum over recorded hits is therefore the
+/// global minimum-index hit regardless of which worker finishes first.
+/// Indices above a recorded hit are skipped — the early-exit that makes a
+/// found-quickly sweep cheap.
+pub(crate) fn sweep_min<T, F>(jobs: usize, n: usize, eval: F) -> Option<(usize, T)>
+where
+    T: Send,
+    F: Fn(usize) -> Option<T> + Sync,
+{
+    let jobs = jobs.max(1).min(n.max(1));
+    if jobs == 1 {
+        return (0..n).find_map(|i| eval(i).map(|t| (i, t)));
+    }
+    let next = AtomicUsize::new(0);
+    let cutoff = AtomicUsize::new(usize::MAX);
+    let best: Mutex<Option<(usize, T)>> = Mutex::new(None);
+    std::thread::scope(|scope| {
+        for _ in 0..jobs {
+            scope.spawn(|| loop {
+                let i = next.fetch_add(1, Ordering::SeqCst);
+                if i >= n || i >= cutoff.load(Ordering::SeqCst) {
+                    break;
+                }
+                if let Some(t) = eval(i) {
+                    cutoff.fetch_min(i, Ordering::SeqCst);
+                    let mut b = best.lock();
+                    if b.as_ref().is_none_or(|&(bi, _)| i < bi) {
+                        *b = Some((i, t));
+                    }
+                }
+            });
+        }
+    });
+    best.into_inner()
+}
+
+/// A reusable probe worker: a lockstep replay plus the checkpoint timeline
+/// of its own history. Repositioning restores the nearest retained image at
+/// or before the target and re-executes forward, capturing fresh images at
+/// every [`FarmConfig::checkpoint_every`] group boundary on the way — so a
+/// session's probes cost one checkpoint interval of replay, not the whole
+/// run, wherever in the recording they land.
+///
+/// Images are captured only at exact group starts
+/// ([`LockstepNet::run_to_group_start`]), which is also the boundary the
+/// bisection probes are defined on.
+pub struct ProbeSession<P: ControlPlane> {
+    net: LockstepNet<P>,
+    timeline: Timeline<LsImage<P>>,
+    /// Longest canonical history observed by this session's replays: lets a
+    /// restore land *ahead* of the current position with full log fidelity
+    /// (see [`LockstepNet::restore_image_seeded`]).
+    history: LsHistory,
+    interval: u64,
+}
+
+impl<P> ProbeSession<P>
+where
+    P: ControlPlane,
+    P::Msg: Wire,
+    P::Ext: Wire,
+{
+    /// Builds a session over a fresh replay and anchors its timeline at
+    /// position 0 (the anchor is never thinned, so every rewind target is
+    /// reachable).
+    pub fn new(
+        graph: &Graph,
+        cfg: DefinedConfig,
+        recording: Recording<P::Ext>,
+        spawn: impl FnMut(NodeId) -> P,
+        checkpoint_every: u64,
+    ) -> Self {
+        let net = LockstepNet::new(graph, cfg, recording, spawn);
+        // CloneState: probe farms optimise replay latency, not resident
+        // memory, and deep clones skip the encode pass entirely.
+        let mut timeline = Timeline::new(Strategy::CloneState, RetentionPolicy::default());
+        timeline.record(0, &net.capture_image());
+        let history = LsHistory::new(graph.node_count());
+        ProbeSession { net, timeline, history, interval: checkpoint_every.max(1) }
+    }
+
+    /// The replay at its current position.
+    pub fn net(&self) -> &LockstepNet<P> {
+        &self.net
+    }
+
+    /// Unwraps the session, keeping the replay where it stands (for
+    /// event-level stepping past a located boundary).
+    pub fn into_net(self) -> LockstepNet<P> {
+        self.net
+    }
+
+    /// Retained checkpoint positions (groups), for inspection.
+    pub fn checkpoint_positions(&self) -> Vec<u64> {
+        self.timeline.positions().collect()
+    }
+
+    /// Positions the replay at the exact start of `group`, seeding from the
+    /// best retained checkpoint: rewinds restore the nearest image at or
+    /// before the target; forward moves also restore when a retained image
+    /// lies *beyond* the current position (a previous probe already covered
+    /// the ground).
+    pub fn goto_group_start(&mut self, group: u64) {
+        self.net.merge_history(&mut self.history);
+        let cur = self.net.current_group();
+        let usable_forward = !self.net.is_done()
+            && (cur < group || (cur == group && self.net.at_group_start()));
+        let seed = self.timeline.position_at_or_before(group);
+        if !usable_forward || seed.is_some_and(|p| p > cur) {
+            let (_, img) = self
+                .timeline
+                .restore_at_or_before(group)
+                .expect("the anchor at position 0 is never thinned");
+            // Seeded restore: the image may lie ahead of the current
+            // position; the session's accumulated history supplies the
+            // canonical log prefix either way.
+            self.net.restore_image_seeded(img, &self.history);
+        }
+        while !self.net.is_done() && self.net.current_group() < group {
+            let cur = self.net.current_group();
+            let target = ((cur / self.interval + 1) * self.interval).min(group);
+            if !self.net.run_to_group_start(target) {
+                break; // Recording exhausted: the state is the full replay.
+            }
+            if target.is_multiple_of(self.interval) {
+                self.timeline.record(target, &self.net.capture_image());
+            }
+        }
+        self.net.merge_history(&mut self.history);
+    }
+
+    /// One prefix probe: positions at the end of group `g` (the exact start
+    /// of `g + 1`) and evaluates the predicate there.
+    pub fn probe_prefix(&mut self, g: u64, bad: impl Fn(&LockstepNet<P>) -> bool) -> bool {
+        self.goto_group_start(g + 1);
+        bad(&self.net)
+    }
+}
+
+/// A shared bag of [`ProbeSession`]s: workers borrow one per probe and
+/// return it, so session state (and its checkpoints) survives across rounds
+/// however the round's probes are scheduled onto threads.
+pub(crate) struct SessionPool<P: ControlPlane>(Mutex<Vec<ProbeSession<P>>>);
+
+impl<P: ControlPlane> SessionPool<P> {
+    pub(crate) fn new() -> Self {
+        SessionPool(Mutex::new(Vec::new()))
+    }
+
+    pub(crate) fn take(&self) -> Option<ProbeSession<P>> {
+        self.0.lock().pop()
+    }
+
+    pub(crate) fn put(&self, session: ProbeSession<P>) {
+        self.0.lock().push(session);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::harness::RbNetwork;
+    use netsim::{SimDuration, SimTime};
+    use routing::ospf::{OspfConfig, OspfProcess};
+    use topology::canonical;
+
+    #[test]
+    fn map_indexed_orders_results_by_index() {
+        for jobs in [1, 2, 8] {
+            let out = map_indexed(jobs, 20, |i| i * i);
+            assert_eq!(out, (0..20).map(|i| i * i).collect::<Vec<_>>(), "jobs={jobs}");
+        }
+        assert!(map_indexed(4, 0, |i| i).is_empty());
+    }
+
+    #[test]
+    fn sweep_min_returns_the_smallest_hit_at_any_width() {
+        // Hits at 7, 11, 13: the sweep must report 7 under every job count,
+        // even though a wider pool may evaluate 11 or 13 first.
+        let hit = |i: usize| [7, 11, 13].contains(&i).then_some(i * 10);
+        for jobs in [1, 2, 3, 8] {
+            assert_eq!(sweep_min(jobs, 32, hit), Some((7, 70)), "jobs={jobs}");
+            assert_eq!(sweep_min(jobs, 32, |_: usize| None::<u8>), None, "jobs={jobs}");
+            assert_eq!(sweep_min(jobs, 7, hit), None, "hit lies past the range");
+        }
+    }
+
+    fn recorded() -> (topology::Graph, Recording<()>, Vec<OspfProcess>) {
+        let g = canonical::ring(4, SimDuration::from_millis(4));
+        let procs: Vec<OspfProcess> = {
+            let f = OspfProcess::for_graph(&g, OspfConfig::stress(4));
+            (0..4).map(|i| f(NodeId(i))).collect()
+        };
+        let spawn = procs.clone();
+        let mut net = RbNetwork::new(&g, DefinedConfig::default(), 9, 0.4, move |id| {
+            spawn[id.index()].clone()
+        });
+        net.run_until(SimTime::from_secs(4));
+        let (rec, _) = net.into_recording();
+        (g, rec, procs)
+    }
+
+    /// A session's probes land on the same states a fresh from-zero replay
+    /// reaches, in any probe order, and its timeline accumulates seeds.
+    #[test]
+    fn probe_session_matches_from_zero_replays_in_any_order() {
+        let (g, rec, procs) = recorded();
+        let last = rec.last_group;
+        assert!(last > 10, "recording long enough: {last}");
+        let spawn = |id: NodeId| procs[id.index()].clone();
+        let mut session =
+            ProbeSession::new(&g, DefinedConfig::default(), rec.clone(), spawn, 4);
+        for target in [last, 3, last / 2, 5, last / 2, last + 1] {
+            session.goto_group_start(target);
+            let mut fresh =
+                LockstepNet::new(&g, DefinedConfig::default(), rec.clone(), spawn);
+            fresh.run_to_group_start(target);
+            assert_eq!(
+                session.net().logs(),
+                fresh.logs(),
+                "probe at group {target} diverged from the from-zero replay"
+            );
+        }
+        assert!(
+            session.checkpoint_positions().len() > 2,
+            "forward replays retained boundary images: {:?}",
+            session.checkpoint_positions()
+        );
+    }
+}

@@ -24,7 +24,9 @@
 //!   stepping, state inspection, breakpoints, and in-place patching; a
 //!   text-command front-end ([`session::DebugSession`]) for scripts and
 //!   REPLs; automated fault localisation ([`bisect`]) and execution-path
-//!   exploration ([`explore`]) on top.
+//!   exploration ([`explore`]) on top, both running their probes on a
+//!   parallel, checkpoint-seeded replay farm ([`farm`]) without changing
+//!   their answers.
 //! * **GVT & fossil collection** ([`gvt`]) — the Jefferson global-virtual-
 //!   time bound behind Theorem 2, as a monitored invariant and as an
 //!   alternative commit/GC policy.
@@ -82,6 +84,7 @@ pub mod bisect;
 pub mod config;
 pub mod debugger;
 pub mod explore;
+pub mod farm;
 pub mod gvt;
 pub mod harness;
 pub mod session;
@@ -95,6 +98,7 @@ pub mod threaded;
 pub mod wire;
 
 pub use config::{DefinedConfig, OrderingMode};
+pub use farm::{FarmConfig, ProbeSession};
 pub use harness::RbNetwork;
 pub use ls::LockstepNet;
 pub use metrics::RbMetrics;

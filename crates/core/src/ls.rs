@@ -99,8 +99,12 @@ pub struct LockstepNet<P: ControlPlane> {
     /// source)]. A node missing from a group's list skipped that tick in
     /// production (it was partitioned from the source).
     ticks: BTreeMap<u64, Vec<(NodeId, NodeId)>>,
-    /// Death cuts: node → keys it may still deliver (None = alive).
-    mutes: BTreeMap<NodeId, HashSet<crate::order::OrderKey>>,
+    /// Death cuts: node → identities of the events it may still deliver
+    /// (absent = alive). Identities, not full keys: membership must not
+    /// depend on the replay's ordering salt (see [`OrderKey::identity`]).
+    ///
+    /// [`OrderKey::identity`]: crate::order::OrderKey::identity
+    mutes: BTreeMap<NodeId, HashSet<crate::order::EventIdentity>>,
     link_est: Vec<BTreeMap<NodeId, u64>>,
     dist: Vec<Vec<u64>>,
     nodes: Vec<LsNode<P>>,
@@ -141,7 +145,7 @@ impl<P: ControlPlane> LockstepNet<P> {
         let mutes = recording
             .mutes
             .iter()
-            .map(|m| (m.node, m.allowed.iter().copied().collect()))
+            .map(|m| (m.node, m.allowed.iter().map(|k| k.identity()).collect()))
             .collect();
         let nodes = (0..n)
             .map(|i| LsNode { snap: NodeSnapshot::new(spawn(NodeId(i as u32))), send_count: 0 })
@@ -220,23 +224,37 @@ impl<P: ControlPlane> LockstepNet<P> {
     /// Returns `None` when the recording is exhausted.
     pub fn step_event(&mut self) -> Option<LsEvent> {
         loop {
-            if self.queue_pos < self.queue.len() {
-                let p = self.queue[self.queue_pos].clone();
-                self.queue_pos += 1;
-                // A crashed node delivers only the events of its recorded
-                // death cut; everything else is silently absorbed, exactly
-                // as the dead production node absorbed nothing further.
-                if let Some(allowed) = self.mutes.get(&p.to) {
-                    if !allowed.contains(&p.ann.key(self.cfg.ordering)) {
-                        continue;
-                    }
-                }
-                return Some(self.deliver(p));
+            if let Some(ev) = self.deliver_next_staged() {
+                return Some(ev);
             }
             if !self.advance_phase() {
                 return None;
             }
         }
+    }
+
+    /// Delivers the next event of the *currently staged* queue, or `None`
+    /// when the queue is exhausted (never advances phases or groups). The
+    /// one place the death-cut filter lives: a crashed node delivers only
+    /// the events of its recorded cut; everything else is silently
+    /// absorbed, exactly as the dead production node absorbed nothing
+    /// further. Shared by [`step_event`] and [`run_to_group_start`] so
+    /// both walk the identical event sequence.
+    ///
+    /// [`step_event`]: LockstepNet::step_event
+    /// [`run_to_group_start`]: LockstepNet::run_to_group_start
+    fn deliver_next_staged(&mut self) -> Option<LsEvent> {
+        while self.queue_pos < self.queue.len() {
+            let p = self.queue[self.queue_pos].clone();
+            self.queue_pos += 1;
+            if let Some(allowed) = self.mutes.get(&p.to) {
+                if !allowed.contains(&p.ann.key(self.cfg.ordering).identity()) {
+                    continue;
+                }
+            }
+            return Some(self.deliver(p));
+        }
+        None
     }
 
     /// Runs the whole recording; returns the per-node logs.
@@ -245,13 +263,28 @@ impl<P: ControlPlane> LockstepNet<P> {
         self.logs()
     }
 
-    /// Runs until the start of `group` (exclusive of its first event).
-    pub fn run_until_group(&mut self, group: u64) {
+    /// Whether the replay sits exactly at a group start: the group's first
+    /// wave is staged (or empty) but nothing of it has been delivered.
+    pub fn at_group_start(&self) -> bool {
+        self.chain == 0 && self.queue_pos == 0
+    }
+
+    /// Runs to the *exact* start of `group`: every event of earlier groups
+    /// is delivered and none of `group`'s. Returns false when the recording
+    /// is exhausted before reaching `group` — the state is then the
+    /// complete replay, which is itself a well-defined prefix (all groups).
+    ///
+    /// This is the boundary the bisection probes and the checkpoint-seeded
+    /// replay farm need: a probe of "groups `1..=g`" is
+    /// `run_to_group_start(g + 1)`, and an image captured here restores to
+    /// the identical boundary.
+    pub fn run_to_group_start(&mut self, group: u64) -> bool {
         while !self.done && self.group < group {
-            if self.step_event().is_none() {
-                break;
+            if self.deliver_next_staged().is_none() && !self.advance_phase() {
+                return false;
             }
         }
+        !self.done
     }
 
     /// Finishes the current sub-cycle and records its modelled duration;
@@ -457,6 +490,68 @@ impl<P: ControlPlane> LockstepNet<P> {
         self.done = img.done;
     }
 
+    /// Extends `history` with whatever this replay has committed beyond it.
+    ///
+    /// The committed logs and step-time samples of a lockstep replay are
+    /// append-only and fully determined by position (Theorem 1), so every
+    /// replay of one recording under one configuration walks the same
+    /// canonical history; the longest prefix observed so far is therefore
+    /// authoritative for every shorter position.
+    pub fn merge_history(&self, history: &mut LsHistory) {
+        assert_eq!(history.logs.len(), self.logs.len(), "history is for a different network");
+        for (hist, log) in history.logs.iter_mut().zip(&self.logs) {
+            if log.len() > hist.len() {
+                hist.extend_from_slice(&log[hist.len()..]);
+            }
+        }
+        if self.step_times.len() > history.step_times.len() {
+            history
+                .step_times
+                .extend_from_slice(&self.step_times[history.step_times.len()..]);
+        }
+    }
+
+    /// Restores `img`, reconstructing the committed logs and step-time
+    /// samples from `history` instead of truncating this replay's own —
+    /// which also works when the image lies *ahead* of the replay's current
+    /// position, the case [`LockstepNet::restore_image`] rejects. This is
+    /// the replay-farm path: a probe session jumps in both directions over
+    /// one canonical history it has accumulated via
+    /// [`LockstepNet::merge_history`].
+    ///
+    /// # Panics
+    ///
+    /// Panics if the image is for a different network size or if `history`
+    /// is shorter than the image (the image must have been captured from a
+    /// replay whose progress was merged into `history`).
+    pub fn restore_image_seeded(&mut self, img: LsImage<P>, history: &LsHistory) {
+        assert_eq!(img.nodes.len(), self.nodes.len(), "image is for a different network");
+        assert_eq!(history.logs.len(), self.nodes.len(), "history is for a different network");
+        self.nodes = img
+            .nodes
+            .into_iter()
+            .map(|(snap, send_count)| LsNode { snap, send_count })
+            .collect();
+        for ((log, hist), &len) in self.logs.iter_mut().zip(&history.logs).zip(&img.log_lens) {
+            assert!(hist.len() >= len, "history does not cover the image");
+            log.clear();
+            log.extend_from_slice(&hist[..len]);
+        }
+        assert!(
+            history.step_times.len() >= img.step_times_len,
+            "history does not cover the image"
+        );
+        self.step_times.clear();
+        self.step_times.extend_from_slice(&history.step_times[..img.step_times_len]);
+        self.group = img.group;
+        self.chain = img.chain;
+        self.queue = img.queue;
+        self.queue_pos = img.queue_pos;
+        self.next_wave = img.next_wave;
+        self.holdover = img.holdover;
+        self.done = img.done;
+    }
+
     fn dispatch(&mut self, me: NodeId, parent: &Annotation, out: Outbox<P::Msg>, emit: &mut u32) {
         let idx = me.index();
         self.nodes[idx].snap.apply_timer_ops(&out.arms, &out.cancels);
@@ -476,6 +571,35 @@ impl<P: ControlPlane> LockstepNet<P> {
                 self.holdover.entry(ann.group).or_default().push(pending);
             }
         }
+    }
+}
+
+/// The canonical append-only history of one recording's lockstep replay:
+/// per-node committed logs plus step-time samples, accumulated across any
+/// number of (partial) replays of the same recording via
+/// [`LockstepNet::merge_history`] and consulted by
+/// [`LockstepNet::restore_image_seeded`] to reconstruct the log state of an
+/// image that lies ahead of the current replay position.
+#[derive(Clone, Debug, Default)]
+pub struct LsHistory {
+    logs: Vec<Vec<CommitRecord>>,
+    step_times: Vec<(u64, f64)>,
+}
+
+impl LsHistory {
+    /// An empty history for a network of `n_nodes` nodes.
+    pub fn new(n_nodes: usize) -> Self {
+        LsHistory { logs: vec![Vec::new(); n_nodes], step_times: Vec::new() }
+    }
+
+    /// Committed events accumulated so far, summed over nodes.
+    pub fn len(&self) -> usize {
+        self.logs.iter().map(Vec::len).sum()
+    }
+
+    /// Whether nothing has been accumulated yet.
+    pub fn is_empty(&self) -> bool {
+        self.logs.iter().all(Vec::is_empty)
     }
 }
 
@@ -809,6 +933,66 @@ mod tests {
         assert_eq!(ls.logs(), &direct[..]);
         // Corrupt input fails cleanly.
         assert!(<LsImage<OspfProcess> as Snapshotable>::decode(&buf[..buf.len() / 2]).is_none());
+    }
+
+    /// `run_to_group_start` stops exactly on group boundaries: everything
+    /// of earlier groups delivered, nothing of the target group, matching a
+    /// step-by-step replay filtered by event group.
+    #[test]
+    fn run_to_group_start_is_exact() {
+        let mut ls = small_ls();
+        let reference = {
+            let mut r = small_ls();
+            r.run_to_end();
+            r.logs().to_vec()
+        };
+        for target in [2u64, 5, 9] {
+            assert!(ls.run_to_group_start(target) || ls.is_done());
+            assert!(ls.at_group_start());
+            assert_eq!(ls.current_group(), target);
+            for (node, log) in ls.logs().iter().enumerate() {
+                assert!(
+                    log.iter().all(|r| r.ann.group < target),
+                    "node {node} delivered an event of group >= {target}"
+                );
+                let expect: Vec<_> = reference[node]
+                    .iter()
+                    .filter(|r| r.ann.group < target)
+                    .copied()
+                    .collect();
+                assert_eq!(log, &expect, "node {node} prefix mismatch at group {target}");
+            }
+        }
+    }
+
+    /// A seeded restore reconstructs logs from accumulated history even
+    /// when the image lies ahead of the replay — and the re-executed tail
+    /// is byte-identical.
+    #[test]
+    fn seeded_restore_jumps_forward_over_history() {
+        let mut ls = small_ls();
+        let mut history = LsHistory::new(4);
+        assert!(history.is_empty());
+        for _ in 0..40 {
+            ls.step_event().expect("events");
+        }
+        let ahead = ls.capture_image();
+        let ahead_logs = ls.logs().to_vec();
+        ls.merge_history(&mut history);
+        assert_eq!(history.len(), 40);
+        // Rewind to the start via a fresh replay, then jump *forward* onto
+        // the captured image — plain `restore_image` would panic here.
+        let mut fresh = small_ls();
+        fresh.step_event();
+        fresh.restore_image_seeded(ahead, &history);
+        assert_eq!(fresh.logs(), &ahead_logs[..], "reconstructed logs diverged");
+        let expect = {
+            let mut r = small_ls();
+            r.run_to_end();
+            r.logs().to_vec()
+        };
+        fresh.run_to_end();
+        assert_eq!(fresh.logs(), &expect[..], "re-executed tail diverged");
     }
 
     #[test]

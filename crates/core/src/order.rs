@@ -122,6 +122,64 @@ impl OrderKey {
     pub fn group(&self) -> u64 {
         self.group
     }
+
+    /// The ordering-independent *event identity*: every component except
+    /// `rank`, the only field that depends on the ordering mode/salt in
+    /// effect when the key was computed. Distinct events always differ in
+    /// some identity field (`lineage` chains the causal path at minimum),
+    /// so under any one fixed ordering identity equality coincides with
+    /// key equality.
+    ///
+    /// Death cuts are sets of *events*, not schedule positions; membership
+    /// tests against them use this, so a replay under a different ordering
+    /// function (an exploration sweep) still recognises — and a crashed
+    /// node still delivers — the recorded pre-crash events it reproduces.
+    pub fn identity(&self) -> EventIdentity {
+        EventIdentity {
+            group: self.group,
+            chain: self.chain,
+            class: self.class,
+            origin: self.origin,
+            origin_seq: self.origin_seq,
+            sender: self.sender,
+            emit: self.emit,
+            lineage: self.lineage,
+        }
+    }
+}
+
+/// An [`OrderKey`] minus its ordering-dependent `rank` — the stable
+/// identity of one committed event (see [`OrderKey::identity`]).
+#[derive(Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Debug)]
+pub struct EventIdentity {
+    group: u64,
+    chain: u32,
+    class: u8,
+    origin: u32,
+    origin_seq: u64,
+    sender: u32,
+    emit: u32,
+    lineage: u64,
+}
+
+impl EventIdentity {
+    /// The group component (e.g. for "last group with anything left to
+    /// deliver" bounds).
+    pub fn group(&self) -> u64 {
+        self.group
+    }
+}
+
+impl std::fmt::Display for EventClass {
+    /// The lowercase noun the debugger surfaces use (`external`, `beacon`,
+    /// `message`).
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str(match self {
+            EventClass::External => "external",
+            EventClass::Beacon => "beacon",
+            EventClass::Message => "message",
+        })
+    }
 }
 
 impl EventClass {

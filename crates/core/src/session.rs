@@ -156,7 +156,7 @@ where
                                     "[g{} c{}] {} @ {:?} (digest {:016x})",
                                     ev.group,
                                     ev.chain,
-                                    class_name(ev.record.ann.class),
+                                    ev.record.ann.class,
                                     ev.node,
                                     ev.record.payload_digest,
                                 );
@@ -217,7 +217,7 @@ where
                                 "  at [g{} c{}] {} @ {:?}",
                                 ev.group,
                                 ev.chain,
-                                class_name(ev.record.ann.class),
+                                ev.record.ann.class,
                                 ev.node,
                             );
                             Ok(out)
@@ -230,7 +230,7 @@ where
                             "* breakpoint: [g{} c{}] {} @ {:?}\n",
                             ev.group,
                             ev.chain,
-                            class_name(ev.record.ann.class),
+                            ev.record.ann.class,
                             ev.node,
                         )),
                     }
@@ -277,7 +277,7 @@ where
                         "* stopped after [g{} c{}] {} @ {:?} | position {}",
                         ev.group,
                         ev.chain,
-                        class_name(ev.record.ann.class),
+                        ev.record.ann.class,
                         ev.node,
                         self.dbg.delivered(),
                     );
@@ -352,7 +352,7 @@ where
                         "[g{} c{}] {} from {:?} (digest {:016x})",
                         r.ann.group,
                         r.ann.chain,
-                        class_name(r.ann.class),
+                        r.ann.class,
                         r.ann.sender,
                         r.payload_digest,
                     );
@@ -394,14 +394,6 @@ where
             }
         }
         out
-    }
-}
-
-fn class_name(c: crate::order::EventClass) -> &'static str {
-    match c {
-        crate::order::EventClass::External => "external",
-        crate::order::EventClass::Beacon => "beacon",
-        crate::order::EventClass::Message => "message",
     }
 }
 

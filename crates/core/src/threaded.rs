@@ -7,6 +7,13 @@
 //! threaded replay commits exactly the same per-node logs as the
 //! single-threaded [`crate::ls::LockstepNet`]. That equality is asserted in
 //! the integration tests and is a faithful miniature of the paper's claim.
+//!
+//! Crashed nodes replay their recorded death cut and then *close their
+//! mailboxes* (drop their channel receiver), exactly as the dead production
+//! process stopped reading its sockets. A send to a closed mailbox fails
+//! with a disconnection error; senders treat that as the recorded-dead-node
+//! absorption it is — the message would have been filtered by the death cut
+//! anyway — rather than a fatal condition.
 
 use crate::config::DefinedConfig;
 use crate::order::{debug_digest, Annotation};
@@ -49,9 +56,7 @@ pub fn run_threaded<P>(
     spawn: impl Fn(NodeId) -> P + Sync,
 ) -> Vec<Vec<CommitRecord>>
 where
-    P: ControlPlane + Send,
-    P::Msg: Send,
-    P::Ext: Send + Sync,
+    P: ControlPlane,
 {
     let n = graph.node_count();
     assert_eq!(n, recording.n_nodes);
@@ -63,13 +68,15 @@ where
     let dist = crate::harness::delay_estimates(graph);
     let drops: std::collections::HashSet<(NodeId, u64)> =
         recording.drops.iter().map(|d| (d.sender, d.idx)).collect();
+    // Death cuts as ordering-independent event identities (see
+    // `OrderKey::identity`), mirroring the single-threaded replayer.
     let mutes: std::collections::HashMap<
         NodeId,
-        std::collections::HashSet<crate::order::OrderKey>,
+        std::collections::HashSet<crate::order::EventIdentity>,
     > = recording
         .mutes
         .iter()
-        .map(|m| (m.node, m.allowed.iter().copied().collect()))
+        .map(|m| (m.node, m.allowed.iter().map(|k| k.identity()).collect()))
         .collect();
 
     type Channels<M, X> = (Vec<Sender<Work<M, X>>>, Vec<Receiver<Work<M, X>>>);
@@ -91,9 +98,8 @@ where
     let any_held = Arc::new(AtomicBool::new(false));
 
     std::thread::scope(|scope| {
-        for i in 0..n {
+        for (i, rx) in receivers.into_iter().enumerate() {
             let me = NodeId(i as u32);
-            let rx = receivers[i].clone();
             let senders = senders.clone();
             let barrier = Arc::clone(&barrier);
             let any_sent = Arc::clone(&any_sent);
@@ -108,6 +114,15 @@ where
             let cur_cycle = Arc::clone(&cur_cycle);
             let any_held = Arc::clone(&any_held);
             scope.spawn(move || {
+                // This worker owns the sole receiver for its mailbox;
+                // dropping it is how a recorded-dead node goes silent.
+                let mut rx = Some(rx);
+                // The last group in which the death cut still delivers
+                // anything; past it the node has nothing left to commit.
+                let dead_after =
+                    my_mute.as_ref().map(|allowed| {
+                        allowed.iter().map(|k| k.group()).max().unwrap_or(0)
+                    });
                 let mut snap = NodeSnapshot::new(spawn(me));
                 let mut send_count = 0u64;
                 let mut local_log: Vec<CommitRecord> = Vec::new();
@@ -120,11 +135,23 @@ where
                     }
                     let group = cur_group.load(Ordering::SeqCst);
                     let cycle = cur_cycle.load(Ordering::SeqCst);
+                    // A crashed node whose death cut is exhausted closes its
+                    // mailbox: it keeps honouring the barrier (the semaphore
+                    // must stay balanced) but reads nothing further, exactly
+                    // like the dead production process.
+                    if let Some(cut) = dead_after {
+                        if group > cut && rx.is_some() {
+                            rx = None;
+                            held.clear();
+                        }
+                    }
                     // Processing phase: drain the mailbox (arrival order is
                     // nondeterministic under threading), defer anything
                     // tagged for a later group/sub-cycle, sort the rest by
                     // the ordering function, deliver.
-                    held.extend(rx.try_iter());
+                    if let Some(rx) = &rx {
+                        held.extend(rx.try_iter());
+                    }
                     let mut batch: Vec<Work<P::Msg, P::Ext>> = Vec::new();
                     let mut keep: Vec<Work<P::Msg, P::Ext>> = Vec::new();
                     for w in held.drain(..) {
@@ -139,9 +166,11 @@ where
                         }
                     }
                     held = keep;
-                    // Death cut: deliver only the recorded pre-crash keys.
+                    // Death cut: deliver only the recorded pre-crash events.
                     if let Some(allowed) = &my_mute {
-                        batch.retain(|w| allowed.contains(&w.ann().key(cfg.ordering)));
+                        batch.retain(|w| {
+                            allowed.contains(&w.ann().key(cfg.ordering).identity())
+                        });
                     }
                     batch.sort_by_key(|w| w.ann().key(cfg.ordering));
                     for work in batch {
@@ -196,10 +225,17 @@ where
                                 if drops.contains(&(me, idx)) {
                                     continue;
                                 }
-                                any_sent.store(true, Ordering::SeqCst);
-                                senders[to.index()]
+                                // A disconnected peer is a recorded-dead
+                                // node: the message is absorbed, exactly as
+                                // the dead production node absorbed nothing
+                                // further. Only deliverable traffic extends
+                                // the sub-cycle loop.
+                                if senders[to.index()]
                                     .send(Work::Msg(child, me, payload))
-                                    .expect("peer mailbox alive");
+                                    .is_ok()
+                                {
+                                    any_sent.store(true, Ordering::SeqCst);
+                                }
                             }
                         }
                         local_log.push(CommitRecord {
@@ -230,22 +266,22 @@ where
             if group == 1 {
                 for (i, tx) in senders.iter().enumerate() {
                     let node = NodeId(i as u32);
-                    tx.send(Work::Start(Annotation::external(node, 1, 0))).expect("mailbox");
+                    let _ = tx.send(Work::Start(Annotation::external(node, 1, 0)));
                 }
             }
+            // Injections into a closed mailbox are absorbed: the node is
+            // recorded dead past this group and would have filtered them.
             for e in recording.externals_for_group(group) {
-                senders[e.node.index()]
-                    .send(Work::External(
-                        Annotation::external(e.node, group, e.ext_seq),
-                        e.payload.clone(),
-                    ))
-                    .expect("mailbox");
+                let _ = senders[e.node.index()].send(Work::External(
+                    Annotation::external(e.node, group, e.ext_seq),
+                    e.payload.clone(),
+                ));
             }
             // Beacon ticks follow the recorded per-node delivery schedule.
             for &(node, source) in tick_map.get(&group).map(Vec::as_slice).unwrap_or(&[]) {
                 let ann =
                     Annotation::beacon(source, group, dist[source.index()][node.index()]);
-                senders[node.index()].send(Work::BeaconTick(ann)).expect("mailbox");
+                let _ = senders[node.index()].send(Work::BeaconTick(ann));
             }
             // Sub-cycles until quiescent. Workers process chain-`c` events
             // in sub-cycle `c`; a trailing empty cycle confirms quiescence
@@ -277,6 +313,7 @@ mod tests {
     use crate::ls::{first_divergence, LockstepNet};
     use netsim::{NodeId, SimDuration, SimTime};
     use routing::ospf::{OspfConfig, OspfProcess};
+    use routing::rip::{RefreshMode, RipConfig, RipExt, RipProcess};
     use topology::canonical;
 
     /// The threaded lockstep (real threads, real barrier, nondeterministic
@@ -324,5 +361,44 @@ mod tests {
         let a = run_threaded(&g, cfg.clone(), rec.clone(), |id| sp[id.index()].clone());
         let b = run_threaded(&g, cfg, rec, |id| sp[id.index()].clone());
         assert_eq!(a, b);
+    }
+
+    /// Crash-fault regression: a recording with a mid-run node death (a
+    /// death cut in the recording) replays under the threaded runtime
+    /// without panicking — the dead worker closes its mailbox once its cut
+    /// is exhausted and peers absorb the failed sends — and still commits
+    /// exactly the single-threaded logs.
+    #[test]
+    fn threaded_replays_crash_scenarios() {
+        let (g, roles) = canonical::fig5_rip(SimDuration::from_millis(10));
+        let cfg = DefinedConfig::default();
+        let spawner = {
+            let g = g.clone();
+            move |id: NodeId| {
+                RipProcess::new(id, g.neighbors(id), RipConfig::emulation(RefreshMode::DestinationOnly))
+            }
+        };
+        let mut net = RbNetwork::new(&g, cfg.clone(), 2, 0.6, spawner.clone());
+        net.inject_external(SimTime::from_millis(100), roles.dest, RipExt::Connect { prefix: 7 });
+        net.schedule_node(SimTime::from_secs(6), roles.r2, false);
+        net.run_until(SimTime::from_secs(20));
+        let upto = net.completed_group(2);
+        let (rec, rb_logs) = net.into_recording();
+        assert!(!rec.mutes.is_empty(), "the crash produced a death cut");
+
+        let mut ls = LockstepNet::new(&g, cfg.clone(), rec.clone(), spawner.clone());
+        ls.run_to_end();
+        let threaded_logs = run_threaded(&g, cfg.clone(), rec.clone(), spawner.clone());
+        assert!(
+            first_divergence(ls.logs(), &threaded_logs, upto).is_none(),
+            "threaded LS must equal single-threaded LS across a crash"
+        );
+        assert!(
+            first_divergence(&rb_logs, &threaded_logs, upto).is_none(),
+            "threaded LS must reproduce the production run across a crash"
+        );
+        // And repeatably so, mailbox closure and all.
+        let again = run_threaded(&g, cfg, rec, spawner);
+        assert_eq!(threaded_logs, again);
     }
 }

@@ -100,12 +100,17 @@ impl<M> Outbox<M> {
 /// The [`Snapshotable`] supertrait supplies the stable byte encoding the
 /// checkpoint substrate diffs at page granularity and restores from on
 /// rollback; `encode` followed by `decode` must reproduce the state exactly.
-pub trait ControlPlane: Snapshotable + fmt::Debug {
+///
+/// Control planes and their payloads are `Send`/`Sync`: a pure state
+/// machine owns no thread-affine resources, and the bound is what lets the
+/// threaded lockstep runtime and the replay farm move whole debugging
+/// networks across worker threads.
+pub trait ControlPlane: Snapshotable + fmt::Debug + Send {
     /// Wire message type.
-    type Msg: Clone + fmt::Debug + PartialEq;
+    type Msg: Clone + fmt::Debug + PartialEq + Send + Sync;
     /// External (out-of-band) input type, recorded by DEFINED's partial
     /// recorder.
-    type Ext: Clone + fmt::Debug + PartialEq;
+    type Ext: Clone + fmt::Debug + PartialEq + Send + Sync;
 
     /// Called once at boot; arms initial timers, sends initial messages.
     fn on_start(&mut self, out: &mut Outbox<Self::Msg>);

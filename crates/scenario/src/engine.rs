@@ -4,13 +4,16 @@
 
 use crate::spec::{ExtSpec, Fault, Probe, ProtocolSpec};
 use crate::{Scenario, ScenarioError};
+use defined_core::bisect::{localise_fault_farm, BisectReport};
 use defined_core::debugger::Debugger;
+use defined_core::explore::ordering_survey_farm;
 use defined_core::recorder::{CommitRecord, Recording};
 use defined_core::session::DebugSession;
 use defined_core::wire::Wire;
-use defined_core::{DefinedConfig, LockstepNet, RbNetwork};
+use defined_core::{DefinedConfig, FarmConfig, LockstepNet, RbNetwork};
 use netsim::{NodeId, SimTime};
 use routing::bgp::{BgpExt, BgpProcess};
+use routing::ospf::OspfProcess;
 use routing::rip::{RipExt, RipProcess};
 use routing::ControlPlane;
 use topology::Graph;
@@ -70,6 +73,44 @@ fn ext_to_bgp(ev: &ExtSpec) -> Option<BgpExt> {
 
 fn ext_to_ospf(_ev: &ExtSpec) -> Option<()> {
     None // OSPF takes no runtime externals; validation rejects them.
+}
+
+/// The probe's report, read off one RIP control plane.
+fn rip_outcome(probe: &Probe, cp: &RipProcess) -> Option<String> {
+    match *probe {
+        Probe::RipRoute { node, prefix } => {
+            let via = cp.route(prefix).and_then(|r| r.next_hop);
+            Some(match via {
+                Some(nh) => format!("{node} routes {prefix} via {nh}"),
+                None => format!("{node} has no route to {prefix}"),
+            })
+        }
+        _ => None,
+    }
+}
+
+/// The probe's report, read off one BGP control plane.
+fn bgp_outcome(probe: &Probe, cp: &BgpProcess) -> Option<String> {
+    match *probe {
+        Probe::BgpBest { node, prefix } => {
+            let best = cp.best_path(prefix).map(|p| p.route_id);
+            Some(match best {
+                Some(id) => format!("{node} selects p{id} for {prefix}"),
+                None => format!("{node} has no path to {prefix}"),
+            })
+        }
+        _ => None,
+    }
+}
+
+/// The probe's report, read off one OSPF control plane.
+fn ospf_outcome(probe: &Probe, cp: &OspfProcess) -> Option<String> {
+    match *probe {
+        Probe::OspfReachable { node } => {
+            Some(format!("{node} reaches {} destinations", cp.routing_table().len()))
+        }
+        _ => None,
+    }
 }
 
 /// Decodes a recording and checks it was taken on a network of this
@@ -395,38 +436,258 @@ impl Scenario {
     }
 
     fn probe_rip(&self, net: &RbNetwork<RipProcess>) -> Option<String> {
-        match self.probe {
-            Probe::RipRoute { node, prefix } => {
-                let via = net.control_plane(node).route(prefix).and_then(|r| r.next_hop);
-                Some(match via {
-                    Some(nh) => format!("{node} routes {prefix} via {nh}"),
-                    None => format!("{node} has no route to {prefix}"),
-                })
-            }
-            _ => None,
-        }
+        let node = self.probe.node()?;
+        rip_outcome(&self.probe, net.control_plane(node))
     }
 
     fn probe_bgp(&self, net: &RbNetwork<BgpProcess>) -> Option<String> {
-        match self.probe {
-            Probe::BgpBest { node, prefix } => {
-                let best = net.control_plane(node).best_path(prefix).map(|p| p.route_id);
-                Some(match best {
-                    Some(id) => format!("{node} selects p{id} for {prefix}"),
-                    None => format!("{node} has no path to {prefix}"),
-                })
+        let node = self.probe.node()?;
+        bgp_outcome(&self.probe, net.control_plane(node))
+    }
+
+    fn probe_ospf(&self, net: &RbNetwork<OspfProcess>) -> Option<String> {
+        let node = self.probe.node()?;
+        ospf_outcome(&self.probe, net.control_plane(node))
+    }
+
+    /// Sweeps `salts` permuted orderings over a recording on the replay
+    /// farm, using the scenario's outcome probe as the search predicate:
+    /// the baseline is the probe outcome of the replay under the production
+    /// ordering, and a salt "hits" when its outcome differs. Deterministic
+    /// for every `jobs` value (the earliest divergent salt is reported, not
+    /// the first to finish).
+    pub fn explore_run(
+        &self,
+        bytes: &[u8],
+        salts: u64,
+        jobs: usize,
+    ) -> Result<ExploreReport, ScenarioError> {
+        let g = self.checked_build()?;
+        self.require_probe()?;
+        match self.protocol {
+            ProtocolSpec::Rip { mode } => self.explore_typed(
+                &g,
+                crate::registry::rip_processes(&g, mode),
+                bytes,
+                salts,
+                jobs,
+                rip_outcome,
+            ),
+            ProtocolSpec::Ospf => self.explore_typed(
+                &g,
+                crate::registry::ospf_processes(&g),
+                bytes,
+                salts,
+                jobs,
+                ospf_outcome,
+            ),
+            ProtocolSpec::Bgp { mode } => {
+                let roles = self.topology.fig4_roles().expect("validated");
+                self.explore_typed(
+                    &g,
+                    crate::registry::bgp_fig4_processes(&roles, mode),
+                    bytes,
+                    salts,
+                    jobs,
+                    bgp_outcome,
+                )
             }
-            _ => None,
         }
     }
 
-    fn probe_ospf(&self, net: &RbNetwork<routing::ospf::OspfProcess>) -> Option<String> {
-        match self.probe {
-            Probe::OspfReachable { node } => {
-                Some(format!("{node} reaches {} destinations", net.control_plane(node).routing_table().len()))
+    /// Localises when the scenario's final probe outcome was established:
+    /// bisects the recording on the replay farm for the earliest group
+    /// whose prefix replay already reports the full run's outcome, then
+    /// steps that group for the exact event. Returns `Ok(None)` only for
+    /// degenerate (group-less) recordings.
+    ///
+    /// Like [`defined_core::bisect::first_bad_group_farm`], the bisection
+    /// assumes the predicate
+    /// — "the probe already reports the final outcome" — is *monotone*
+    /// over prefixes, which holds when the outcome persists once
+    /// established (the case-study bugs: a wrong best path, a stuck stale
+    /// route). On scenarios whose outcome oscillates before settling
+    /// (flap/heal/restart schedules where the final state matches an
+    /// early transient), the located group is a heuristic: its prefix
+    /// provably reports the outcome and the probed predecessors did not,
+    /// but an intervening un-establishment may exist. The located group is
+    /// still a pure function of the recording (never of `jobs`).
+    pub fn bisect_run(
+        &self,
+        bytes: &[u8],
+        jobs: usize,
+    ) -> Result<Option<BisectSummary>, ScenarioError> {
+        let g = self.checked_build()?;
+        self.require_probe()?;
+        match self.protocol {
+            ProtocolSpec::Rip { mode } => self.bisect_typed(
+                &g,
+                crate::registry::rip_processes(&g, mode),
+                bytes,
+                jobs,
+                rip_outcome,
+            ),
+            ProtocolSpec::Ospf => {
+                self.bisect_typed(&g, crate::registry::ospf_processes(&g), bytes, jobs, ospf_outcome)
             }
-            _ => None,
+            ProtocolSpec::Bgp { mode } => {
+                let roles = self.topology.fig4_roles().expect("validated");
+                self.bisect_typed(
+                    &g,
+                    crate::registry::bgp_fig4_processes(&roles, mode),
+                    bytes,
+                    jobs,
+                    bgp_outcome,
+                )
+            }
         }
+    }
+
+    fn require_probe(&self) -> Result<(), ScenarioError> {
+        if matches!(self.probe, Probe::None) {
+            return Err(ScenarioError::Invalid(format!(
+                "scenario {} has no outcome probe to compile into a search predicate",
+                self.name
+            )));
+        }
+        Ok(())
+    }
+
+    fn explore_typed<P>(
+        &self,
+        g: &Graph,
+        procs: Vec<P>,
+        bytes: &[u8],
+        salts: u64,
+        jobs: usize,
+        outcome: impl Fn(&Probe, &P) -> Option<String> + Sync,
+    ) -> Result<ExploreReport, ScenarioError>
+    where
+        P: ControlPlane + Clone + Sync + 'static,
+        P::Ext: Wire,
+    {
+        let rec = decode_for::<P>(g, bytes)?;
+        let spawn = move |id: NodeId| procs[id.index()].clone();
+        let cfg = DefinedConfig::default();
+        let node = self.probe.node().expect("probe checked");
+        let read = |ls: &LockstepNet<P>| {
+            outcome(&self.probe, ls.control_plane(node)).expect("probe fits the protocol")
+        };
+        let mut base = LockstepNet::new(g, cfg.clone(), rec.clone(), &spawn);
+        base.run_to_end();
+        let baseline = read(&base);
+        let farm = FarmConfig::with_jobs(jobs);
+        // One sweep yields everything the report needs: each salt's outcome
+        // string, from which both the sensitivity tally and the earliest
+        // divergence fall out — half the replays of a find-then-count pair.
+        let outcomes = ordering_survey_farm(g, &cfg, &rec, &spawn, 0..salts, read, &farm);
+        let divergent = outcomes.iter().filter(|o| **o != baseline).count();
+        let found = outcomes
+            .into_iter()
+            .enumerate()
+            .find(|(_, o)| *o != baseline)
+            .map(|(i, o)| (i as u64, o));
+        Ok(ExploreReport { baseline, found, divergent, total: salts as usize })
+    }
+
+    fn bisect_typed<P>(
+        &self,
+        g: &Graph,
+        procs: Vec<P>,
+        bytes: &[u8],
+        jobs: usize,
+        outcome: impl Fn(&Probe, &P) -> Option<String> + Sync,
+    ) -> Result<Option<BisectSummary>, ScenarioError>
+    where
+        P: ControlPlane + Clone + Sync + 'static,
+        P::Msg: Wire,
+        P::Ext: Wire,
+    {
+        let rec = decode_for::<P>(g, bytes)?;
+        let spawn = move |id: NodeId| procs[id.index()].clone();
+        let cfg = DefinedConfig::default();
+        let node = self.probe.node().expect("probe checked");
+        let read = |ls: &LockstepNet<P>| {
+            outcome(&self.probe, ls.control_plane(node)).expect("probe fits the protocol")
+        };
+        let mut full = LockstepNet::new(g, cfg.clone(), rec.clone(), &spawn);
+        full.run_to_end();
+        let target = read(&full);
+        // The speculation width fixes the probe *schedule*; keeping it
+        // constant (rather than tied to `jobs`) makes the rendered report —
+        // replay count included — byte-identical for every `--jobs` value.
+        let farm = FarmConfig { jobs, speculation: 4, ..FarmConfig::serial() };
+        let bad = |ls: &LockstepNet<P>| read(ls) == target;
+        // One call shares the probe sessions between the group bisection
+        // and the event scan, so the scan seeds from their checkpoints.
+        let Some((report, located)) = localise_fault_farm(g, &cfg, &rec, &spawn, bad, &farm)
+        else {
+            return Ok(None); // Only a degenerate group-less recording.
+        };
+        let event = located.map(|(ev, _)| {
+            format!("[g{} c{}] {} @ {}", ev.group, ev.chain, ev.record.ann.class, ev.node)
+        });
+        Ok(Some(BisectSummary { outcome: target, report, event }))
+    }
+}
+
+/// What an ordering sweep over a scenario's recording found.
+#[derive(Clone, Debug)]
+pub struct ExploreReport {
+    /// Probe outcome of the replay under the production ordering.
+    pub baseline: String,
+    /// Earliest salt whose replay reports a different outcome, with that
+    /// outcome — `None` when every swept ordering agrees with the baseline.
+    pub found: Option<(u64, String)>,
+    /// How many swept salts diverge from the baseline.
+    pub divergent: usize,
+    /// How many salts were swept.
+    pub total: usize,
+}
+
+impl ExploreReport {
+    /// Multi-line CLI rendering.
+    pub fn render(&self) -> String {
+        let mut out = format!(
+            "baseline outcome: {}\nsensitivity: {}/{} orderings diverge\n",
+            self.baseline, self.divergent, self.total
+        );
+        match &self.found {
+            Some((salt, outcome)) => {
+                out.push_str(&format!("first divergence: salt {salt} -> {outcome}\n"));
+            }
+            None => out.push_str("no divergent ordering in the swept range\n"),
+        }
+        out
+    }
+}
+
+/// Where a scenario's final probe outcome was established (assuming it
+/// persisted from there — see [`Scenario::bisect_run`] on monotonicity).
+#[derive(Clone, Debug)]
+pub struct BisectSummary {
+    /// The full replay's probe outcome (the state being localised).
+    pub outcome: String,
+    /// Group-level bisection result.
+    pub report: BisectReport,
+    /// The exact delivery inside the located group that established the
+    /// outcome, rendered for display; `None` when the outcome appears only
+    /// at the group boundary itself.
+    pub event: Option<String>,
+}
+
+impl BisectSummary {
+    /// Multi-line CLI rendering.
+    pub fn render(&self) -> String {
+        let mut out = format!(
+            "outcome: {}\nestablished by group {} ({} prefix replays)\n",
+            self.outcome, self.report.first_bad_group, self.report.replays
+        );
+        match &self.event {
+            Some(ev) => out.push_str(&format!("culprit event: {ev}\n")),
+            None => out.push_str("culprit event: at the group boundary (no single delivery)\n"),
+        }
+        out
     }
 }
 

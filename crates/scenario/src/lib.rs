@@ -24,7 +24,11 @@
 //! [`Scenario::record_run`] produces a serialised partial recording,
 //! [`Scenario::replay_logs`] re-executes it in lockstep, and
 //! [`Scenario::debug_transcript`] drives a scripted
-//! [`DebugSession`](defined_core::session::DebugSession) over it.
+//! [`DebugSession`](defined_core::session::DebugSession) over it. The
+//! outcome probe also compiles into a *search predicate*:
+//! [`Scenario::explore_run`] sweeps salted orderings on the parallel replay
+//! farm for one that changes the outcome, and [`Scenario::bisect_run`]
+//! localises the group — and the exact delivery — that established it.
 //!
 //! A [`registry()`] of named, ready-made scenarios ships with the crate, and
 //! the [`scn`] module parses a line-oriented `.scn` text format so
@@ -50,7 +54,7 @@ pub mod registry;
 pub mod scn;
 pub mod spec;
 
-pub use engine::RecordedRun;
+pub use engine::{BisectSummary, ExploreReport, RecordedRun};
 pub use registry::{bgp_fig4_processes, find, ospf_processes, registry, rip_processes};
 pub use spec::{ExtSpec, Fault, Injection, Probe, ProtocolSpec, TopologySpec};
 

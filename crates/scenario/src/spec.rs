@@ -371,3 +371,15 @@ pub enum Probe {
         node: NodeId,
     },
 }
+
+impl Probe {
+    /// The node the probe inspects, if any.
+    pub fn node(&self) -> Option<NodeId> {
+        match *self {
+            Probe::None => None,
+            Probe::RipRoute { node, .. }
+            | Probe::BgpBest { node, .. }
+            | Probe::OspfReachable { node } => Some(node),
+        }
+    }
+}

@@ -6,6 +6,11 @@
 //! receiver is not `Clone`, so the queue lives behind a shared mutex).
 //! Receiving is non-blocking only (`try_recv`/`try_iter`) — exactly what
 //! the threaded lockstep runtime, which synchronises on a barrier, uses.
+//!
+//! Like the real crate, channels *disconnect*: once every `Receiver` has
+//! been dropped, `send` fails with [`channel::SendError`] instead of
+//! queueing into the void. The threaded replayer relies on this to detect
+//! peers that closed their mailbox after exhausting a recorded death cut.
 
 #![warn(missing_docs)]
 
@@ -14,22 +19,25 @@ pub mod channel {
 
     use std::collections::VecDeque;
     use std::fmt;
+    use std::sync::atomic::{AtomicUsize, Ordering};
     use std::sync::{Arc, Mutex};
 
     struct Shared<T> {
         queue: Mutex<VecDeque<T>>,
+        /// Live `Receiver` handles; 0 means the channel is disconnected.
+        receivers: AtomicUsize,
     }
 
     /// The sending half of an unbounded channel; cloneable.
     pub struct Sender<T>(Arc<Shared<T>>);
 
     /// The receiving half of an unbounded channel; cloneable (all clones
-    /// drain the same queue).
+    /// drain the same queue). Dropping the last clone disconnects the
+    /// channel: subsequent sends fail.
     pub struct Receiver<T>(Arc<Shared<T>>);
 
-    /// Error returned by [`Sender::send`]; carries the rejected value.
-    /// This shim's channels never disconnect, so it is never constructed,
-    /// but the type keeps call sites (`.expect(..)`) source-compatible.
+    /// Error returned by [`Sender::send`] when every receiver has been
+    /// dropped; carries the rejected value.
     #[derive(Debug, PartialEq, Eq)]
     pub struct SendError<T>(pub T);
 
@@ -45,7 +53,10 @@ pub mod channel {
 
     /// Creates an unbounded channel, returning the two halves.
     pub fn unbounded<T>() -> (Sender<T>, Receiver<T>) {
-        let shared = Arc::new(Shared { queue: Mutex::new(VecDeque::new()) });
+        let shared = Arc::new(Shared {
+            queue: Mutex::new(VecDeque::new()),
+            receivers: AtomicUsize::new(1),
+        });
         (Sender(Arc::clone(&shared)), Receiver(shared))
     }
 
@@ -57,7 +68,17 @@ pub mod channel {
 
     impl<T> Clone for Receiver<T> {
         fn clone(&self) -> Self {
+            self.0.receivers.fetch_add(1, Ordering::SeqCst);
             Receiver(Arc::clone(&self.0))
+        }
+    }
+
+    impl<T> Drop for Receiver<T> {
+        fn drop(&mut self) {
+            // Decrement under the queue lock so disconnection linearises
+            // with `send`'s check-then-push (see there).
+            let _q = self.0.queue.lock().unwrap_or_else(|e| e.into_inner());
+            self.0.receivers.fetch_sub(1, Ordering::SeqCst);
         }
     }
 
@@ -74,9 +95,18 @@ pub mod channel {
     }
 
     impl<T> Sender<T> {
-        /// Appends `value` to the queue.
+        /// Appends `value` to the queue, or returns it in a [`SendError`]
+        /// when every receiver has been dropped.
         pub fn send(&self, value: T) -> Result<(), SendError<T>> {
+            // Both this check-then-push and `Receiver::drop`'s decrement
+            // run under the queue lock, so disconnection is atomic with
+            // respect to sends: a send observes the channel either fully
+            // alive (push succeeds) or fully disconnected (error) — never
+            // a push into a queue that was already dead at check time.
             let mut q = self.0.queue.lock().unwrap_or_else(|e| e.into_inner());
+            if self.0.receivers.load(Ordering::SeqCst) == 0 {
+                return Err(SendError(value));
+            }
             q.push_back(value);
             Ok(())
         }
@@ -128,6 +158,19 @@ pub mod channel {
             tx.send(7u8).unwrap();
             assert_eq!(rx2.try_recv(), Ok(7));
             assert_eq!(rx1.try_recv(), Err(TryRecvError));
+        }
+
+        #[test]
+        fn dropping_the_last_receiver_disconnects() {
+            let (tx, rx1) = unbounded();
+            let rx2 = rx1.clone();
+            tx.send(1u8).unwrap();
+            drop(rx1);
+            tx.send(2u8).unwrap(); // One receiver still alive.
+            drop(rx2);
+            assert_eq!(tx.send(3u8), Err(SendError(3)), "all receivers gone");
+            // Cloned senders observe the same disconnection.
+            assert_eq!(tx.clone().send(4u8), Err(SendError(4)));
         }
     }
 }

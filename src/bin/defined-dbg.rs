@@ -2,16 +2,18 @@
 //! interactively, the paper's full workflow as a command-line tool.
 //!
 //! ```text
-//! defined-dbg record <scenario> <recording-file> [--seed <u64>]
-//! defined-dbg debug  <scenario> <recording-file> [script-file]
+//! defined-dbg record  <scenario> <recording-file> [--seed <u64>]
+//! defined-dbg debug   <scenario> <recording-file> [script-file]
+//! defined-dbg explore <scenario> [--salts <n>] [--jobs <n>]
+//! defined-dbg bisect  <scenario> [--jobs <n>]
 //! defined-dbg scenarios
 //! ```
 //!
 //! `<scenario>` is either a name from the bundled registry (`defined-dbg
 //! scenarios` lists them) or a path to a `.scn` scenario file (see the
 //! `scenario::scn` module docs for the format). Scenarios bundle a
-//! topology, a protocol, a workload of external events, and a fault
-//! schedule.
+//! topology, a protocol, a workload of external events, a fault schedule,
+//! and an outcome probe.
 //!
 //! `record` runs the DEFINED-RB-instrumented production network and writes
 //! the partial recording (external events, losses, death cuts, beacon tick
@@ -26,6 +28,15 @@
 //! execution backward over periodic whole-network checkpoints, so any
 //! recorded scenario can be navigated in either direction; stepping
 //! forward again reproduces the original transcript byte for byte.
+//!
+//! `explore` and `bisect` mechanise the troubleshooter: both record the
+//! scenario in-process and compile its outcome probe into a search
+//! predicate run on the parallel replay farm. `explore` sweeps salted
+//! ordering functions for one that changes the outcome (the paper's §4
+//! masked-bug discussion); `bisect` finds the earliest group — and the
+//! exact delivery — at which the final outcome was established. `--jobs`
+//! chooses the worker count and never changes the answer: the farm reports
+//! the earliest divergent salt and a job-count-invariant bisection.
 
 use defined::scenario::{self, Scenario};
 use std::io::Read as _;
@@ -33,8 +44,10 @@ use std::process::ExitCode;
 
 fn usage() -> ExitCode {
     eprintln!(
-        "usage: defined-dbg record <scenario> <recording-file> [--seed <u64>]\n\
-         \x20      defined-dbg debug  <scenario> <recording-file> [script-file]\n\
+        "usage: defined-dbg record  <scenario> <recording-file> [--seed <u64>]\n\
+         \x20      defined-dbg debug   <scenario> <recording-file> [script-file]\n\
+         \x20      defined-dbg explore <scenario> [--salts <n>] [--jobs <n>]\n\
+         \x20      defined-dbg bisect  <scenario> [--jobs <n>]\n\
          \x20      defined-dbg scenarios\n\
          \n\
          <scenario> is a registry name (see `defined-dbg scenarios`) or a .scn file path"
@@ -102,35 +115,71 @@ fn debug(scn: &Scenario, rec_path: &str, script: Option<&str>) -> Result<ExitCod
     }
 }
 
-/// Pulls a `--seed <u64>` pair out of the argument list.
-fn take_seed(args: &mut Vec<String>) -> Result<Option<u64>, String> {
-    let Some(pos) = args.iter().position(|a| a == "--seed") else {
+/// Default ordering-sweep width for `explore` when `--salts` is omitted.
+const DEFAULT_SALTS: u64 = 32;
+
+fn explore(scn: &Scenario, salts: u64, jobs: usize) -> Result<ExitCode, String> {
+    let run = scn.record_run().map_err(|e| e.to_string())?;
+    println!("{}", run.summary(&scn.name));
+    let report = scn.explore_run(&run.bytes, salts, jobs).map_err(|e| e.to_string())?;
+    print!("{}", report.render());
+    Ok(ExitCode::SUCCESS)
+}
+
+fn bisect(scn: &Scenario, jobs: usize) -> Result<ExitCode, String> {
+    let run = scn.record_run().map_err(|e| e.to_string())?;
+    println!("{}", run.summary(&scn.name));
+    match scn.bisect_run(&run.bytes, jobs).map_err(|e| e.to_string())? {
+        Some(summary) => {
+            print!("{}", summary.render());
+            Ok(ExitCode::SUCCESS)
+        }
+        None => {
+            eprintln!("{}: the recording has no groups to bisect", scn.name);
+            Ok(ExitCode::FAILURE)
+        }
+    }
+}
+
+/// Pulls a `--<name> <u64>` pair out of the argument list.
+fn take_flag(args: &mut Vec<String>, name: &str) -> Result<Option<u64>, String> {
+    let flag = format!("--{name}");
+    let Some(pos) = args.iter().position(|a| *a == flag) else {
         return Ok(None);
     };
     if pos + 1 >= args.len() {
-        return Err("--seed needs a value".into());
+        return Err(format!("{flag} needs a value"));
     }
     let value = args.remove(pos + 1);
     args.remove(pos);
-    let seed = value.parse().map_err(|_| format!("--seed {value}: not a u64"))?;
-    Ok(Some(seed))
+    let parsed = value.parse().map_err(|_| format!("{flag} {value}: not a u64"))?;
+    Ok(Some(parsed))
 }
 
 fn main() -> ExitCode {
     let mut args: Vec<String> = std::env::args().skip(1).collect();
-    // `--seed` belongs to `record` alone; anywhere else it must be a usage
-    // error, not a silently ignored flag.
-    let seed = if args.first().map(String::as_str) == Some("record") {
-        match take_seed(&mut args) {
-            Ok(seed) => seed,
-            Err(e) => {
-                eprintln!("defined-dbg: {e}");
-                return ExitCode::FAILURE;
-            }
+    // Flags belong to specific verbs; anywhere else they must be a usage
+    // error, not a silently ignored argument.
+    let verb = args.first().cloned().unwrap_or_default();
+    type Flags = (Option<u64>, Option<u64>, Option<u64>);
+    let flags: Result<Flags, String> = (|| {
+        let seed = if verb == "record" { take_flag(&mut args, "seed")? } else { None };
+        let salts = if verb == "explore" { take_flag(&mut args, "salts")? } else { None };
+        let jobs = if verb == "explore" || verb == "bisect" {
+            take_flag(&mut args, "jobs")?
+        } else {
+            None
+        };
+        Ok((seed, salts, jobs))
+    })();
+    let (seed, salts, jobs) = match flags {
+        Ok(f) => f,
+        Err(e) => {
+            eprintln!("defined-dbg: {e}");
+            return ExitCode::FAILURE;
         }
-    } else {
-        None
     };
+    let jobs = jobs.unwrap_or(1).max(1) as usize;
     let result = match args.as_slice() {
         [cmd] if cmd == "scenarios" => return list_scenarios(),
         [cmd, scenario_arg, path] if cmd == "record" => resolve(scenario_arg).and_then(|mut scn| {
@@ -142,6 +191,11 @@ fn main() -> ExitCode {
         [cmd, scenario_arg, path, rest @ ..] if cmd == "debug" && rest.len() <= 1 => {
             let script = rest.first().map(|s| s.as_str());
             resolve(scenario_arg).and_then(|scn| debug(&scn, path, script))
+        }
+        [cmd, scenario_arg] if cmd == "explore" => resolve(scenario_arg)
+            .and_then(|scn| explore(&scn, salts.unwrap_or(DEFAULT_SALTS), jobs)),
+        [cmd, scenario_arg] if cmd == "bisect" => {
+            resolve(scenario_arg).and_then(|scn| bisect(&scn, jobs))
         }
         _ => return usage(),
     };

@@ -209,6 +209,37 @@ fn debug_script_via_stdin_is_accepted() {
     let _ = std::fs::remove_file(&rec);
 }
 
+/// `explore` and `bisect` compile the scenario's outcome probe into a farm
+/// search; their reports must be byte-identical across `--jobs` values.
+#[test]
+fn explore_and_bisect_are_jobs_invariant_through_the_binary() {
+    let explore = |jobs: &str| {
+        let out = defined_dbg()
+            .args(["explore", "rip-blackhole", "--salts", "8", "--jobs", jobs])
+            .output()
+            .expect("spawns");
+        assert_success(&out, &format!("explore --jobs {jobs}"));
+        String::from_utf8_lossy(&out.stdout).to_string()
+    };
+    let e1 = explore("1");
+    assert!(e1.contains("baseline outcome:"), "{e1}");
+    assert!(e1.contains("first divergence: salt"), "the black hole is order-sensitive:\n{e1}");
+    assert_eq!(e1, explore("2"), "explore report varies with --jobs");
+
+    let bisect = |jobs: &str| {
+        let out = defined_dbg()
+            .args(["bisect", "rip-blackhole", "--jobs", jobs])
+            .output()
+            .expect("spawns");
+        assert_success(&out, &format!("bisect --jobs {jobs}"));
+        String::from_utf8_lossy(&out.stdout).to_string()
+    };
+    let b1 = bisect("1");
+    assert!(b1.contains("established by group"), "{b1}");
+    assert!(b1.contains("culprit event:"), "{b1}");
+    assert_eq!(b1, bisect("2"), "bisect report varies with --jobs");
+}
+
 #[test]
 fn bad_usage_exits_nonzero() {
     for args in [
@@ -221,6 +252,12 @@ fn bad_usage_exits_nonzero() {
         // --seed belongs to record; elsewhere it must not be silently eaten.
         &["debug", "bgp-med", "/tmp/x", "--seed", "9"][..],
         &["scenarios", "--seed", "9"][..],
+        // Farm flags belong to explore/bisect and demand values.
+        &["explore", "no-such-scenario"][..],
+        &["explore", "rip-blackhole", "--salts"][..],
+        &["explore", "rip-blackhole", "--jobs", "two"][..],
+        &["bisect", "rip-blackhole", "--salts", "4"][..],
+        &["record", "bgp-med", "/tmp/x", "--jobs", "2"][..],
     ] {
         let out = defined_dbg().args(args).output().expect("spawns");
         assert!(
