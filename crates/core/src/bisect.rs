@@ -130,7 +130,7 @@ where
     let pool: SessionPool<P> = SessionPool::new();
     let report = bisect_with_pool(&pool, graph, cfg, recording, &spawn, &bad, farm)?;
     let session = pool.take().unwrap_or_else(|| {
-        ProbeSession::new(graph, cfg.clone(), recording.clone(), &spawn, farm.checkpoint_every)
+        ProbeSession::new(graph, cfg.clone(), recording.clone(), &spawn, farm)
     });
     let event = scan_group_for_event(session, report.first_bad_group, &bad);
     Some((report, event))
@@ -158,7 +158,7 @@ where
     }
     let probe = |g: u64| -> bool {
         let mut session = pool.take().unwrap_or_else(|| {
-            ProbeSession::new(graph, cfg.clone(), recording.clone(), &spawn, farm.checkpoint_every)
+            ProbeSession::new(graph, cfg.clone(), recording.clone(), &spawn, farm)
         });
         let hit = session.probe_prefix(g, bad);
         pool.put(session);
@@ -244,7 +244,7 @@ where
     F: Fn(&LockstepNet<P>) -> bool + Sync,
 {
     let session =
-        ProbeSession::new(graph, cfg.clone(), recording.clone(), &spawn, farm.checkpoint_every);
+        ProbeSession::new(graph, cfg.clone(), recording.clone(), &spawn, farm);
     scan_group_for_event(session, first_bad_group, bad)
 }
 

@@ -84,7 +84,7 @@ where
             return None;
         }
         let hit = farm::sweep_min(jobs, batch.len(), |i| {
-            let ls = salted_replay(graph, base_cfg, recording, &spawn, batch[i]);
+            let ls = salted_replay(graph, base_cfg, recording, &spawn, batch[i], farm.shards);
             predicate(&ls).then_some(ls)
         });
         if let Some((i, ls)) = hit {
@@ -136,7 +136,7 @@ where
 {
     let salts: Vec<u64> = salts.into_iter().collect();
     let hits = farm::map_indexed(farm.jobs, salts.len(), |i| {
-        let ls = salted_replay(graph, base_cfg, recording, &spawn, salts[i]);
+        let ls = salted_replay(graph, base_cfg, recording, &spawn, salts[i], farm.shards);
         predicate(&ls)
     });
     (hits.iter().filter(|&&h| h).count(), salts.len())
@@ -167,25 +167,30 @@ where
 {
     let salts: Vec<u64> = salts.into_iter().collect();
     farm::map_indexed(farm.jobs, salts.len(), |i| {
-        let ls = salted_replay(graph, base_cfg, recording, &spawn, salts[i]);
+        let ls = salted_replay(graph, base_cfg, recording, &spawn, salts[i], farm.shards);
         project(&ls)
     })
 }
 
-/// One complete replay under the salted permuted ordering.
+/// One complete replay under the salted permuted ordering, executed across
+/// `shards` worker shards (shard-count invariant by the [`WaveEngine`]
+/// contract, so a sharded sweep answers exactly as a serial one).
+///
+/// [`WaveEngine`]: crate::shard::WaveEngine
 fn salted_replay<P, S>(
     graph: &Graph,
     base_cfg: &DefinedConfig,
     recording: &Recording<P::Ext>,
     spawn: &S,
     salt: u64,
+    shards: usize,
 ) -> LockstepNet<P>
 where
     P: ControlPlane,
     S: Fn(NodeId) -> P,
 {
     let cfg = DefinedConfig { ordering: OrderingMode::Permuted(salt), ..base_cfg.clone() };
-    let mut ls = LockstepNet::new(graph, cfg, recording.clone(), spawn);
+    let mut ls = LockstepNet::new(graph, cfg, recording.clone(), spawn).with_shards(shards);
     ls.run_to_end();
     ls
 }

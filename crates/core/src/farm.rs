@@ -54,21 +54,38 @@ pub struct FarmConfig {
     pub speculation: usize,
     /// Groups between retained probe-session checkpoints.
     pub checkpoint_every: u64,
+    /// Worker shards *within* each probe replay
+    /// ([`LockstepNet::with_shards`]) — intra-replay parallelism, composing
+    /// with the inter-probe parallelism of `jobs`.
+    pub shards: usize,
 }
 
 impl FarmConfig {
     /// The serial configuration: one inline worker, binary (non-speculative)
-    /// bisection. The rewritten serial engines use exactly this, so their
-    /// behaviour is the farm's `jobs = 1` column by construction.
+    /// bisection, unsharded replays. The rewritten serial engines use
+    /// exactly this, so their behaviour is the farm's `jobs = 1` column by
+    /// construction.
     pub fn serial() -> Self {
-        FarmConfig { jobs: 1, speculation: 1, checkpoint_every: DEFAULT_PROBE_CHECKPOINT_INTERVAL }
+        FarmConfig {
+            jobs: 1,
+            speculation: 1,
+            checkpoint_every: DEFAULT_PROBE_CHECKPOINT_INTERVAL,
+            shards: 1,
+        }
     }
 
     /// `jobs` workers with matching speculation width (each bisection round
-    /// keeps every worker busy).
+    /// keeps every worker busy). `0` means auto: the host's available
+    /// parallelism ([`crate::shard::resolve_workers`]).
     pub fn with_jobs(jobs: usize) -> Self {
-        let jobs = jobs.max(1);
+        let jobs = crate::shard::resolve_workers(jobs);
         FarmConfig { jobs, speculation: jobs, ..FarmConfig::serial() }
+    }
+
+    /// Builder: shards each probe replay `shards` ways (`0` = auto).
+    pub fn with_shards(mut self, shards: usize) -> Self {
+        self.shards = crate::shard::resolve_workers(shards);
+        self
     }
 }
 
@@ -176,21 +193,24 @@ where
 {
     /// Builds a session over a fresh replay and anchors its timeline at
     /// position 0 (the anchor is never thinned, so every rewind target is
-    /// reachable).
+    /// reachable). The session's replay runs under `farm.shards` worker
+    /// shards and checkpoints every `farm.checkpoint_every` groups — images
+    /// themselves are shard-count-agnostic, so a timeline seeded under one
+    /// shard count restores under any other.
     pub fn new(
         graph: &Graph,
         cfg: DefinedConfig,
         recording: Recording<P::Ext>,
         spawn: impl FnMut(NodeId) -> P,
-        checkpoint_every: u64,
+        farm: &FarmConfig,
     ) -> Self {
-        let net = LockstepNet::new(graph, cfg, recording, spawn);
+        let net = LockstepNet::new(graph, cfg, recording, spawn).with_shards(farm.shards);
         // CloneState: probe farms optimise replay latency, not resident
         // memory, and deep clones skip the encode pass entirely.
         let mut timeline = Timeline::new(Strategy::CloneState, RetentionPolicy::default());
         timeline.record(0, &net.capture_image());
         let history = LsHistory::new(graph.node_count());
-        ProbeSession { net, timeline, history, interval: checkpoint_every.max(1) }
+        ProbeSession { net, timeline, history, interval: farm.checkpoint_every.max(1) }
     }
 
     /// The replay at its current position.
@@ -322,8 +342,9 @@ mod tests {
         let last = rec.last_group;
         assert!(last > 10, "recording long enough: {last}");
         let spawn = |id: NodeId| procs[id.index()].clone();
+        let farm = FarmConfig { checkpoint_every: 4, ..FarmConfig::serial() };
         let mut session =
-            ProbeSession::new(&g, DefinedConfig::default(), rec.clone(), spawn, 4);
+            ProbeSession::new(&g, DefinedConfig::default(), rec.clone(), spawn, &farm);
         for target in [last, 3, last / 2, 5, last / 2, last + 1] {
             session.goto_group_start(target);
             let mut fresh =

@@ -93,6 +93,7 @@ pub mod metrics;
 pub mod order;
 pub mod rb;
 pub mod recorder;
+pub mod shard;
 pub mod snapshot;
 pub mod threaded;
 pub mod wire;
@@ -100,8 +101,9 @@ pub mod wire;
 pub use config::{DefinedConfig, OrderingMode};
 pub use farm::{FarmConfig, ProbeSession};
 pub use harness::RbNetwork;
-pub use ls::LockstepNet;
+pub use ls::{LockstepNet, ShardedNet};
 pub use metrics::RbMetrics;
 pub use order::{Annotation, EventClass, MsgId, OrderKey};
 pub use rb::{Envelope, RbShim};
 pub use recorder::{CommitRecord, ExtRecord, Recording};
+pub use shard::{resolve_workers, ShardedWaves, WaveEngine};

@@ -18,14 +18,15 @@
 //! Figs. 6c and 8c.
 
 use crate::config::DefinedConfig;
-use crate::order::{debug_digest, Annotation, MsgId};
+use crate::order::{Annotation, MsgId};
 use crate::recorder::{CommitRecord, Recording};
+use crate::shard::{DeliveryCtx, LsNode, LsPayload, Pending, ShardedWaves, WaveEngine};
 use crate::snapshot::NodeSnapshot;
 use crate::wire::Wire;
 use checkpoint::Snapshotable;
 use netsim::NodeId;
 use routing::enc::{put_u32, put_u64, put_u8, Reader};
-use routing::{ControlPlane, Outbox};
+use routing::ControlPlane;
 use std::collections::{BTreeMap, HashSet};
 use topology::Graph;
 
@@ -55,23 +56,6 @@ impl Default for LsTiming {
 /// The deliveries staged for one lockstep sub-cycle.
 type Wave<P> = Vec<Pending<<P as ControlPlane>::Msg, <P as ControlPlane>::Ext>>;
 
-/// One pending delivery.
-#[derive(Clone, Debug)]
-struct Pending<M, X> {
-    to: NodeId,
-    from: NodeId,
-    ann: Annotation,
-    ev: LsPayload<M, X>,
-}
-
-#[derive(Clone, Debug)]
-enum LsPayload<M, X> {
-    Start,
-    External(X),
-    BeaconTick,
-    Msg(M),
-}
-
 /// One delivered event, as reported to the debugger.
 #[derive(Clone, Debug, PartialEq)]
 pub struct LsEvent {
@@ -85,10 +69,11 @@ pub struct LsEvent {
     pub record: CommitRecord,
 }
 
-struct LsNode<P: ControlPlane> {
-    snap: NodeSnapshot<P>,
-    send_count: u64,
-}
+/// A [`LockstepNet`] whose waves execute across worker shards — the two
+/// are the same type: sharding is a property of the installed
+/// [`WaveEngine`], selected with [`LockstepNet::with_shards`], and by the
+/// engine contract it changes only cost, never results (DESIGN.md §10).
+pub type ShardedNet<P> = LockstepNet<P>;
 
 /// The lockstep debugging network.
 pub struct LockstepNet<P: ControlPlane> {
@@ -118,6 +103,9 @@ pub struct LockstepNet<P: ControlPlane> {
     step_times: Vec<(u64, f64)>,
     timing: LsTiming,
     done: bool,
+    /// How staged waves execute: serial sweep (`ShardedWaves::new(1)`, the
+    /// default) or partitioned across worker shards.
+    engine: Box<dyn WaveEngine<P>>,
 }
 
 impl<P: ControlPlane> LockstepNet<P> {
@@ -169,12 +157,37 @@ impl<P: ControlPlane> LockstepNet<P> {
             step_times: Vec::new(),
             timing: LsTiming::default(),
             done: false,
+            engine: Box::new(ShardedWaves::new(1)),
         }
     }
 
     /// Overrides the response-time model.
     pub fn set_timing(&mut self, timing: LsTiming) {
         self.timing = timing;
+    }
+
+    /// Executes waves across `shards` worker shards (`0` = auto, the host's
+    /// available parallelism). By the [`WaveEngine`] contract this changes
+    /// only cost: committed logs, images, and transcripts are byte-identical
+    /// for every shard count.
+    pub fn set_shards(&mut self, shards: usize) {
+        self.engine = Box::new(ShardedWaves::new(shards));
+    }
+
+    /// Builder-style [`LockstepNet::set_shards`].
+    pub fn with_shards(mut self, shards: usize) -> Self {
+        self.set_shards(shards);
+        self
+    }
+
+    /// The installed engine's worker-shard count.
+    pub fn shards(&self) -> usize {
+        self.engine.shards()
+    }
+
+    /// Installs a custom wave engine (e.g. an instrumented one in tests).
+    pub fn set_engine(&mut self, engine: Box<dyn WaveEngine<P>>) {
+        self.engine = engine;
     }
 
     /// The group currently being replayed.
@@ -244,22 +257,94 @@ impl<P: ControlPlane> LockstepNet<P> {
     /// [`step_event`]: LockstepNet::step_event
     /// [`run_to_group_start`]: LockstepNet::run_to_group_start
     fn deliver_next_staged(&mut self) -> Option<LsEvent> {
-        while self.queue_pos < self.queue.len() {
-            let p = self.queue[self.queue_pos].clone();
-            self.queue_pos += 1;
-            if let Some(allowed) = self.mutes.get(&p.to) {
-                if !allowed.contains(&p.ann.key(self.cfg.ordering).identity()) {
-                    continue;
-                }
+        let LockstepNet {
+            cfg,
+            drops,
+            mutes,
+            link_est,
+            nodes,
+            logs,
+            group,
+            chain,
+            queue,
+            queue_pos,
+            next_wave,
+            holdover,
+            ..
+        } = self;
+        let ctx = DeliveryCtx {
+            ordering: cfg.ordering,
+            chain_bound: cfg.chain_bound,
+            group: *group,
+            chain: *chain,
+            drops,
+            mutes,
+            link_est,
+        };
+        while *queue_pos < queue.len() {
+            let p = &queue[*queue_pos];
+            *queue_pos += 1;
+            if !ctx.allows(p) {
+                continue;
             }
-            return Some(self.deliver(p));
+            let idx = p.to.index();
+            let mut emitted = Vec::new();
+            let ev = ctx.deliver(&mut nodes[idx], &mut logs[idx], p, &mut emitted);
+            route_emitted(*group, next_wave, holdover, emitted);
+            return Some(ev);
         }
         None
     }
 
+    /// Executes the *whole* remaining staged wave through the installed
+    /// [`WaveEngine`] — the sharded fast path. Equivalent to draining
+    /// [`deliver_next_staged`] (the engine contract), but the engine sees
+    /// the wave at once and may partition it across workers. Returns false
+    /// when nothing was staged (never advances phases or groups).
+    ///
+    /// [`deliver_next_staged`]: LockstepNet::deliver_next_staged
+    fn drain_staged_wave(&mut self) -> bool {
+        if self.queue_pos >= self.queue.len() {
+            return false;
+        }
+        let LockstepNet {
+            cfg,
+            drops,
+            mutes,
+            link_est,
+            nodes,
+            logs,
+            group,
+            chain,
+            queue,
+            queue_pos,
+            next_wave,
+            holdover,
+            engine,
+            ..
+        } = self;
+        let ctx = DeliveryCtx {
+            ordering: cfg.ordering,
+            chain_bound: cfg.chain_bound,
+            group: *group,
+            chain: *chain,
+            drops,
+            mutes,
+            link_est,
+        };
+        let out = engine.execute(&ctx, nodes, logs, &queue[*queue_pos..]);
+        *queue_pos = queue.len();
+        route_emitted(*group, next_wave, holdover, out.emitted);
+        true
+    }
+
     /// Runs the whole recording; returns the per-node logs.
     pub fn run_to_end(&mut self) -> &[Vec<CommitRecord>] {
-        while self.step_event().is_some() {}
+        loop {
+            if !self.drain_staged_wave() && !self.advance_phase() {
+                break;
+            }
+        }
         self.logs()
     }
 
@@ -280,7 +365,7 @@ impl<P: ControlPlane> LockstepNet<P> {
     /// the identical boundary.
     pub fn run_to_group_start(&mut self, group: u64) -> bool {
         while !self.done && self.group < group {
-            if self.deliver_next_staged().is_none() && !self.advance_phase() {
+            if !self.drain_staged_wave() && !self.advance_phase() {
                 return false;
             }
         }
@@ -298,12 +383,8 @@ impl<P: ControlPlane> LockstepNet<P> {
         }
         if !self.next_wave.is_empty() {
             self.chain += 1;
-            let mut wave = std::mem::take(&mut self.next_wave);
-            wave.sort_by(|a, b| {
-                (a.ann.key(self.cfg.ordering), a.to).cmp(&(b.ann.key(self.cfg.ordering), b.to))
-            });
-            self.queue = wave;
-            self.queue_pos = 0;
+            let wave = std::mem::take(&mut self.next_wave);
+            self.stage_wave(wave);
             return true;
         }
         // Next group.
@@ -348,16 +429,29 @@ impl<P: ControlPlane> LockstepNet<P> {
                 ev: LsPayload::BeaconTick,
             });
         }
-        wave.sort_by(|a, b| {
-            (a.ann.key(self.cfg.ordering), a.to).cmp(&(b.ann.key(self.cfg.ordering), b.to))
-        });
-        self.queue = wave;
-        self.queue_pos = 0;
+        self.stage_wave(wave);
         // Chain-overflow messages assigned to this group join sub-cycle 1.
         if let Some(held) = self.holdover.remove(&self.group) {
             self.next_wave.extend(held);
         }
         true
+    }
+
+    /// Sorts `wave` by the production order key and stages it for delivery.
+    /// The `(OrderKey, to)` sort key is *strictly* total over any one wave
+    /// (lineage digests separate causally distinct events, `to` separates
+    /// same-annotation beacon fan-out) — which is what erases both the
+    /// emit-concatenation order of the previous wave's shards and the sort
+    /// algorithm's stability, so sharded and serial staging coincide.
+    fn stage_wave(&mut self, mut wave: Wave<P>) {
+        let ordering = self.cfg.ordering;
+        wave.sort_by_key(|a| (a.ann.key(ordering), a.to));
+        debug_assert!(
+            wave.windows(2).all(|w| (w[0].ann.key(ordering), w[0].to) < (w[1].ann.key(ordering), w[1].to)),
+            "a staged wave's sort keys must be strictly increasing"
+        );
+        self.queue = wave;
+        self.queue_pos = 0;
     }
 
     fn record_step_time(&mut self) {
@@ -384,51 +478,6 @@ impl<P: ControlPlane> LockstepNet<P> {
         let barrier = 2 * (max_coord + self.timing.barrier_base_ns);
         let total_ns = barrier + max_link + max_proc;
         self.step_times.push((self.group, total_ns as f64 / 1e9));
-    }
-
-    fn deliver(&mut self, p: Pending<P::Msg, P::Ext>) -> LsEvent {
-        let idx = p.to.index();
-        let mut out = Outbox::new();
-        let mut records_digest = 0u64;
-        match &p.ev {
-            LsPayload::Start => {
-                records_digest = 1;
-                self.nodes[idx].snap.cp.on_start(&mut out);
-                self.dispatch(p.to, &p.ann, out, &mut 0);
-            }
-            LsPayload::External(x) => {
-                records_digest = debug_digest(x);
-                self.nodes[idx].snap.cp.on_external(x, &mut out);
-                self.dispatch(p.to, &p.ann, out, &mut 0);
-            }
-            LsPayload::Msg(m) => {
-                records_digest = debug_digest(m);
-                self.nodes[idx].snap.cp.on_message(p.from, m, &mut out);
-                self.dispatch(p.to, &p.ann, out, &mut 0);
-            }
-            LsPayload::BeaconTick => {
-                self.nodes[idx].snap.current_group = p.ann.group;
-                let mut emit = 0u32;
-                loop {
-                    let due = self.nodes[idx].snap.take_due_timers(p.ann.group);
-                    if due.is_empty() {
-                        break;
-                    }
-                    for token in due {
-                        let mut out = Outbox::new();
-                        self.nodes[idx].snap.cp.on_timer(token, &mut out);
-                        self.dispatch(p.to, &p.ann, out, &mut emit);
-                    }
-                }
-            }
-        }
-        let record = CommitRecord {
-            key: p.ann.key(self.cfg.ordering),
-            ann: p.ann,
-            payload_digest: records_digest,
-        };
-        self.logs[idx].push(record);
-        LsEvent { node: p.to, group: self.group, chain: self.chain, record }
     }
 
     /// Captures a full image of the replayer's mutable state — node
@@ -552,24 +601,25 @@ impl<P: ControlPlane> LockstepNet<P> {
         self.done = img.done;
     }
 
-    fn dispatch(&mut self, me: NodeId, parent: &Annotation, out: Outbox<P::Msg>, emit: &mut u32) {
-        let idx = me.index();
-        self.nodes[idx].snap.apply_timer_ops(&out.arms, &out.cancels);
-        for (to, payload) in out.sends {
-            let link = self.link_est[idx].get(&to).copied().unwrap_or(1);
-            let ann = Annotation::child(parent, me, link, *emit, self.cfg.chain_bound);
-            *emit += 1;
-            let send_idx = self.nodes[idx].send_count;
-            self.nodes[idx].send_count += 1;
-            if self.drops.contains(&(me, send_idx)) {
-                continue; // Replay the recorded loss.
-            }
-            let pending = Pending { to, from: me, ann, ev: LsPayload::Msg(payload) };
-            if ann.group == self.group {
-                self.next_wave.push(pending);
-            } else {
-                self.holdover.entry(ann.group).or_default().push(pending);
-            }
+}
+
+/// Routes the messages a wave emitted: same-group sends join the next
+/// sub-cycle, chain-overflow sends wait in holdover for their target group.
+/// (The next wave is fully re-sorted before consumption, so the emit order
+/// reaching this function — including cross-shard concatenation order —
+/// never matters.)
+fn route_emitted<M, X>(
+    group: u64,
+    next_wave: &mut Vec<Pending<M, X>>,
+    holdover: &mut BTreeMap<u64, Vec<Pending<M, X>>>,
+    emitted: Vec<Pending<M, X>>,
+) {
+    for p in emitted {
+        let g = p.annotation().group;
+        if g == group {
+            next_wave.push(p);
+        } else {
+            holdover.entry(g).or_default().push(p);
         }
     }
 }
@@ -580,7 +630,7 @@ impl<P: ControlPlane> LockstepNet<P> {
 /// [`LockstepNet::merge_history`] and consulted by
 /// [`LockstepNet::restore_image_seeded`] to reconstruct the log state of an
 /// image that lies ahead of the current replay position.
-#[derive(Clone, Debug, Default)]
+#[derive(Clone, Debug, Default, PartialEq)]
 pub struct LsHistory {
     logs: Vec<Vec<CommitRecord>>,
     step_times: Vec<(u64, f64)>,
@@ -806,6 +856,7 @@ mod tests {
     use crate::config::{DefinedConfig, OrderingMode};
     use crate::harness::RbNetwork;
     use netsim::{SimDuration, SimTime};
+    use proptest::prelude::*;
     use routing::ospf::{OspfConfig, OspfProcess};
     use topology::canonical;
 
@@ -993,6 +1044,94 @@ mod tests {
         };
         fresh.run_to_end();
         assert_eq!(fresh.logs(), &expect[..], "re-executed tail diverged");
+    }
+
+    /// The tentpole invariant at unit scale: waves executed across real
+    /// thread boundaries (4 shards of 1 node, inline threshold disabled)
+    /// commit the identical logs, and an image captured under one shard
+    /// count restores into a replay running another — images are
+    /// shard-count-agnostic by construction.
+    #[test]
+    fn sharded_waves_match_serial_and_images_compose() {
+        let serial_logs = {
+            let mut s = small_ls();
+            s.run_to_end();
+            s.logs().to_vec()
+        };
+        for shards in [2usize, 4] {
+            let mut net = small_ls();
+            net.set_engine(Box::new(
+                crate::shard::ShardedWaves::new(shards).with_min_wave_per_shard(0),
+            ));
+            assert_eq!(net.shards(), shards);
+            net.run_to_end();
+            assert_eq!(net.logs(), &serial_logs[..], "shards={shards} diverged from serial");
+        }
+        // Cross-shard-count checkpoint seeding: capture under shards=2,
+        // restore into shards=4, finish — still the serial logs.
+        let mut two = small_ls();
+        two.set_engine(Box::new(crate::shard::ShardedWaves::new(2).with_min_wave_per_shard(0)));
+        two.run_to_group_start(5);
+        let img = two.capture_image();
+        let mut history = LsHistory::new(4);
+        two.run_to_end();
+        two.merge_history(&mut history);
+        let mut four = small_ls();
+        four.set_engine(Box::new(crate::shard::ShardedWaves::new(4).with_min_wave_per_shard(0)));
+        four.restore_image_seeded(img, &history);
+        four.run_to_end();
+        assert_eq!(four.logs(), &serial_logs[..], "cross-shard-count restore diverged");
+    }
+
+    /// Sharded phase advancement stops on the same exact group boundaries
+    /// as single-event stepping.
+    #[test]
+    fn sharded_run_to_group_start_is_exact() {
+        let reference = {
+            let mut r = small_ls();
+            r.run_to_end();
+            r.logs().to_vec()
+        };
+        let mut ls = small_ls();
+        ls.set_engine(Box::new(crate::shard::ShardedWaves::new(2).with_min_wave_per_shard(0)));
+        assert!(ls.run_to_group_start(5) || ls.is_done());
+        assert!(ls.at_group_start());
+        assert_eq!(ls.current_group(), 5);
+        for (node, log) in ls.logs().iter().enumerate() {
+            let expect: Vec<_> =
+                reference[node].iter().filter(|r| r.ann.group < 5).copied().collect();
+            assert_eq!(log, &expect, "node {node} prefix mismatch");
+        }
+    }
+
+    /// Merging partial replays into an [`LsHistory`] at step counts
+    /// `positions`, each from a fresh replay.
+    fn history_after(positions: &[usize]) -> LsHistory {
+        let mut h = LsHistory::new(4);
+        for &n in positions {
+            let mut ls = small_ls();
+            for _ in 0..n {
+                ls.step_event().expect("events available");
+            }
+            ls.merge_history(&mut h);
+        }
+        h
+    }
+
+    proptest! {
+        #![proptest_config(ProptestConfig { cases: 6, ..ProptestConfig::default() })]
+
+        /// `merge_history` is order-independent: merging the same replay
+        /// positions in any order yields the same canonical history — the
+        /// precondition sharded checkpoint seeding leans on (a probe farm
+        /// merges whichever shard-replayed prefix finishes first).
+        #[test]
+        fn merge_history_is_order_independent(
+            perm in Just(vec![5usize, 12, 20, 28, 40]).prop_shuffle()
+        ) {
+            let canonical = history_after(&[5, 12, 20, 28, 40]);
+            prop_assert_eq!(history_after(&perm), canonical);
+        }
     }
 
     #[test]

@@ -7,6 +7,7 @@ use crate::{Scenario, ScenarioError};
 use defined_core::bisect::{localise_fault_farm, BisectReport};
 use defined_core::debugger::Debugger;
 use defined_core::explore::ordering_survey_farm;
+use defined_core::gvt::GvtMonitor;
 use defined_core::recorder::{CommitRecord, Recording};
 use defined_core::session::DebugSession;
 use defined_core::wire::Wire;
@@ -40,6 +41,8 @@ pub struct RecordedRun {
     pub upto: u64,
     /// Per-node committed delivery logs of the production run.
     pub logs: Vec<Vec<CommitRecord>>,
+    /// GVT progression of the optimistic production run.
+    pub gvt: GvtReport,
 }
 
 impl RecordedRun {
@@ -48,6 +51,45 @@ impl RecordedRun {
         format!(
             "recorded {name}: {} groups, {} externals, {} drop(s), {} death cut(s)",
             self.n_groups, self.n_externals, self.n_drops, self.n_mutes,
+        )
+    }
+}
+
+/// How the production run's global-virtual-time bound progressed — the
+/// observable that makes an optimistic (Time Warp) run's stalls visible
+/// instead of silent: a bound that stops advancing while rollbacks climb
+/// means speculative work is being thrown away faster than it commits.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct GvtReport {
+    /// GVT bound at the first sample.
+    pub first: u64,
+    /// GVT bound at the last sample.
+    pub last: u64,
+    /// Rollback floor (lowest group any node may still rewind to) at the
+    /// last sample.
+    pub floor: u64,
+    /// Samples taken over the run.
+    pub samples: usize,
+    /// Whether the bound never regressed between samples (Theorem 2's
+    /// monotonicity, observed).
+    pub monotone: bool,
+    /// Total bound advance summed over sample intervals.
+    pub total_advance: u64,
+    /// Rollbacks the production run performed, summed over nodes.
+    pub rollbacks: u64,
+}
+
+impl GvtReport {
+    /// One-line CLI rendering.
+    pub fn render(&self) -> String {
+        format!(
+            "gvt: bound {} -> {} over {} samples ({}), floor {}, {} rollback(s)",
+            self.first,
+            self.last,
+            self.samples,
+            if self.monotone { "monotone" } else { "NOT monotone" },
+            self.floor,
+            self.rollbacks,
         )
     }
 }
@@ -304,15 +346,34 @@ impl Scenario {
     /// committed logs (for equivalence checks against
     /// [`RecordedRun::logs`]).
     pub fn replay_logs(&self, bytes: &[u8]) -> Result<Vec<Vec<CommitRecord>>, ScenarioError> {
+        self.replay_logs_sharded(bytes, 1)
+    }
+
+    /// [`replay_logs`](Self::replay_logs) with the replay's waves executed
+    /// across `shards` worker shards (`0` = auto). The logs are
+    /// byte-identical for every shard count — the `--shards` self-check in
+    /// `defined-dbg record` leans on this.
+    pub fn replay_logs_sharded(
+        &self,
+        bytes: &[u8],
+        shards: usize,
+    ) -> Result<Vec<Vec<CommitRecord>>, ScenarioError> {
         let g = self.checked_build()?;
         match self.protocol {
             ProtocolSpec::Rip { mode } => {
-                self.replay_typed(&g, crate::registry::rip_processes(&g, mode), bytes)
+                self.replay_typed(&g, crate::registry::rip_processes(&g, mode), bytes, shards)
             }
-            ProtocolSpec::Ospf => self.replay_typed(&g, crate::registry::ospf_processes(&g), bytes),
+            ProtocolSpec::Ospf => {
+                self.replay_typed(&g, crate::registry::ospf_processes(&g), bytes, shards)
+            }
             ProtocolSpec::Bgp { mode } => {
                 let roles = self.topology.fig4_roles().expect("validated");
-                self.replay_typed(&g, crate::registry::bgp_fig4_processes(&roles, mode), bytes)
+                self.replay_typed(
+                    &g,
+                    crate::registry::bgp_fig4_processes(&roles, mode),
+                    bytes,
+                    shards,
+                )
             }
         }
     }
@@ -322,13 +383,26 @@ impl Scenario {
     /// `debug` half of the workflow). Deterministic: the same recording and
     /// script always produce the same transcript.
     pub fn debug_transcript(&self, bytes: &[u8], script: &str) -> Result<String, ScenarioError> {
+        self.debug_transcript_sharded(bytes, script, 1)
+    }
+
+    /// [`debug_transcript`](Self::debug_transcript) with the underlying
+    /// replay sharded `shards` ways (`0` = auto). Interactive stepping is
+    /// wave-serial either way; sharding accelerates the bulk moves (`run`,
+    /// `stepg`, checkpoint re-execution) and never changes the transcript.
+    pub fn debug_transcript_sharded(
+        &self,
+        bytes: &[u8],
+        script: &str,
+        shards: usize,
+    ) -> Result<String, ScenarioError> {
         let g = self.checked_build()?;
         match self.protocol {
             ProtocolSpec::Rip { mode } => {
-                self.debug_typed(&g, crate::registry::rip_processes(&g, mode), bytes, script)
+                self.debug_typed(&g, crate::registry::rip_processes(&g, mode), bytes, script, shards)
             }
             ProtocolSpec::Ospf => {
-                self.debug_typed(&g, crate::registry::ospf_processes(&g), bytes, script)
+                self.debug_typed(&g, crate::registry::ospf_processes(&g), bytes, script, shards)
             }
             ProtocolSpec::Bgp { mode } => {
                 let roles = self.topology.fig4_roles().expect("validated");
@@ -337,6 +411,7 @@ impl Scenario {
                     crate::registry::bgp_fig4_processes(&roles, mode),
                     bytes,
                     script,
+                    shards,
                 )
             }
         }
@@ -381,9 +456,30 @@ impl Scenario {
                 }
             }
         }
-        net.run_until(SimTime::ZERO + self.duration);
+        // Run in beacon-sized slices, sampling the GVT bound at each — the
+        // simulator is a pure event pump, so incremental `run_until` calls
+        // commit the identical execution as one call to the deadline.
+        let end = SimTime::ZERO + self.duration;
+        let slice = DefinedConfig::default().beacon_interval * 4;
+        let mut monitor = GvtMonitor::new();
+        let mut t = SimTime::ZERO;
+        while t < end {
+            t = (t + slice).min(end);
+            net.run_until(t);
+            monitor.observe(&net);
+        }
         let outcome = outcome(&net);
         let upto = net.completed_group(2);
+        let samples = monitor.samples();
+        let gvt = GvtReport {
+            first: samples.first().map(|s| s.gvt).unwrap_or(0),
+            last: samples.last().map(|s| s.gvt).unwrap_or(0),
+            floor: samples.last().map(|s| s.floor).unwrap_or(0),
+            samples: samples.len(),
+            monotone: monitor.is_monotone(),
+            total_advance: monitor.total_advance(),
+            rollbacks: net.total_metrics().rollbacks,
+        };
         let (rec, logs) = net.into_recording();
         Ok(RecordedRun {
             bytes: rec.to_bytes(),
@@ -394,6 +490,7 @@ impl Scenario {
             outcome,
             upto,
             logs,
+            gvt,
         })
     }
 
@@ -402,6 +499,7 @@ impl Scenario {
         g: &Graph,
         procs: Vec<P>,
         bytes: &[u8],
+        shards: usize,
     ) -> Result<Vec<Vec<CommitRecord>>, ScenarioError>
     where
         P: ControlPlane + Clone + 'static,
@@ -410,7 +508,8 @@ impl Scenario {
         let rec = decode_for::<P>(g, bytes)?;
         let mut ls = LockstepNet::new(g, DefinedConfig::default(), rec, move |id: NodeId| {
             procs[id.index()].clone()
-        });
+        })
+        .with_shards(shards);
         ls.run_to_end();
         Ok(ls.logs().to_vec())
     }
@@ -421,6 +520,7 @@ impl Scenario {
         procs: Vec<P>,
         bytes: &[u8],
         script: &str,
+        shards: usize,
     ) -> Result<String, ScenarioError>
     where
         P: ControlPlane + Clone + 'static,
@@ -430,7 +530,8 @@ impl Scenario {
         let rec = decode_for::<P>(g, bytes)?;
         let ls = LockstepNet::new(g, DefinedConfig::default(), rec, move |id: NodeId| {
             procs[id.index()].clone()
-        });
+        })
+        .with_shards(shards);
         let mut session = DebugSession::new(Debugger::new(ls), g.node_count());
         Ok(session.run_script(script))
     }
@@ -454,13 +555,13 @@ impl Scenario {
     /// farm, using the scenario's outcome probe as the search predicate:
     /// the baseline is the probe outcome of the replay under the production
     /// ordering, and a salt "hits" when its outcome differs. Deterministic
-    /// for every `jobs` value (the earliest divergent salt is reported, not
-    /// the first to finish).
+    /// for every `farm.jobs` and `farm.shards` value (the earliest divergent
+    /// salt is reported, not the first to finish).
     pub fn explore_run(
         &self,
         bytes: &[u8],
         salts: u64,
-        jobs: usize,
+        farm: &FarmConfig,
     ) -> Result<ExploreReport, ScenarioError> {
         let g = self.checked_build()?;
         self.require_probe()?;
@@ -470,7 +571,7 @@ impl Scenario {
                 crate::registry::rip_processes(&g, mode),
                 bytes,
                 salts,
-                jobs,
+                farm,
                 rip_outcome,
             ),
             ProtocolSpec::Ospf => self.explore_typed(
@@ -478,7 +579,7 @@ impl Scenario {
                 crate::registry::ospf_processes(&g),
                 bytes,
                 salts,
-                jobs,
+                farm,
                 ospf_outcome,
             ),
             ProtocolSpec::Bgp { mode } => {
@@ -488,7 +589,7 @@ impl Scenario {
                     crate::registry::bgp_fig4_processes(&roles, mode),
                     bytes,
                     salts,
-                    jobs,
+                    farm,
                     bgp_outcome,
                 )
             }
@@ -511,11 +612,12 @@ impl Scenario {
     /// early transient), the located group is a heuristic: its prefix
     /// provably reports the outcome and the probed predecessors did not,
     /// but an intervening un-establishment may exist. The located group is
-    /// still a pure function of the recording (never of `jobs`).
+    /// still a pure function of the recording (never of `farm.jobs` or
+    /// `farm.shards`).
     pub fn bisect_run(
         &self,
         bytes: &[u8],
-        jobs: usize,
+        farm: &FarmConfig,
     ) -> Result<Option<BisectSummary>, ScenarioError> {
         let g = self.checked_build()?;
         self.require_probe()?;
@@ -524,11 +626,11 @@ impl Scenario {
                 &g,
                 crate::registry::rip_processes(&g, mode),
                 bytes,
-                jobs,
+                farm,
                 rip_outcome,
             ),
             ProtocolSpec::Ospf => {
-                self.bisect_typed(&g, crate::registry::ospf_processes(&g), bytes, jobs, ospf_outcome)
+                self.bisect_typed(&g, crate::registry::ospf_processes(&g), bytes, farm, ospf_outcome)
             }
             ProtocolSpec::Bgp { mode } => {
                 let roles = self.topology.fig4_roles().expect("validated");
@@ -536,7 +638,7 @@ impl Scenario {
                     &g,
                     crate::registry::bgp_fig4_processes(&roles, mode),
                     bytes,
-                    jobs,
+                    farm,
                     bgp_outcome,
                 )
             }
@@ -559,7 +661,7 @@ impl Scenario {
         procs: Vec<P>,
         bytes: &[u8],
         salts: u64,
-        jobs: usize,
+        farm: &FarmConfig,
         outcome: impl Fn(&Probe, &P) -> Option<String> + Sync,
     ) -> Result<ExploreReport, ScenarioError>
     where
@@ -573,14 +675,14 @@ impl Scenario {
         let read = |ls: &LockstepNet<P>| {
             outcome(&self.probe, ls.control_plane(node)).expect("probe fits the protocol")
         };
-        let mut base = LockstepNet::new(g, cfg.clone(), rec.clone(), &spawn);
+        let mut base =
+            LockstepNet::new(g, cfg.clone(), rec.clone(), &spawn).with_shards(farm.shards);
         base.run_to_end();
         let baseline = read(&base);
-        let farm = FarmConfig::with_jobs(jobs);
         // One sweep yields everything the report needs: each salt's outcome
         // string, from which both the sensitivity tally and the earliest
         // divergence fall out — half the replays of a find-then-count pair.
-        let outcomes = ordering_survey_farm(g, &cfg, &rec, &spawn, 0..salts, read, &farm);
+        let outcomes = ordering_survey_farm(g, &cfg, &rec, &spawn, 0..salts, read, farm);
         let divergent = outcomes.iter().filter(|o| **o != baseline).count();
         let found = outcomes
             .into_iter()
@@ -595,7 +697,7 @@ impl Scenario {
         g: &Graph,
         procs: Vec<P>,
         bytes: &[u8],
-        jobs: usize,
+        farm: &FarmConfig,
         outcome: impl Fn(&Probe, &P) -> Option<String> + Sync,
     ) -> Result<Option<BisectSummary>, ScenarioError>
     where
@@ -610,13 +712,14 @@ impl Scenario {
         let read = |ls: &LockstepNet<P>| {
             outcome(&self.probe, ls.control_plane(node)).expect("probe fits the protocol")
         };
-        let mut full = LockstepNet::new(g, cfg.clone(), rec.clone(), &spawn);
+        let mut full =
+            LockstepNet::new(g, cfg.clone(), rec.clone(), &spawn).with_shards(farm.shards);
         full.run_to_end();
         let target = read(&full);
         // The speculation width fixes the probe *schedule*; keeping it
         // constant (rather than tied to `jobs`) makes the rendered report —
         // replay count included — byte-identical for every `--jobs` value.
-        let farm = FarmConfig { jobs, speculation: 4, ..FarmConfig::serial() };
+        let farm = FarmConfig { speculation: 4, ..*farm };
         let bad = |ls: &LockstepNet<P>| read(ls) == target;
         // One call shares the probe sessions between the group bisection
         // and the event scan, so the scan seeds from their checkpoints.
@@ -731,6 +834,37 @@ mod tests {
         let t2 = scn.debug_transcript(&run.bytes, "stepg 2\nwhere\n").expect("debugs again");
         assert_eq!(t1, t2);
         assert!(t1.contains("group"), "{t1}");
+    }
+
+    #[test]
+    fn recorded_run_carries_a_gvt_report() {
+        let run = mini_ospf().record_run().expect("records");
+        let gvt = &run.gvt;
+        assert!(gvt.samples >= 2, "too few GVT samples: {gvt:?}");
+        assert!(gvt.monotone, "GVT bound regressed: {gvt:?}");
+        assert!(gvt.last >= gvt.first, "{gvt:?}");
+        assert_eq!(gvt.total_advance, gvt.last - gvt.first, "{gvt:?}");
+        assert!(gvt.floor <= gvt.last, "fossil floor beyond the bound: {gvt:?}");
+        let line = gvt.render();
+        assert!(line.starts_with("gvt: bound"), "{line}");
+        assert!(line.contains("rollback"), "{line}");
+        // The report is a pure function of the scenario: re-recording
+        // reproduces it exactly.
+        assert_eq!(run.gvt, mini_ospf().record_run().expect("re-records").gvt);
+    }
+
+    #[test]
+    fn sharded_scenario_replay_matches_serial() {
+        let scn = mini_ospf();
+        let run = scn.record_run().expect("records");
+        let serial = scn.replay_logs(&run.bytes).expect("serial");
+        for shards in [2usize, 3] {
+            assert_eq!(
+                scn.replay_logs_sharded(&run.bytes, shards).expect("sharded"),
+                serial,
+                "shards={shards}"
+            );
+        }
     }
 
     #[test]

@@ -23,12 +23,44 @@ pub trait Strategy {
         Map { inner: self, f }
     }
 
+    /// Shuffles generated `Vec` values into a random permutation.
+    fn prop_shuffle(self) -> Shuffle<Self>
+    where
+        Self: Sized,
+    {
+        Shuffle { inner: self }
+    }
+
     /// Type-erases the strategy.
     fn boxed(self) -> BoxedStrategy<Self::Value>
     where
         Self: Sized + 'static,
     {
         Box::new(self)
+    }
+}
+
+/// Strategy returned by [`Strategy::prop_shuffle`]: a uniformly random
+/// permutation (Fisher–Yates over the deterministic test RNG) of the inner
+/// strategy's `Vec` value.
+#[derive(Clone, Debug)]
+pub struct Shuffle<S> {
+    inner: S,
+}
+
+impl<S, T> Strategy for Shuffle<S>
+where
+    S: Strategy<Value = Vec<T>>,
+{
+    type Value = Vec<T>;
+
+    fn generate(&self, rng: &mut TestRng) -> Vec<T> {
+        let mut v = self.inner.generate(rng);
+        for i in (1..v.len()).rev() {
+            let j = rng.below(i as u64 + 1) as usize;
+            v.swap(i, j);
+        }
+        v
     }
 }
 

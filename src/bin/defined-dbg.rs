@@ -2,10 +2,10 @@
 //! interactively, the paper's full workflow as a command-line tool.
 //!
 //! ```text
-//! defined-dbg record  <scenario> <recording-file> [--seed <u64>]
-//! defined-dbg debug   <scenario> <recording-file> [script-file]
-//! defined-dbg explore <scenario> [--salts <n>] [--jobs <n>]
-//! defined-dbg bisect  <scenario> [--jobs <n>]
+//! defined-dbg record  <scenario> <recording-file> [--seed <u64>] [--shards <n>]
+//! defined-dbg debug   <scenario> <recording-file> [script-file] [--shards <n>]
+//! defined-dbg explore <scenario> [--salts <n>] [--jobs <n>] [--shards <n>]
+//! defined-dbg bisect  <scenario> [--jobs <n>] [--shards <n>]
 //! defined-dbg scenarios
 //! ```
 //!
@@ -35,8 +35,19 @@
 //! ordering functions for one that changes the outcome (the paper's §4
 //! masked-bug discussion); `bisect` finds the earliest group — and the
 //! exact delivery — at which the final outcome was established. `--jobs`
-//! chooses the worker count and never changes the answer: the farm reports
-//! the earliest divergent salt and a job-count-invariant bisection.
+//! chooses the farm worker count and never changes the answer: the farm
+//! reports the earliest divergent salt and a job-count-invariant bisection.
+//! When `--jobs` is omitted (or `0`), one worker per available core is
+//! used.
+//!
+//! `--shards` splits each individual replay across worker shards
+//! (`ShardedNet`): every lockstep wave is block-partitioned over the nodes
+//! and the shards' outputs are re-merged in deterministic `OrderKey` order,
+//! so commit logs, transcripts, and search reports are byte-identical for
+//! every shard count. `--shards 0` means one shard per available core;
+//! omitting the flag keeps the replay serial. On `record`, `--shards <n>`
+//! additionally replays the fresh recording `n`-way sharded and verifies
+//! the logs against the production commits before reporting success.
 
 use defined::scenario::{self, Scenario};
 use std::io::Read as _;
@@ -44,13 +55,14 @@ use std::process::ExitCode;
 
 fn usage() -> ExitCode {
     eprintln!(
-        "usage: defined-dbg record  <scenario> <recording-file> [--seed <u64>]\n\
-         \x20      defined-dbg debug   <scenario> <recording-file> [script-file]\n\
-         \x20      defined-dbg explore <scenario> [--salts <n>] [--jobs <n>]\n\
-         \x20      defined-dbg bisect  <scenario> [--jobs <n>]\n\
+        "usage: defined-dbg record  <scenario> <recording-file> [--seed <u64>] [--shards <n>]\n\
+         \x20      defined-dbg debug   <scenario> <recording-file> [script-file] [--shards <n>]\n\
+         \x20      defined-dbg explore <scenario> [--salts <n>] [--jobs <n>] [--shards <n>]\n\
+         \x20      defined-dbg bisect  <scenario> [--jobs <n>] [--shards <n>]\n\
          \x20      defined-dbg scenarios\n\
          \n\
-         <scenario> is a registry name (see `defined-dbg scenarios`) or a .scn file path"
+         <scenario> is a registry name (see `defined-dbg scenarios`) or a .scn file path\n\
+         --jobs 0 / --shards 0 mean one worker per available core"
     );
     ExitCode::FAILURE
 }
@@ -79,12 +91,24 @@ fn list_scenarios() -> ExitCode {
     ExitCode::SUCCESS
 }
 
-fn record(scn: &Scenario, path: &str) -> Result<ExitCode, String> {
+fn record(scn: &Scenario, path: &str, shards: Option<usize>) -> Result<ExitCode, String> {
     let run = scn.record_run().map_err(|e| e.to_string())?;
     std::fs::write(path, &run.bytes).map_err(|e| format!("{path}: {e}"))?;
     println!("{} -> {path}", run.summary(&scn.name));
+    println!("{}", run.gvt.render());
     if let Some(outcome) = &run.outcome {
         println!("production outcome: {outcome}");
+    }
+    if let Some(shards) = shards {
+        // Self-check: replay the fresh recording sharded and hold it to
+        // Theorem 1 against the production commit logs.
+        let shards = defined::core::resolve_workers(shards);
+        let logs = scn.replay_logs_sharded(&run.bytes, shards).map_err(|e| e.to_string())?;
+        if let Some(d) = defined::core::ls::first_divergence(&run.logs, &logs, run.upto) {
+            eprintln!("{}: sharded replay diverged from production: {d:?}", scn.name);
+            return Ok(ExitCode::FAILURE);
+        }
+        println!("sharded replay check: {shards} shard(s), identical to production");
     }
     Ok(ExitCode::SUCCESS)
 }
@@ -100,10 +124,15 @@ fn read_script(arg: Option<&str>) -> Result<String, String> {
     }
 }
 
-fn debug(scn: &Scenario, rec_path: &str, script: Option<&str>) -> Result<ExitCode, String> {
+fn debug(
+    scn: &Scenario,
+    rec_path: &str,
+    script: Option<&str>,
+    shards: usize,
+) -> Result<ExitCode, String> {
     let bytes = std::fs::read(rec_path).map_err(|e| format!("{rec_path}: {e}"))?;
     let script = read_script(script)?;
-    match scn.debug_transcript(&bytes, &script) {
+    match scn.debug_transcript_sharded(&bytes, &script, shards) {
         Ok(transcript) => {
             print!("{transcript}");
             Ok(ExitCode::SUCCESS)
@@ -118,18 +147,24 @@ fn debug(scn: &Scenario, rec_path: &str, script: Option<&str>) -> Result<ExitCod
 /// Default ordering-sweep width for `explore` when `--salts` is omitted.
 const DEFAULT_SALTS: u64 = 32;
 
-fn explore(scn: &Scenario, salts: u64, jobs: usize) -> Result<ExitCode, String> {
+fn explore(
+    scn: &Scenario,
+    salts: u64,
+    farm: &defined::core::FarmConfig,
+) -> Result<ExitCode, String> {
     let run = scn.record_run().map_err(|e| e.to_string())?;
     println!("{}", run.summary(&scn.name));
-    let report = scn.explore_run(&run.bytes, salts, jobs).map_err(|e| e.to_string())?;
+    println!("{}", run.gvt.render());
+    let report = scn.explore_run(&run.bytes, salts, farm).map_err(|e| e.to_string())?;
     print!("{}", report.render());
     Ok(ExitCode::SUCCESS)
 }
 
-fn bisect(scn: &Scenario, jobs: usize) -> Result<ExitCode, String> {
+fn bisect(scn: &Scenario, farm: &defined::core::FarmConfig) -> Result<ExitCode, String> {
     let run = scn.record_run().map_err(|e| e.to_string())?;
     println!("{}", run.summary(&scn.name));
-    match scn.bisect_run(&run.bytes, jobs).map_err(|e| e.to_string())? {
+    println!("{}", run.gvt.render());
+    match scn.bisect_run(&run.bytes, farm).map_err(|e| e.to_string())? {
         Some(summary) => {
             print!("{}", summary.render());
             Ok(ExitCode::SUCCESS)
@@ -161,7 +196,7 @@ fn main() -> ExitCode {
     // Flags belong to specific verbs; anywhere else they must be a usage
     // error, not a silently ignored argument.
     let verb = args.first().cloned().unwrap_or_default();
-    type Flags = (Option<u64>, Option<u64>, Option<u64>);
+    type Flags = (Option<u64>, Option<u64>, Option<u64>, Option<u64>);
     let flags: Result<Flags, String> = (|| {
         let seed = if verb == "record" { take_flag(&mut args, "seed")? } else { None };
         let salts = if verb == "explore" { take_flag(&mut args, "salts")? } else { None };
@@ -170,32 +205,41 @@ fn main() -> ExitCode {
         } else {
             None
         };
-        Ok((seed, salts, jobs))
+        let shards = if matches!(verb.as_str(), "record" | "debug" | "explore" | "bisect") {
+            take_flag(&mut args, "shards")?
+        } else {
+            None
+        };
+        Ok((seed, salts, jobs, shards))
     })();
-    let (seed, salts, jobs) = match flags {
+    let (seed, salts, jobs, shards) = match flags {
         Ok(f) => f,
         Err(e) => {
             eprintln!("defined-dbg: {e}");
             return ExitCode::FAILURE;
         }
     };
-    let jobs = jobs.unwrap_or(1).max(1) as usize;
+    // Omitted `--jobs` means auto (`with_jobs(0)` resolves to the core
+    // count); omitted `--shards` keeps each replay serial, `--shards 0`
+    // means auto.
+    let farm = defined::core::FarmConfig::with_jobs(jobs.unwrap_or(0) as usize)
+        .with_shards(shards.unwrap_or(1) as usize);
     let result = match args.as_slice() {
         [cmd] if cmd == "scenarios" => return list_scenarios(),
         [cmd, scenario_arg, path] if cmd == "record" => resolve(scenario_arg).and_then(|mut scn| {
             if let Some(s) = seed {
                 scn = scn.with_seed(s);
             }
-            record(&scn, path)
+            record(&scn, path, shards.map(|s| s as usize))
         }),
         [cmd, scenario_arg, path, rest @ ..] if cmd == "debug" && rest.len() <= 1 => {
             let script = rest.first().map(|s| s.as_str());
-            resolve(scenario_arg).and_then(|scn| debug(&scn, path, script))
+            resolve(scenario_arg).and_then(|scn| debug(&scn, path, script, farm.shards))
         }
         [cmd, scenario_arg] if cmd == "explore" => resolve(scenario_arg)
-            .and_then(|scn| explore(&scn, salts.unwrap_or(DEFAULT_SALTS), jobs)),
+            .and_then(|scn| explore(&scn, salts.unwrap_or(DEFAULT_SALTS), &farm)),
         [cmd, scenario_arg] if cmd == "bisect" => {
-            resolve(scenario_arg).and_then(|scn| bisect(&scn, jobs))
+            resolve(scenario_arg).and_then(|scn| bisect(&scn, &farm))
         }
         _ => return usage(),
     };

@@ -184,20 +184,22 @@ fn scenario_engine_reports_are_job_count_invariant() {
     for name in ["rip-blackhole", "bgp-med"] {
         let scn = scenario::find(name).expect("registry scenario");
         let run = scn.record_run().expect("records");
-        let explore_ref = scn.explore_run(&run.bytes, 8, 1).expect("explores").render();
+        let serial = FarmConfig::serial();
+        let explore_ref = scn.explore_run(&run.bytes, 8, &serial).expect("explores").render();
         let bisect_ref = scn
-            .bisect_run(&run.bytes, 1)
+            .bisect_run(&run.bytes, &serial)
             .expect("bisects")
             .expect("has groups")
             .render();
         for jobs in [2usize, 8] {
+            let farm = FarmConfig::with_jobs(jobs);
             assert_eq!(
-                scn.explore_run(&run.bytes, 8, jobs).expect("explores").render(),
+                scn.explore_run(&run.bytes, 8, &farm).expect("explores").render(),
                 explore_ref,
                 "{name}: explore report varies at jobs={jobs}"
             );
             assert_eq!(
-                scn.bisect_run(&run.bytes, jobs).expect("bisects").expect("has groups").render(),
+                scn.bisect_run(&run.bytes, &farm).expect("bisects").expect("has groups").render(),
                 bisect_ref,
                 "{name}: bisect report varies at jobs={jobs}"
             );
