@@ -1,0 +1,63 @@
+//! Fig. 12 (this reproduction's addition): observability overhead on the
+//! record + replay workflow.
+//!
+//! One stressed OSPF run over the Ebone topology is recorded and replayed
+//! per iteration — the full hot path the obs substrate instruments (RB
+//! production with GVT sampling, wire encode/decode, lockstep waves) —
+//! with metric collection on and off (`defined_obs::set_enabled`). The
+//! target is <3% overhead for the always-on default: collection is relaxed
+//! atomics behind per-call-site handles, so the two timings should be
+//! within noise of each other. The compiled-out (`obs-off` feature) leg
+//! can only be cheaper than "off" and needs no bench of its own.
+//!
+//! On a single-core host both points still run serially (this is the
+//! 1-CPU serial path the acceptance criterion names); a skip note flags
+//! that sharded-replay imbalance metrics are then unexercised.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use defined_core::{DefinedConfig, LockstepNet, RbNetwork};
+use netsim::{NodeId, SimTime};
+use routing::ospf::{OspfConfig, OspfProcess};
+use topology::rocketfuel;
+
+fn bench_obs_overhead(c: &mut Criterion) {
+    if std::thread::available_parallelism().map_or(1, |p| p.get()) < 2 {
+        eprintln!(
+            "fig12_obs: single-core host — measuring the serial path only; \
+             per-shard metrics (ls.shard*) stay cold"
+        );
+    }
+    let g = rocketfuel::build(rocketfuel::Isp::Ebone);
+    let n = g.node_count();
+    let procs: Vec<OspfProcess> = {
+        let f = OspfProcess::for_graph(&g, OspfConfig::stress(n));
+        (0..n).map(|i| f(NodeId(i as u32))).collect()
+    };
+
+    let mut group = c.benchmark_group("fig12_obs");
+    group.sample_size(10);
+    for enabled in [true, false] {
+        let label = if enabled { "metrics-on" } else { "metrics-off" };
+        group.bench_with_input(BenchmarkId::from_parameter(label), &enabled, |b, &enabled| {
+            defined_obs::set_enabled(enabled);
+            b.iter(|| {
+                let spawn = {
+                    let procs = procs.clone();
+                    move |id: NodeId| procs[id.index()].clone()
+                };
+                let mut net =
+                    RbNetwork::new(&g, DefinedConfig::default(), 11, 0.3, spawn.clone());
+                net.run_until(SimTime::from_secs(3));
+                let (recording, _) = net.into_recording();
+                let mut ls = LockstepNet::new(&g, DefinedConfig::default(), recording, spawn);
+                ls.run_to_end();
+                ls.logs().iter().map(|l| l.len()).sum::<usize>()
+            });
+            defined_obs::set_enabled(true);
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_obs_overhead);
+criterion_main!(benches);

@@ -3,6 +3,7 @@
 
 use crate::pages::PageImage;
 use crate::Snapshotable;
+use defined_obs as obs;
 use std::collections::HashMap;
 use std::collections::VecDeque;
 
@@ -101,6 +102,7 @@ impl<S: Snapshotable> Checkpointer<S> {
 
     /// Records a checkpoint of `state`, returning its id.
     pub fn checkpoint(&mut self, state: &S) -> CheckpointId {
+        let _span = obs::span!("ckpt.capture");
         let id = CheckpointId(self.next);
         self.next += 1;
         self.taken += 1;
@@ -128,9 +130,13 @@ impl<S: Snapshotable> Checkpointer<S> {
                 };
                 self.last_dirty = dirty;
                 self.total_dirty += dirty as u64;
+                obs::counter!("ckpt.pages_dirty").add(dirty as u64);
+                obs::counter!("ckpt.pages_total").add(img.page_count() as u64);
                 Stored::Paged(img)
             }
         };
+        obs::counter!("ckpt.captures").add(1);
+        obs::counter!("ckpt.bytes_stored").add(stored.logical_len() as u64);
         self.virtual_bytes += stored.logical_len();
         self.entries.push_back((id, stored));
         id
@@ -138,6 +144,8 @@ impl<S: Snapshotable> Checkpointer<S> {
 
     /// Reconstructs the state recorded under `id`.
     pub fn restore(&mut self, id: CheckpointId) -> Option<S> {
+        let _span = obs::span!("ckpt.restore");
+        obs::counter!("ckpt.restores").add(1);
         self.restores += 1;
         // Ids are pushed in increasing order; binary-search the deque.
         let slice = self.entries.make_contiguous();
@@ -162,6 +170,8 @@ impl<S: Snapshotable> Checkpointer<S> {
         let pos = slice.partition_point(|(i, _)| *i < id);
         if slice.get(pos).map(|(i, _)| *i == id).unwrap_or(false) {
             let (_, stored) = self.entries.remove(pos).expect("checked");
+            obs::counter!("ckpt.evictions").add(1);
+            obs::counter!("ckpt.evicted_bytes").add(stored.logical_len() as u64);
             self.virtual_bytes -= stored.logical_len();
         }
     }

@@ -18,6 +18,7 @@
 
 use crate::store::{CheckpointId, Checkpointer, MemStats, Strategy};
 use crate::Snapshotable;
+use defined_obs as obs;
 
 /// How many checkpoints a [`Timeline`] retains before thinning.
 #[derive(Clone, Copy, Debug, PartialEq, Eq)]
@@ -124,6 +125,7 @@ impl<S: Snapshotable> Timeline<S> {
                 .min_by_key(|&i| self.index[i + 1].0 - self.index[i - 1].0)
                 .expect("cap >= 2 leaves an interior entry whenever len > cap");
             let (_, id) = self.index.remove(victim);
+            obs::counter!("ckpt.thinned").add(1);
             self.store.remove(id);
         }
     }

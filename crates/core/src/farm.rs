@@ -28,6 +28,7 @@ use crate::ls::{LockstepNet, LsHistory, LsImage};
 use crate::recorder::Recording;
 use crate::wire::Wire;
 use checkpoint::{RetentionPolicy, Strategy, Timeline};
+use defined_obs as obs;
 use netsim::NodeId;
 use parking_lot::Mutex;
 use routing::ControlPlane;
@@ -104,8 +105,15 @@ where
     F: Fn(usize) -> T + Sync,
 {
     let jobs = jobs.max(1).min(n.max(1));
+    let queued = obs::Stopwatch::start();
     if jobs == 1 {
-        return (0..n).map(eval).collect();
+        return (0..n)
+            .map(|i| {
+                obs::counter!("farm.jobs_claimed").add(1);
+                queued.lap(obs::hist!("farm.queue_wait_ns"));
+                eval(i)
+            })
+            .collect();
     }
     let next = AtomicUsize::new(0);
     let slots: Mutex<Vec<Option<T>>> = Mutex::new((0..n).map(|_| None).collect());
@@ -116,6 +124,8 @@ where
                 if i >= n {
                     break;
                 }
+                obs::counter!("farm.jobs_claimed").add(1);
+                queued.lap(obs::hist!("farm.queue_wait_ns"));
                 let out = eval(i);
                 slots.lock()[i] = Some(out);
             });
@@ -139,8 +149,13 @@ where
     F: Fn(usize) -> Option<T> + Sync,
 {
     let jobs = jobs.max(1).min(n.max(1));
+    let queued = obs::Stopwatch::start();
     if jobs == 1 {
-        return (0..n).find_map(|i| eval(i).map(|t| (i, t)));
+        return (0..n).find_map(|i| {
+            obs::counter!("farm.jobs_claimed").add(1);
+            queued.lap(obs::hist!("farm.queue_wait_ns"));
+            eval(i).map(|t| (i, t))
+        });
     }
     let next = AtomicUsize::new(0);
     let cutoff = AtomicUsize::new(usize::MAX);
@@ -152,6 +167,8 @@ where
                 if i >= n || i >= cutoff.load(Ordering::SeqCst) {
                     break;
                 }
+                obs::counter!("farm.jobs_claimed").add(1);
+                queued.lap(obs::hist!("farm.queue_wait_ns"));
                 if let Some(t) = eval(i) {
                     cutoff.fetch_min(i, Ordering::SeqCst);
                     let mut b = best.lock();
@@ -235,21 +252,30 @@ where
     /// lies *beyond* the current position (a previous probe already covered
     /// the ground).
     pub fn goto_group_start(&mut self, group: u64) {
+        let _span = obs::span!("farm.goto");
         self.net.merge_history(&mut self.history);
         let cur = self.net.current_group();
         let usable_forward = !self.net.is_done()
             && (cur < group || (cur == group && self.net.at_group_start()));
         let seed = self.timeline.position_at_or_before(group);
         if !usable_forward || seed.is_some_and(|p| p > cur) {
-            let (_, img) = self
+            let (pos, img) = self
                 .timeline
                 .restore_at_or_before(group)
                 .expect("the anchor at position 0 is never thinned");
+            if pos == 0 {
+                obs::counter!("farm.probe_from_zero").add(1);
+            } else {
+                obs::counter!("farm.probe_seeded").add(1);
+            }
             // Seeded restore: the image may lie ahead of the current
             // position; the session's accumulated history supplies the
             // canonical log prefix either way.
             self.net.restore_image_seeded(img, &self.history);
+        } else {
+            obs::counter!("farm.probe_continued").add(1);
         }
+        let replay_from = self.net.current_group();
         while !self.net.is_done() && self.net.current_group() < group {
             let cur = self.net.current_group();
             let target = ((cur / self.interval + 1) * self.interval).min(group);
@@ -260,6 +286,8 @@ where
                 self.timeline.record(target, &self.net.capture_image());
             }
         }
+        obs::hist!("farm.probe_groups_replayed")
+            .record(self.net.current_group().saturating_sub(replay_from));
         self.net.merge_history(&mut self.history);
     }
 

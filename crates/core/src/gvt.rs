@@ -30,6 +30,7 @@
 //! failures against exactly this margin.
 
 use crate::harness::RbNetwork;
+use defined_obs as obs;
 use netsim::{NodeId, SimTime};
 use routing::ControlPlane;
 
@@ -114,6 +115,8 @@ pub fn fossil_collect<P: ControlPlane + 'static>(
     for i in 0..net.sim().node_count() {
         net.sim_mut().process_mut(NodeId(i as u32)).commit_through_group(cut);
     }
+    obs::counter!("gvt.fossil_collections").add(1);
+    obs::counter!("gvt.fossil_cut").set(cut);
     Some(cut)
 }
 
@@ -161,6 +164,19 @@ impl GvtMonitor {
                 floor = floor.max(prev.floor);
             }
         }
+        match self.samples.first() {
+            None => obs::counter!("gvt.bound_first").set(gvt),
+            Some(first) => obs::counter!("gvt.bound_first").set(first.gvt),
+        }
+        if let Some(prev) = self.samples.last() {
+            if gvt < prev.gvt {
+                obs::counter!("gvt.regressions").add(1);
+            }
+            obs::counter!("gvt.advance").add(gvt.saturating_sub(prev.gvt));
+        }
+        obs::counter!("gvt.samples").add(1);
+        obs::counter!("gvt.bound").set(gvt);
+        obs::counter!("gvt.floor").set(floor);
         self.samples.push(GvtSample { at: net.sim().now(), gvt, floor });
     }
 

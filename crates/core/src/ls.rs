@@ -24,6 +24,7 @@ use crate::shard::{DeliveryCtx, LsNode, LsPayload, Pending, ShardedWaves, WaveEn
 use crate::snapshot::NodeSnapshot;
 use crate::wire::Wire;
 use checkpoint::Snapshotable;
+use defined_obs as obs;
 use netsim::NodeId;
 use routing::enc::{put_u32, put_u64, put_u8, Reader};
 use routing::ControlPlane;
@@ -290,6 +291,8 @@ impl<P: ControlPlane> LockstepNet<P> {
             let idx = p.to.index();
             let mut emitted = Vec::new();
             let ev = ctx.deliver(&mut nodes[idx], &mut logs[idx], p, &mut emitted);
+            obs::counter!("ls.delivered").add(1);
+            obs::counter!("ls.emitted").add(emitted.len() as u64);
             route_emitted(*group, next_wave, holdover, emitted);
             return Some(ev);
         }
@@ -332,7 +335,14 @@ impl<P: ControlPlane> LockstepNet<P> {
             mutes,
             link_est,
         };
-        let out = engine.execute(&ctx, nodes, logs, &queue[*queue_pos..]);
+        let out = {
+            let _wave = obs::span!("ls.wave");
+            engine.execute(&ctx, nodes, logs, &queue[*queue_pos..])
+        };
+        obs::counter!("ls.waves").add(1);
+        obs::counter!("ls.delivered").add(out.delivered as u64);
+        obs::counter!("ls.emitted").add(out.emitted.len() as u64);
+        obs::hist!("ls.wave_events").record(out.delivered as u64);
         *queue_pos = queue.len();
         route_emitted(*group, next_wave, holdover, out.emitted);
         true
@@ -749,6 +759,7 @@ where
     P::Ext: Wire,
 {
     fn encode(&self, buf: &mut Vec<u8>) {
+        let start = buf.len();
         put_u64(buf, self.nodes.len() as u64);
         let mut scratch = Vec::new();
         for (snap, send_count) in &self.nodes {
@@ -775,9 +786,11 @@ where
         }
         put_u64(buf, self.step_times_len as u64);
         put_u8(buf, self.done as u8);
+        obs::counter!("wire.bytes_encoded").add((buf.len() - start) as u64);
     }
 
     fn decode(bytes: &[u8]) -> Option<Self> {
+        obs::counter!("wire.bytes_decoded").add(bytes.len() as u64);
         let mut r = Reader::new(bytes);
         let n_nodes = r.len()?;
         let mut nodes = Vec::with_capacity(n_nodes);

@@ -9,6 +9,7 @@
 
 use crate::order::{Annotation, OrderKey};
 use crate::wire::Wire;
+use defined_obs as obs;
 use netsim::NodeId;
 use routing::enc::{put_u32, put_u64, Reader};
 
@@ -171,6 +172,7 @@ impl<X: Wire> Recording<X> {
     /// Serialises the recording.
     pub fn to_bytes(&self) -> Vec<u8> {
         let mut buf = Vec::new();
+        let start = buf.len();
         put_u64(&mut buf, self.n_nodes as u64);
         put_u32(&mut buf, self.source.0);
         put_u64(&mut buf, self.last_group);
@@ -190,11 +192,13 @@ impl<X: Wire> Recording<X> {
         for t in &self.ticks {
             t.encode(&mut buf);
         }
+        obs::counter!("wire.bytes_encoded").add((buf.len() - start) as u64);
         buf
     }
 
     /// Deserialises a recording, or `None` on malformed input.
     pub fn from_bytes(bytes: &[u8]) -> Option<Self> {
+        obs::counter!("wire.bytes_decoded").add(bytes.len() as u64);
         let mut r = Reader::new(bytes);
         let n_nodes = r.u64()? as usize;
         let source = NodeId(r.u32()?);

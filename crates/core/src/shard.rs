@@ -32,6 +32,7 @@
 
 use crate::config::OrderingMode;
 use crate::ls::LsEvent;
+use defined_obs as obs;
 use crate::order::{debug_digest, Annotation, EventIdentity};
 use crate::recorder::CommitRecord;
 use crate::snapshot::NodeSnapshot;
@@ -284,23 +285,34 @@ impl<P: ControlPlane> WaveEngine<P> for ShardedWaves {
         }
         let per = nodes.len().div_ceil(shards);
         let mut out = WaveOutput { delivered: 0, emitted: Vec::new() };
+        let (mut most, mut least) = (0usize, usize::MAX);
         std::thread::scope(|scope| {
             let workers: Vec<_> = nodes
                 .chunks_mut(per)
                 .zip(logs.chunks_mut(per))
                 .enumerate()
                 .map(|(s, (block, block_logs))| {
-                    scope.spawn(move || execute_block(ctx, block, block_logs, s * per, wave))
+                    scope.spawn(move || {
+                        // The shard span gives each worker its own lane in
+                        // a Chrome trace (one flamegraph row per shard).
+                        let _lane = obs::span!("ls.shard");
+                        execute_block(ctx, block, block_logs, s * per, wave)
+                    })
                 })
                 .collect();
             // Joined in shard order; the concatenation order is erased by
             // the caller's sort anyway.
             for w in workers {
                 let part = w.join().expect("a shard worker panicked");
+                most = most.max(part.delivered);
+                least = least.min(part.delivered);
                 out.delivered += part.delivered;
                 out.emitted.extend(part.emitted);
             }
         });
+        // Shard imbalance: deliveries the busiest worker handled beyond
+        // the laziest — the block partition's load-skew observable.
+        obs::hist!("ls.shard_imbalance").record((most - least) as u64);
         out
     }
 }

@@ -1,0 +1,260 @@
+//! Determinism-safe observability for the DEFINED replay stack: spans,
+//! monotonic counters, and log2-bucketed histograms behind a cheap
+//! thread-safe registry, plus Chrome trace-event output (DESIGN.md §11).
+//!
+//! # The determinism-safety rule
+//!
+//! Replay correctness (Theorem 1) requires that observing an execution
+//! never perturbs it — Ronsse's classic re-run invariant. This crate is
+//! the *only* layer of the workspace allowed to read the wall clock
+//! ([`std::time::Instant`]), and nothing it measures ever flows back into
+//! an `OrderKey`, a scheduling decision, or any committed byte:
+//!
+//! * instrumented code calls [`counter!`]/[`span!`]/[`hist!`] and gets
+//!   nothing back it could branch on — [`SpanGuard`] is opaque and
+//!   counters are write-only from the hot path's point of view;
+//! * all switches ([`set_enabled`], [`set_tracing`]) gate only whether
+//!   measurements are *recorded*, so commit logs, transcripts, and farm
+//!   reports are byte-identical with observability on, off, or compiled
+//!   out (`tests/obs_determinism.rs` proves it; the `off` cargo feature
+//!   is the compiled-out leg).
+//!
+//! # Naming scheme
+//!
+//! Metric names are `<subsystem>.<what>` with the subsystem prefixes
+//! `ls.` (lockstep waves), `farm.` (probe workers), `ckpt.` (checkpoint
+//! store), `gvt.`/`rb.` (virtual-time bound, rollbacks), and `wire.`
+//! (codec bytes). Durations are nanoseconds; sizes are bytes. Counters
+//! are monotone except the gauge-style readings set via [`Counter::set`]
+//! (`gvt.bound`, `gvt.floor`, `rb.rollbacks`), which record the latest
+//! observation of an already-monotone quantity.
+//!
+//! # Example
+//!
+//! ```
+//! let _guard = defined_obs::span!("ls.wave");
+//! defined_obs::counter!("ls.delivered").add(3);
+//! defined_obs::hist!("farm.queue_wait_ns").record(1500);
+//! let snap = defined_obs::global().snapshot();
+//! assert!(snap.counter("ls.delivered") >= 3);
+//! ```
+
+#![warn(missing_docs)]
+#![warn(rust_2018_idioms)]
+
+pub mod json;
+mod registry;
+mod trace;
+
+pub use registry::{
+    bucket_floor, bucket_index, Counter, HistSnapshot, Histogram, Registry, Snapshot,
+    SpanSnapshot, SpanStat,
+};
+pub use trace::{chrome_trace_json, take_events, TraceEvent};
+
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::OnceLock;
+use std::time::Instant;
+
+/// Whether metric collection is active (default: on). Purely a recording
+/// switch — flipping it never changes any replayed byte.
+static ENABLED: AtomicBool = AtomicBool::new(true);
+
+/// Whether span guards additionally emit Chrome trace events (default:
+/// off — the event buffer costs memory, metrics don't).
+static TRACING: AtomicBool = AtomicBool::new(false);
+
+/// Compile-time kill switch: with the `off` feature every collection
+/// check is a constant `false` the optimiser erases.
+pub const COMPILED: bool = cfg!(not(feature = "off"));
+
+/// Whether metric collection is currently recording.
+#[inline]
+pub fn enabled() -> bool {
+    COMPILED && ENABLED.load(Ordering::Relaxed)
+}
+
+/// Turns metric collection on or off at runtime.
+pub fn set_enabled(on: bool) {
+    ENABLED.store(on, Ordering::Relaxed);
+}
+
+/// Whether Chrome trace-event capture is currently recording.
+#[inline]
+pub fn tracing() -> bool {
+    enabled() && TRACING.load(Ordering::Relaxed)
+}
+
+/// Turns Chrome trace-event capture on or off at runtime.
+pub fn set_tracing(on: bool) {
+    TRACING.store(on, Ordering::Relaxed);
+}
+
+/// The process-wide registry every [`counter!`]/[`span!`]/[`hist!`] call
+/// site records into.
+pub fn global() -> &'static Registry {
+    static GLOBAL: OnceLock<Registry> = OnceLock::new();
+    GLOBAL.get_or_init(Registry::new)
+}
+
+/// The instant the obs layer first observed — trace timestamps are
+/// offsets from it, so a whole run renders from microsecond 0.
+pub(crate) fn epoch() -> Instant {
+    static EPOCH: OnceLock<Instant> = OnceLock::new();
+    *EPOCH.get_or_init(Instant::now)
+}
+
+/// A live span: started by [`span!`], it records its elapsed wall time
+/// into a [`SpanStat`] (and, when tracing, a [`TraceEvent`]) on drop.
+/// Inert when collection is off — no clock is read at all.
+#[must_use = "a span measures the scope it is bound to; dropping it immediately measures nothing"]
+pub struct SpanGuard {
+    live: Option<(Instant, &'static SpanStat, &'static str)>,
+}
+
+impl SpanGuard {
+    /// Starts a span against `stat` (called via the [`span!`] macro).
+    #[inline]
+    pub fn enter(name: &'static str, stat: &'static SpanStat) -> SpanGuard {
+        if !enabled() {
+            return SpanGuard { live: None };
+        }
+        // The epoch must pre-date the start for the trace offset math.
+        let _ = epoch();
+        SpanGuard { live: Some((Instant::now(), stat, name)) }
+    }
+}
+
+impl Drop for SpanGuard {
+    fn drop(&mut self) {
+        if let Some((start, stat, name)) = self.live.take() {
+            let ns = start.elapsed().as_nanos().min(u64::MAX as u128) as u64;
+            stat.record(ns);
+            if tracing() {
+                trace::push(name, start, ns);
+            }
+        }
+    }
+}
+
+/// A wall-clock stopwatch owned by the obs layer, for measuring waits
+/// that are not a single lexical scope (e.g. how long a farm probe sat
+/// queued before a worker claimed it). Inert when collection is off.
+/// Like [`SpanGuard`], it hands the instrumented code nothing it could
+/// branch on.
+#[derive(Clone, Copy)]
+pub struct Stopwatch {
+    start: Option<Instant>,
+}
+
+impl Stopwatch {
+    /// Starts a stopwatch (reads the clock only when collection is on).
+    #[inline]
+    pub fn start() -> Stopwatch {
+        if !enabled() {
+            return Stopwatch { start: None };
+        }
+        let _ = epoch();
+        Stopwatch { start: Some(Instant::now()) }
+    }
+
+    /// Records the elapsed nanoseconds into `hist` without stopping the
+    /// watch; may be called repeatedly (and from other threads).
+    #[inline]
+    pub fn lap(&self, hist: &Histogram) {
+        if let Some(start) = self.start {
+            hist.record(start.elapsed().as_nanos().min(u64::MAX as u128) as u64);
+        }
+    }
+}
+
+/// Returns the process-wide [`Counter`] named `$name`, resolving the
+/// registry handle once per call site.
+#[macro_export]
+macro_rules! counter {
+    ($name:expr) => {{
+        static HANDLE: ::std::sync::OnceLock<&'static $crate::Counter> =
+            ::std::sync::OnceLock::new();
+        *HANDLE.get_or_init(|| $crate::global().counter($name))
+    }};
+}
+
+/// Returns the process-wide [`Histogram`] named `$name`, resolving the
+/// registry handle once per call site.
+#[macro_export]
+macro_rules! hist {
+    ($name:expr) => {{
+        static HANDLE: ::std::sync::OnceLock<&'static $crate::Histogram> =
+            ::std::sync::OnceLock::new();
+        *HANDLE.get_or_init(|| $crate::global().histogram($name))
+    }};
+}
+
+/// Opens a [`SpanGuard`] named `$name` over the enclosing scope.
+#[macro_export]
+macro_rules! span {
+    ($name:expr) => {{
+        static HANDLE: ::std::sync::OnceLock<&'static $crate::SpanStat> =
+            ::std::sync::OnceLock::new();
+        $crate::SpanGuard::enter($name, HANDLE.get_or_init(|| $crate::global().span_stat($name)))
+    }};
+}
+
+/// Serialises tests that flip the process-wide switches — without it,
+/// a test disabling collection would race tests asserting it records.
+#[cfg(test)]
+pub(crate) fn test_guard() -> std::sync::MutexGuard<'static, ()> {
+    static LOCK: std::sync::Mutex<()> = std::sync::Mutex::new(());
+    LOCK.lock().unwrap_or_else(|e| e.into_inner())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn switches_toggle() {
+        let _serial = test_guard();
+        // The default build compiles instrumentation in.
+        assert!(std::hint::black_box(COMPILED), "tests run without the `off` feature");
+        set_enabled(true);
+        assert!(enabled());
+        set_tracing(true);
+        assert!(tracing());
+        set_tracing(false);
+        assert!(!tracing());
+        set_enabled(false);
+        assert!(!enabled());
+        assert!(!tracing(), "tracing is subordinate to the metrics switch");
+        set_enabled(true);
+    }
+
+    #[test]
+    fn macros_record_into_the_global_registry() {
+        let _serial = test_guard();
+        set_enabled(true);
+        counter!("test.lib_counter").add(2);
+        hist!("test.lib_hist").record(100);
+        {
+            let _g = span!("test.lib_span");
+        }
+        let snap = global().snapshot();
+        assert!(snap.counter("test.lib_counter") >= 2);
+        assert!(snap.histograms.contains_key("test.lib_hist"));
+        assert!(snap.spans.get("test.lib_span").is_some_and(|s| s.count >= 1));
+    }
+
+    #[test]
+    fn disabled_call_sites_record_nothing() {
+        let _serial = test_guard();
+        set_enabled(false);
+        counter!("test.disabled_counter").add(5);
+        {
+            let _g = span!("test.disabled_span");
+        }
+        set_enabled(true);
+        let snap = global().snapshot();
+        assert_eq!(snap.counter("test.disabled_counter"), 0);
+        assert!(snap.spans.get("test.disabled_span").is_none_or(|s| s.count == 0));
+    }
+}

@@ -1,0 +1,537 @@
+//! The metric registry: named counters, span aggregates, and log2
+//! histograms, each a leaked `'static` cell so hot paths hold plain
+//! references and never touch the registry lock after the first call.
+
+use std::collections::BTreeMap;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::Mutex;
+
+/// A write-only metric cell: monotone by convention ([`Counter::add`]),
+/// with [`Counter::set`] for gauge-style latest-value readings of
+/// quantities that are already monotone at the source (the GVT bound).
+#[derive(Debug, Default)]
+pub struct Counter(AtomicU64);
+
+impl Counter {
+    /// Adds `n` when collection is enabled.
+    #[inline]
+    pub fn add(&self, n: u64) {
+        if crate::enabled() {
+            self.0.fetch_add(n, Ordering::Relaxed);
+        }
+    }
+
+    /// Overwrites the value when collection is enabled (gauge reading).
+    #[inline]
+    pub fn set(&self, v: u64) {
+        if crate::enabled() {
+            self.0.store(v, Ordering::Relaxed);
+        }
+    }
+
+    /// The current value.
+    pub fn get(&self) -> u64 {
+        self.0.load(Ordering::Relaxed)
+    }
+
+    fn reset(&self) {
+        self.0.store(0, Ordering::Relaxed);
+    }
+}
+
+/// Aggregated wall-time of one span name: call count, total, and max,
+/// all in nanoseconds.
+#[derive(Debug, Default)]
+pub struct SpanStat {
+    count: AtomicU64,
+    total_ns: AtomicU64,
+    max_ns: AtomicU64,
+}
+
+impl SpanStat {
+    /// Folds one timed interval in (called by [`crate::SpanGuard`]).
+    #[inline]
+    pub fn record(&self, ns: u64) {
+        self.count.fetch_add(1, Ordering::Relaxed);
+        self.total_ns.fetch_add(ns, Ordering::Relaxed);
+        self.max_ns.fetch_max(ns, Ordering::Relaxed);
+    }
+
+    fn reset(&self) {
+        self.count.store(0, Ordering::Relaxed);
+        self.total_ns.store(0, Ordering::Relaxed);
+        self.max_ns.store(0, Ordering::Relaxed);
+    }
+
+    fn snapshot(&self) -> SpanSnapshot {
+        SpanSnapshot {
+            count: self.count.load(Ordering::Relaxed),
+            total_ns: self.total_ns.load(Ordering::Relaxed),
+            max_ns: self.max_ns.load(Ordering::Relaxed),
+        }
+    }
+}
+
+/// Number of histogram buckets: bucket 0 holds zeros, bucket `i >= 1`
+/// holds values in `[2^(i-1), 2^i)` — so every `u64` lands somewhere.
+pub const HIST_BUCKETS: usize = 65;
+
+/// A log2-bucketed histogram: O(1) lock-free recording, 65 fixed
+/// power-of-two buckets, plus exact count/sum/max.
+pub struct Histogram {
+    buckets: [AtomicU64; HIST_BUCKETS],
+    count: AtomicU64,
+    sum: AtomicU64,
+    max: AtomicU64,
+}
+
+/// The bucket index `v` falls into: 0 for 0, else `floor(log2 v) + 1`.
+pub fn bucket_index(v: u64) -> usize {
+    if v == 0 {
+        0
+    } else {
+        64 - v.leading_zeros() as usize
+    }
+}
+
+/// The smallest value bucket `i` covers (its rendered label).
+pub fn bucket_floor(i: usize) -> u64 {
+    if i == 0 {
+        0
+    } else {
+        1u64 << (i - 1)
+    }
+}
+
+impl Default for Histogram {
+    fn default() -> Self {
+        Histogram {
+            buckets: [(); HIST_BUCKETS].map(|_| AtomicU64::new(0)),
+            count: AtomicU64::new(0),
+            sum: AtomicU64::new(0),
+            max: AtomicU64::new(0),
+        }
+    }
+}
+
+impl Histogram {
+    /// Records one sample when collection is enabled.
+    #[inline]
+    pub fn record(&self, v: u64) {
+        if !crate::enabled() {
+            return;
+        }
+        self.buckets[bucket_index(v)].fetch_add(1, Ordering::Relaxed);
+        self.count.fetch_add(1, Ordering::Relaxed);
+        self.sum.fetch_add(v, Ordering::Relaxed);
+        self.max.fetch_max(v, Ordering::Relaxed);
+    }
+
+    fn reset(&self) {
+        for b in &self.buckets {
+            b.store(0, Ordering::Relaxed);
+        }
+        self.count.store(0, Ordering::Relaxed);
+        self.sum.store(0, Ordering::Relaxed);
+        self.max.store(0, Ordering::Relaxed);
+    }
+
+    fn snapshot(&self) -> HistSnapshot {
+        let mut buckets = BTreeMap::new();
+        for (i, b) in self.buckets.iter().enumerate() {
+            let n = b.load(Ordering::Relaxed);
+            if n > 0 {
+                buckets.insert(i, n);
+            }
+        }
+        HistSnapshot {
+            count: self.count.load(Ordering::Relaxed),
+            sum: self.sum.load(Ordering::Relaxed),
+            max: self.max.load(Ordering::Relaxed),
+            buckets,
+        }
+    }
+}
+
+/// Point-in-time value of one [`SpanStat`].
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub struct SpanSnapshot {
+    /// Completed span count.
+    pub count: u64,
+    /// Summed duration, nanoseconds.
+    pub total_ns: u64,
+    /// Longest single span, nanoseconds.
+    pub max_ns: u64,
+}
+
+/// Point-in-time value of one [`Histogram`]: only non-empty buckets are
+/// carried, keyed by [`bucket_index`].
+#[derive(Clone, Debug, Default, PartialEq, Eq)]
+pub struct HistSnapshot {
+    /// Samples recorded.
+    pub count: u64,
+    /// Sum over samples.
+    pub sum: u64,
+    /// Largest sample.
+    pub max: u64,
+    /// Non-empty buckets: `bucket index -> sample count`.
+    pub buckets: BTreeMap<usize, u64>,
+}
+
+impl HistSnapshot {
+    /// Approximate quantile (`q` in `[0, 1]`): the floor of the bucket
+    /// the q-th sample falls in — exact to within one power of two.
+    pub fn quantile(&self, q: f64) -> u64 {
+        if self.count == 0 {
+            return 0;
+        }
+        let rank = ((self.count as f64) * q.clamp(0.0, 1.0)).ceil().max(1.0) as u64;
+        let mut seen = 0u64;
+        for (&i, &n) in &self.buckets {
+            seen += n;
+            if seen >= rank {
+                return bucket_floor(i);
+            }
+        }
+        self.max
+    }
+
+    /// Mean sample value (0 when empty).
+    pub fn mean(&self) -> u64 {
+        self.sum.checked_div(self.count).unwrap_or(0)
+    }
+}
+
+/// A consistent-enough copy of every metric at one instant. Mergeable:
+/// snapshots from per-thread or per-phase registries fold together with
+/// [`Snapshot::merge`].
+#[derive(Clone, Debug, Default, PartialEq, Eq)]
+pub struct Snapshot {
+    /// Counter values by name.
+    pub counters: BTreeMap<String, u64>,
+    /// Span aggregates by name.
+    pub spans: BTreeMap<String, SpanSnapshot>,
+    /// Histograms by name.
+    pub histograms: BTreeMap<String, HistSnapshot>,
+}
+
+impl Snapshot {
+    /// The counter's value, 0 when absent.
+    pub fn counter(&self, name: &str) -> u64 {
+        self.counters.get(name).copied().unwrap_or(0)
+    }
+
+    /// Folds `other` in: counters and histogram buckets add, span and
+    /// histogram maxima take the max — the same result as if both
+    /// snapshots' samples had been recorded into one registry.
+    pub fn merge(&mut self, other: &Snapshot) {
+        for (k, v) in &other.counters {
+            *self.counters.entry(k.clone()).or_insert(0) += v;
+        }
+        for (k, s) in &other.spans {
+            let e = self.spans.entry(k.clone()).or_default();
+            e.count += s.count;
+            e.total_ns += s.total_ns;
+            e.max_ns = e.max_ns.max(s.max_ns);
+        }
+        for (k, h) in &other.histograms {
+            let e = self.histograms.entry(k.clone()).or_default();
+            e.count += h.count;
+            e.sum += h.sum;
+            e.max = e.max.max(h.max);
+            for (&i, &n) in &h.buckets {
+                *e.buckets.entry(i).or_insert(0) += n;
+            }
+        }
+    }
+
+    /// Renders the human `profile:` summary: spans by descending total
+    /// time, then counters and histograms alphabetically. Deterministic
+    /// given the metric values.
+    pub fn render_profile(&self) -> String {
+        use std::fmt::Write as _;
+        let mut out = format!(
+            "profile: {} span(s), {} counter(s), {} histogram(s)\n",
+            self.spans.len(),
+            self.counters.len(),
+            self.histograms.len()
+        );
+        let mut spans: Vec<_> = self.spans.iter().collect();
+        spans.sort_by(|a, b| b.1.total_ns.cmp(&a.1.total_ns).then(a.0.cmp(b.0)));
+        for (name, s) in spans {
+            let _ = writeln!(
+                out,
+                "  span  {name:<28} calls {:<10} total {:<12} max {}",
+                s.count,
+                fmt_ns(s.total_ns),
+                fmt_ns(s.max_ns)
+            );
+        }
+        for (name, v) in &self.counters {
+            let _ = writeln!(out, "  count {name:<28} {v}");
+        }
+        for (name, h) in &self.histograms {
+            let _ = writeln!(
+                out,
+                "  hist  {name:<28} count {:<10} p50 ~{:<10} max {}",
+                h.count,
+                h.quantile(0.5),
+                h.max
+            );
+        }
+        out
+    }
+
+    /// Serialises the snapshot as the stable JSON document DESIGN.md §11
+    /// specifies (`version`, `counters`, `spans`, `histograms`).
+    pub fn to_json(&self) -> String {
+        let mut w = crate::json::Writer::new();
+        w.obj(|w| {
+            w.key("version").num(1);
+            w.key("counters").obj(|w| {
+                for (k, v) in &self.counters {
+                    w.key(k).num(*v);
+                }
+            });
+            w.key("spans").obj(|w| {
+                for (k, s) in &self.spans {
+                    w.key(k).obj(|w| {
+                        w.key("count").num(s.count);
+                        w.key("total_ns").num(s.total_ns);
+                        w.key("max_ns").num(s.max_ns);
+                    });
+                }
+            });
+            w.key("histograms").obj(|w| {
+                for (k, h) in &self.histograms {
+                    w.key(k).obj(|w| {
+                        w.key("count").num(h.count);
+                        w.key("sum").num(h.sum);
+                        w.key("max").num(h.max);
+                        w.key("buckets").obj(|w| {
+                            for (&i, &n) in &h.buckets {
+                                w.key(&i.to_string()).num(n);
+                            }
+                        });
+                    });
+                }
+            });
+        });
+        w.finish()
+    }
+}
+
+/// Renders nanoseconds with an adaptive unit (`ns`, `µs`, `ms`, `s`).
+fn fmt_ns(ns: u64) -> String {
+    match ns {
+        0..=9_999 => format!("{ns}ns"),
+        10_000..=9_999_999 => format!("{:.1}µs", ns as f64 / 1e3),
+        10_000_000..=9_999_999_999 => format!("{:.1}ms", ns as f64 / 1e6),
+        _ => format!("{:.2}s", ns as f64 / 1e9),
+    }
+}
+
+struct Inner {
+    counters: BTreeMap<&'static str, &'static Counter>,
+    spans: BTreeMap<&'static str, &'static SpanStat>,
+    hists: BTreeMap<&'static str, &'static Histogram>,
+}
+
+/// A named-metric registry. Lookup leaks one cell per distinct name (the
+/// metric namespace is a small static set), so call sites cache plain
+/// `&'static` handles and recording is a relaxed atomic op.
+pub struct Registry {
+    inner: Mutex<Inner>,
+}
+
+impl Default for Registry {
+    fn default() -> Self {
+        Registry::new()
+    }
+}
+
+impl Registry {
+    /// An empty registry. Most callers want [`crate::global`] instead.
+    pub fn new() -> Self {
+        Registry {
+            inner: Mutex::new(Inner {
+                counters: BTreeMap::new(),
+                spans: BTreeMap::new(),
+                hists: BTreeMap::new(),
+            }),
+        }
+    }
+
+    /// The counter named `name`, created on first use.
+    pub fn counter(&self, name: &'static str) -> &'static Counter {
+        let mut inner = self.inner.lock().unwrap();
+        inner.counters.entry(name).or_insert_with(|| Box::leak(Box::default()))
+    }
+
+    /// The span aggregate named `name`, created on first use.
+    pub fn span_stat(&self, name: &'static str) -> &'static SpanStat {
+        let mut inner = self.inner.lock().unwrap();
+        inner.spans.entry(name).or_insert_with(|| Box::leak(Box::default()))
+    }
+
+    /// The histogram named `name`, created on first use.
+    pub fn histogram(&self, name: &'static str) -> &'static Histogram {
+        let mut inner = self.inner.lock().unwrap();
+        inner.hists.entry(name).or_insert_with(|| Box::leak(Box::default()))
+    }
+
+    /// Copies every metric out. Individual loads are relaxed — within one
+    /// thread's recorded history the values are exact; concurrent writers
+    /// may land between loads, which profiling tolerates.
+    pub fn snapshot(&self) -> Snapshot {
+        let inner = self.inner.lock().unwrap();
+        Snapshot {
+            counters: inner.counters.iter().map(|(k, c)| (k.to_string(), c.get())).collect(),
+            spans: inner.spans.iter().map(|(k, s)| (k.to_string(), s.snapshot())).collect(),
+            histograms: inner.hists.iter().map(|(k, h)| (k.to_string(), h.snapshot())).collect(),
+        }
+    }
+
+    /// Zeroes every metric (names stay registered). Benches use this to
+    /// isolate phases; the CLI never needs it.
+    pub fn reset(&self) {
+        let inner = self.inner.lock().unwrap();
+        inner.counters.values().for_each(|c| c.reset());
+        inner.spans.values().for_each(|s| s.reset());
+        inner.hists.values().for_each(|h| h.reset());
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn bucket_boundaries_are_exact_powers_of_two() {
+        assert_eq!(bucket_index(0), 0);
+        assert_eq!(bucket_index(1), 1);
+        assert_eq!(bucket_index(2), 2);
+        assert_eq!(bucket_index(3), 2);
+        assert_eq!(bucket_index(4), 3);
+        assert_eq!(bucket_index(1023), 10);
+        assert_eq!(bucket_index(1024), 11);
+        assert_eq!(bucket_index(u64::MAX), 64);
+        for i in 0..HIST_BUCKETS {
+            // The floor of every bucket maps back into that bucket.
+            assert_eq!(bucket_index(bucket_floor(i)), i, "bucket {i}");
+        }
+        // Bucket floors are the exact lower boundary: one less falls below.
+        for i in 2..HIST_BUCKETS {
+            assert_eq!(bucket_index(bucket_floor(i) - 1), i - 1, "bucket {i}");
+        }
+    }
+
+    #[test]
+    fn histogram_counts_sum_and_quantiles() {
+        let _serial = crate::test_guard();
+        crate::set_enabled(true);
+        let h = Histogram::default();
+        for v in [0, 1, 1, 3, 100, 1000] {
+            h.record(v);
+        }
+        let s = h.snapshot();
+        assert_eq!(s.count, 6);
+        assert_eq!(s.sum, 1105);
+        assert_eq!(s.max, 1000);
+        assert_eq!(s.buckets[&0], 1);
+        assert_eq!(s.buckets[&1], 2);
+        assert_eq!(s.buckets[&2], 1);
+        assert_eq!(s.buckets[&7], 1, "100 lands in [64, 128)");
+        assert_eq!(s.buckets[&10], 1, "1000 lands in [512, 1024)");
+        assert_eq!(s.quantile(0.0), 0);
+        assert_eq!(s.quantile(0.5), 1, "3rd of 6 samples is a 1");
+        assert_eq!(s.quantile(1.0), 512, "floor of the top bucket");
+        assert_eq!(s.mean(), 184);
+        assert_eq!(HistSnapshot::default().quantile(0.5), 0);
+    }
+
+    #[test]
+    fn registry_snapshot_reset_round_trip() {
+        let _serial = crate::test_guard();
+        crate::set_enabled(true);
+        let r = Registry::new();
+        r.counter("a").add(7);
+        r.counter("a").add(1);
+        r.span_stat("s").record(10);
+        r.span_stat("s").record(30);
+        r.histogram("h").record(5);
+        let snap = r.snapshot();
+        assert_eq!(snap.counter("a"), 8);
+        assert_eq!(snap.counter("missing"), 0);
+        assert_eq!(snap.spans["s"], SpanSnapshot { count: 2, total_ns: 40, max_ns: 30 });
+        assert_eq!(snap.histograms["h"].count, 1);
+        r.reset();
+        let snap = r.snapshot();
+        assert_eq!(snap.counter("a"), 0);
+        assert_eq!(snap.spans["s"], SpanSnapshot::default());
+        assert_eq!(snap.histograms["h"].count, 0);
+    }
+
+    #[test]
+    fn snapshots_merge_across_threads() {
+        let _serial = crate::test_guard();
+        crate::set_enabled(true);
+        // Two registries fed from different threads, merged afterwards:
+        // the fold must equal one registry fed with both sample streams.
+        let (a, b) = (Registry::new(), Registry::new());
+        std::thread::scope(|s| {
+            s.spawn(|| {
+                a.counter("n").add(10);
+                a.span_stat("w").record(100);
+                for v in 0..50 {
+                    a.histogram("h").record(v);
+                }
+            });
+            s.spawn(|| {
+                b.counter("n").add(5);
+                b.counter("only_b").add(1);
+                b.span_stat("w").record(300);
+                for v in 50..100 {
+                    b.histogram("h").record(v);
+                }
+            });
+        });
+        let mut merged = a.snapshot();
+        merged.merge(&b.snapshot());
+        assert_eq!(merged.counter("n"), 15);
+        assert_eq!(merged.counter("only_b"), 1);
+        assert_eq!(merged.spans["w"], SpanSnapshot { count: 2, total_ns: 400, max_ns: 300 });
+        let reference = Registry::new();
+        for v in 0..100 {
+            reference.histogram("h").record(v);
+        }
+        assert_eq!(merged.histograms["h"], reference.snapshot().histograms["h"]);
+    }
+
+    #[test]
+    fn profile_rendering_is_deterministic_and_ordered() {
+        let _serial = crate::test_guard();
+        crate::set_enabled(true);
+        let r = Registry::new();
+        r.span_stat("fast").record(10);
+        r.span_stat("slow").record(1_000_000);
+        r.counter("c.x").add(3);
+        r.histogram("h.y").record(9);
+        let text = r.snapshot().render_profile();
+        assert!(text.starts_with("profile: 2 span(s), 1 counter(s), 1 histogram(s)\n"), "{text}");
+        let slow = text.find("slow").unwrap();
+        let fast = text.find("fast").unwrap();
+        assert!(slow < fast, "spans sort by descending total time:\n{text}");
+        assert_eq!(text, r.snapshot().render_profile());
+    }
+
+    #[test]
+    fn ns_formatting_picks_units() {
+        assert_eq!(fmt_ns(0), "0ns");
+        assert_eq!(fmt_ns(9_999), "9999ns");
+        assert_eq!(fmt_ns(150_000), "150.0µs");
+        assert_eq!(fmt_ns(25_000_000), "25.0ms");
+        assert_eq!(fmt_ns(3_200_000_000), "3200.0ms");
+        assert_eq!(fmt_ns(32_000_000_000), "32.00s");
+    }
+}

@@ -1,0 +1,122 @@
+//! Chrome trace-event capture: completed spans become `"ph": "X"`
+//! (complete) events that `about:tracing` / Perfetto render as a
+//! per-thread flamegraph — one lane per worker shard.
+
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::Mutex;
+use std::time::Instant;
+
+/// Hard cap on buffered events: a runaway trace degrades to dropped
+/// events (counted in `obs.trace_dropped`), never unbounded memory.
+const TRACE_CAP: usize = 1 << 20;
+
+/// One completed span occurrence.
+#[derive(Clone, Debug, PartialEq)]
+pub struct TraceEvent {
+    /// Span name (the metric name).
+    pub name: &'static str,
+    /// Emitting thread's small stable id (0 = first observed thread).
+    pub tid: u64,
+    /// Start offset from the obs epoch, microseconds.
+    pub ts_us: f64,
+    /// Duration, microseconds.
+    pub dur_us: f64,
+}
+
+fn sink() -> &'static Mutex<Vec<TraceEvent>> {
+    static SINK: Mutex<Vec<TraceEvent>> = Mutex::new(Vec::new());
+    &SINK
+}
+
+/// Small per-thread lane id: threads are numbered in order of their
+/// first traced span, so shard workers get distinct, stable lanes.
+fn thread_lane() -> u64 {
+    static NEXT: AtomicU64 = AtomicU64::new(0);
+    thread_local! {
+        static LANE: u64 = NEXT.fetch_add(1, Ordering::Relaxed);
+    }
+    LANE.with(|l| *l)
+}
+
+/// Buffers one completed span (called from [`crate::SpanGuard::drop`]).
+pub(crate) fn push(name: &'static str, start: Instant, dur_ns: u64) {
+    let ts = start.duration_since(crate::epoch()).as_nanos() as f64 / 1e3;
+    let ev = TraceEvent { name, tid: thread_lane(), ts_us: ts, dur_us: dur_ns as f64 / 1e3 };
+    let mut buf = sink().lock().unwrap();
+    if buf.len() < TRACE_CAP {
+        buf.push(ev);
+    } else {
+        drop(buf);
+        crate::counter!("obs.trace_dropped").add(1);
+    }
+}
+
+/// Drains every buffered event, in emission order per thread.
+pub fn take_events() -> Vec<TraceEvent> {
+    std::mem::take(&mut *sink().lock().unwrap())
+}
+
+/// Renders events as a Chrome trace (JSON array of complete events) for
+/// `about:tracing` / Perfetto. Stable field order; pid is always 0.
+pub fn chrome_trace_json(events: &[TraceEvent]) -> String {
+    let mut w = crate::json::Writer::new();
+    w.arr(|w| {
+        for ev in events {
+            w.obj(|w| {
+                w.key("name").str(ev.name);
+                w.key("ph").str("X");
+                w.key("pid").num(0);
+                w.key("tid").num(ev.tid);
+                w.key("ts").float3(ev.ts_us);
+                w.key("dur").float3(ev.dur_us);
+            });
+        }
+    });
+    w.finish()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn spans_emit_trace_events_only_while_tracing() {
+        let _serial = crate::test_guard();
+        crate::set_enabled(true);
+        let _ = take_events();
+        {
+            let _g = crate::span!("test.trace_off");
+        }
+        assert!(take_events().is_empty(), "tracing off: no events");
+        crate::set_tracing(true);
+        {
+            let _g = crate::span!("test.trace_on");
+        }
+        std::thread::scope(|s| {
+            s.spawn(|| {
+                let _g = crate::span!("test.trace_worker");
+            });
+        });
+        crate::set_tracing(false);
+        let events = take_events();
+        assert_eq!(events.len(), 2, "{events:?}");
+        assert_eq!(events[0].name, "test.trace_on");
+        let worker = &events[1];
+        assert_eq!(worker.name, "test.trace_worker");
+        assert_ne!(worker.tid, events[0].tid, "worker threads get their own lane");
+
+        let json = chrome_trace_json(&events);
+        let v = crate::json::parse(&json).expect("valid trace JSON");
+        match v {
+            crate::json::Value::Arr(items) => {
+                assert_eq!(items.len(), 2);
+                assert_eq!(
+                    items[0].get("ph"),
+                    Some(&crate::json::Value::Str("X".into()))
+                );
+                assert!(items[0].get("ts").is_some() && items[0].get("dur").is_some());
+            }
+            other => panic!("trace must be an array: {other:?}"),
+        }
+    }
+}

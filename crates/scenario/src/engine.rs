@@ -12,6 +12,7 @@ use defined_core::recorder::{CommitRecord, Recording};
 use defined_core::session::DebugSession;
 use defined_core::wire::Wire;
 use defined_core::{DefinedConfig, FarmConfig, LockstepNet, RbNetwork};
+use defined_obs as obs;
 use netsim::{NodeId, SimTime};
 use routing::bgp::{BgpExt, BgpProcess};
 use routing::ospf::OspfProcess;
@@ -470,6 +471,14 @@ impl Scenario {
         }
         let outcome = outcome(&net);
         let upto = net.completed_group(2);
+        // Publish the production run's rollback tallies as gauge-style
+        // counters (§11): every subcommand that records can then surface
+        // the same `gvt:` line from the obs snapshot alone.
+        let m = net.total_metrics();
+        obs::counter!("rb.rollbacks").set(m.rollbacks);
+        obs::counter!("rb.rolled_entries").set(m.rolled_entries);
+        obs::counter!("rb.unsend_msgs").set(m.unsend_msgs);
+        obs::counter!("rb.fast_path").set(m.fast_path);
         let samples = monitor.samples();
         let gvt = GvtReport {
             first: samples.first().map(|s| s.gvt).unwrap_or(0),
@@ -478,7 +487,7 @@ impl Scenario {
             samples: samples.len(),
             monotone: monitor.is_monotone(),
             total_advance: monitor.total_advance(),
-            rollbacks: net.total_metrics().rollbacks,
+            rollbacks: m.rollbacks,
         };
         let (rec, logs) = net.into_recording();
         Ok(RecordedRun {

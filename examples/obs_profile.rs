@@ -1,0 +1,97 @@
+//! Profiles the Fig. 8 scaling workload (`fig8_size/rb_oo_2s`) with the
+//! obs substrate: one RB production run per network size, top-3 span and
+//! counter attribution from registry deltas (ROADMAP item 4's "profile"
+//! half — the EXPERIMENTS.md fig8 row records what this prints).
+//!
+//! Run with: `cargo run --release --example obs_profile`
+
+use defined::core::{DefinedConfig, OrderingMode, RbNetwork};
+use defined::netsim::{NodeId, SimDuration, SimTime};
+use defined::obs;
+use defined::routing::ospf::{OspfConfig, OspfProcess};
+use defined::topology::brite;
+
+/// The exact workload of `fig8_size/rb_oo_2s` in `crates/bench`.
+fn rb_run(n: usize) -> defined::core::RbMetrics {
+    let g = brite::barabasi_albert(n, 2, 80 + n as u64);
+    let f = OspfProcess::for_graph(&g, OspfConfig::stress(n));
+    let spawn: Vec<OspfProcess> = (0..n).map(|i| f(NodeId(i as u32))).collect();
+    let cfg = DefinedConfig {
+        ordering: OrderingMode::Optimized,
+        strategy: defined::checkpoint::Strategy::MemIntercept,
+        commit_horizon: Some(SimDuration::from_secs(2)),
+        ..DefinedConfig::default()
+    };
+    let mut net = RbNetwork::new(&g, cfg, 5, 0.3, move |id| spawn[id.index()].clone());
+    net.run_until(SimTime::from_secs(2));
+    net.total_metrics()
+}
+
+fn fmt_ns(ns: u64) -> String {
+    match ns {
+        0..=9_999 => format!("{ns}ns"),
+        10_000..=9_999_999 => format!("{:.1}µs", ns as f64 / 1e3),
+        10_000_000..=9_999_999_999 => format!("{:.1}ms", ns as f64 / 1e6),
+        _ => format!("{:.2}s", ns as f64 / 1e9),
+    }
+}
+
+fn main() {
+    obs::set_enabled(true);
+    println!("== Profiling fig8_size/rb_oo_2s (RB production, 2 sim-seconds) ==");
+
+    for n in [20usize, 40] {
+        let before = obs::global().snapshot();
+        let metrics = {
+            let _run = obs::span!("profile.rb_run");
+            rb_run(n)
+        };
+        let after = obs::global().snapshot();
+
+        // Delta spans, attributed against the whole-run span.
+        let total_ns = after
+            .spans
+            .get("profile.rb_run")
+            .map_or(0, |s| s.total_ns)
+            - before.spans.get("profile.rb_run").map_or(0, |s| s.total_ns);
+        let mut spans: Vec<(String, u64, u64)> = after
+            .spans
+            .iter()
+            .filter(|(name, _)| name.as_str() != "profile.rb_run")
+            .map(|(name, s)| {
+                let b = before.spans.get(name);
+                (
+                    name.clone(),
+                    s.count - b.map_or(0, |b| b.count),
+                    s.total_ns - b.map_or(0, |b| b.total_ns),
+                )
+            })
+            .filter(|(_, count, _)| *count > 0)
+            .collect();
+        spans.sort_by_key(|(_, _, ns)| std::cmp::Reverse(*ns));
+
+        let mut counters: Vec<(String, u64)> = after
+            .counters
+            .iter()
+            .map(|(name, v)| (name.clone(), v - before.counter(name)))
+            .filter(|(_, delta)| *delta > 0)
+            .collect();
+        counters.sort_by_key(|(_, delta)| std::cmp::Reverse(*delta));
+
+        println!(
+            "\nn={n}: {} wall, {} rollback(s), {} rolled entries",
+            fmt_ns(total_ns),
+            metrics.rollbacks,
+            metrics.rolled_entries
+        );
+        println!("  top spans (of {} run time):", fmt_ns(total_ns));
+        for (name, count, ns) in spans.iter().take(3) {
+            let pct = (ns * 100).checked_div(total_ns).unwrap_or(0);
+            println!("    {name:<28} {:>8} total ({pct:>2}% of run), {count} call(s)", fmt_ns(*ns));
+        }
+        println!("  top counters:");
+        for (name, delta) in counters.iter().take(3) {
+            println!("    {name:<28} +{delta}");
+        }
+    }
+}

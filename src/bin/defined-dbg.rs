@@ -6,8 +6,19 @@
 //! defined-dbg debug   <scenario> <recording-file> [script-file] [--shards <n>]
 //! defined-dbg explore <scenario> [--salts <n>] [--jobs <n>] [--shards <n>]
 //! defined-dbg bisect  <scenario> [--jobs <n>] [--shards <n>]
+//! defined-dbg check-profile <profile.json>
 //! defined-dbg scenarios
 //! ```
+//!
+//! Every run verb additionally accepts the observability flags (DESIGN.md
+//! §11): `--profile` prints a human metric summary after the run,
+//! `--profile-json <path>` writes the machine-readable dump, and
+//! `--trace-out <path>` captures Chrome trace events (open in
+//! `about:tracing` or Perfetto for a per-shard flamegraph). None of them
+//! perturbs the run: commit logs, transcripts, and reports are
+//! byte-identical with or without them (`tests/obs_determinism.rs`).
+//! `check-profile` validates a `--profile-json` dump from a record+replay
+//! run — the CI step that keeps the JSON schema honest.
 //!
 //! `<scenario>` is either a name from the bundled registry (`defined-dbg
 //! scenarios` lists them) or a path to a `.scn` scenario file (see the
@@ -59,10 +70,12 @@ fn usage() -> ExitCode {
          \x20      defined-dbg debug   <scenario> <recording-file> [script-file] [--shards <n>]\n\
          \x20      defined-dbg explore <scenario> [--salts <n>] [--jobs <n>] [--shards <n>]\n\
          \x20      defined-dbg bisect  <scenario> [--jobs <n>] [--shards <n>]\n\
+         \x20      defined-dbg check-profile <profile.json>\n\
          \x20      defined-dbg scenarios\n\
          \n\
          <scenario> is a registry name (see `defined-dbg scenarios`) or a .scn file path\n\
-         --jobs 0 / --shards 0 mean one worker per available core"
+         --jobs 0 / --shards 0 mean one worker per available core\n\
+         run verbs also accept --profile, --profile-json <path>, --trace-out <path>"
     );
     ExitCode::FAILURE
 }
@@ -91,11 +104,31 @@ fn list_scenarios() -> ExitCode {
     ExitCode::SUCCESS
 }
 
+/// Renders the production run's GVT progression from the obs counters —
+/// one code path for every subcommand (`record_typed` publishes the bound
+/// into the substrate; anything that recorded surfaces it here, and a
+/// pure replay with no production half prints nothing).
+fn print_gvt_line() {
+    let snap = defined::obs::global().snapshot();
+    if snap.counter("gvt.samples") == 0 {
+        return;
+    }
+    println!(
+        "gvt: bound {} -> {} over {} samples ({}), floor {}, {} rollback(s)",
+        snap.counter("gvt.bound_first"),
+        snap.counter("gvt.bound"),
+        snap.counter("gvt.samples"),
+        if snap.counter("gvt.regressions") == 0 { "monotone" } else { "NOT monotone" },
+        snap.counter("gvt.floor"),
+        snap.counter("rb.rollbacks"),
+    );
+}
+
 fn record(scn: &Scenario, path: &str, shards: Option<usize>) -> Result<ExitCode, String> {
     let run = scn.record_run().map_err(|e| e.to_string())?;
     std::fs::write(path, &run.bytes).map_err(|e| format!("{path}: {e}"))?;
     println!("{} -> {path}", run.summary(&scn.name));
-    println!("{}", run.gvt.render());
+    print_gvt_line();
     if let Some(outcome) = &run.outcome {
         println!("production outcome: {outcome}");
     }
@@ -135,6 +168,7 @@ fn debug(
     match scn.debug_transcript_sharded(&bytes, &script, shards) {
         Ok(transcript) => {
             print!("{transcript}");
+            print_gvt_line();
             Ok(ExitCode::SUCCESS)
         }
         Err(e) => {
@@ -154,7 +188,7 @@ fn explore(
 ) -> Result<ExitCode, String> {
     let run = scn.record_run().map_err(|e| e.to_string())?;
     println!("{}", run.summary(&scn.name));
-    println!("{}", run.gvt.render());
+    print_gvt_line();
     let report = scn.explore_run(&run.bytes, salts, farm).map_err(|e| e.to_string())?;
     print!("{}", report.render());
     Ok(ExitCode::SUCCESS)
@@ -163,7 +197,7 @@ fn explore(
 fn bisect(scn: &Scenario, farm: &defined::core::FarmConfig) -> Result<ExitCode, String> {
     let run = scn.record_run().map_err(|e| e.to_string())?;
     println!("{}", run.summary(&scn.name));
-    println!("{}", run.gvt.render());
+    print_gvt_line();
     match scn.bisect_run(&run.bytes, farm).map_err(|e| e.to_string())? {
         Some(summary) => {
             print!("{}", summary.render());
@@ -191,12 +225,104 @@ fn take_flag(args: &mut Vec<String>, name: &str) -> Result<Option<u64>, String> 
     Ok(Some(parsed))
 }
 
+/// Pulls a `--<name> <path>` pair out of the argument list.
+fn take_path_flag(args: &mut Vec<String>, name: &str) -> Result<Option<String>, String> {
+    let flag = format!("--{name}");
+    let Some(pos) = args.iter().position(|a| *a == flag) else {
+        return Ok(None);
+    };
+    if pos + 1 >= args.len() {
+        return Err(format!("{flag} needs a value"));
+    }
+    let value = args.remove(pos + 1);
+    args.remove(pos);
+    Ok(Some(value))
+}
+
+/// Pulls a bare `--<name>` switch out of the argument list.
+fn take_switch(args: &mut Vec<String>, name: &str) -> bool {
+    let flag = format!("--{name}");
+    match args.iter().position(|a| *a == flag) {
+        Some(pos) => {
+            args.remove(pos);
+            true
+        }
+        None => false,
+    }
+}
+
+/// Where a run's observability is surfaced (DESIGN.md §11). Reporting
+/// only: none of these change what the run computes.
+#[derive(Default)]
+struct ObsOpts {
+    profile: bool,
+    profile_json: Option<String>,
+    trace_out: Option<String>,
+}
+
+/// Writes the requested observability artifacts after a run.
+fn emit_obs(opts: &ObsOpts) -> Result<(), String> {
+    if !opts.profile && opts.profile_json.is_none() && opts.trace_out.is_none() {
+        return Ok(());
+    }
+    let snap = defined::obs::global().snapshot();
+    if opts.profile {
+        print!("{}", snap.render_profile());
+    }
+    if let Some(path) = &opts.profile_json {
+        std::fs::write(path, snap.to_json()).map_err(|e| format!("{path}: {e}"))?;
+    }
+    if let Some(path) = &opts.trace_out {
+        let events = defined::obs::take_events();
+        std::fs::write(path, defined::obs::chrome_trace_json(&events))
+            .map_err(|e| format!("{path}: {e}"))?;
+    }
+    Ok(())
+}
+
+/// Validates a `--profile-json` dump from a record+replay run: the schema
+/// version, the three sections, and the counters/spans CI depends on.
+fn check_profile(path: &str) -> Result<ExitCode, String> {
+    use defined::obs::json::Value;
+    let text = std::fs::read_to_string(path).map_err(|e| format!("{path}: {e}"))?;
+    let v = defined::obs::json::parse(&text).map_err(|e| format!("{path}: {e}"))?;
+    if v.get("version").and_then(Value::as_u64) != Some(1) {
+        return Err(format!("{path}: missing or unsupported profile schema version"));
+    }
+    let section = |key: &str| match v.get(key) {
+        Some(Value::Obj(m)) => Ok(m.len()),
+        _ => Err(format!("{path}: missing `{key}` section")),
+    };
+    let n_counters = section("counters")?;
+    let n_spans = section("spans")?;
+    let n_hists = section("histograms")?;
+    let counters = v.get("counters").expect("checked");
+    for name in
+        ["gvt.samples", "ls.waves", "ls.delivered", "wire.bytes_encoded", "wire.bytes_decoded"]
+    {
+        if counters.get(name).and_then(Value::as_u64).is_none() {
+            return Err(format!("{path}: required counter `{name}` missing"));
+        }
+    }
+    let span_count = v
+        .get("spans")
+        .and_then(|s| s.get("ls.wave"))
+        .and_then(|s| s.get("count"))
+        .and_then(Value::as_u64);
+    if span_count.is_none() {
+        return Err(format!("{path}: required span `ls.wave` missing"));
+    }
+    println!("{path}: valid profile ({n_counters} counters, {n_spans} spans, {n_hists} histograms)");
+    Ok(ExitCode::SUCCESS)
+}
+
 fn main() -> ExitCode {
     let mut args: Vec<String> = std::env::args().skip(1).collect();
     // Flags belong to specific verbs; anywhere else they must be a usage
     // error, not a silently ignored argument.
     let verb = args.first().cloned().unwrap_or_default();
-    type Flags = (Option<u64>, Option<u64>, Option<u64>, Option<u64>);
+    let run_verb = matches!(verb.as_str(), "record" | "debug" | "explore" | "bisect");
+    type Flags = (Option<u64>, Option<u64>, Option<u64>, Option<u64>, ObsOpts);
     let flags: Result<Flags, String> = (|| {
         let seed = if verb == "record" { take_flag(&mut args, "seed")? } else { None };
         let salts = if verb == "explore" { take_flag(&mut args, "salts")? } else { None };
@@ -205,20 +331,28 @@ fn main() -> ExitCode {
         } else {
             None
         };
-        let shards = if matches!(verb.as_str(), "record" | "debug" | "explore" | "bisect") {
-            take_flag(&mut args, "shards")?
+        let shards = if run_verb { take_flag(&mut args, "shards")? } else { None };
+        let obs = if run_verb {
+            ObsOpts {
+                profile: take_switch(&mut args, "profile"),
+                profile_json: take_path_flag(&mut args, "profile-json")?,
+                trace_out: take_path_flag(&mut args, "trace-out")?,
+            }
         } else {
-            None
+            ObsOpts::default()
         };
-        Ok((seed, salts, jobs, shards))
+        Ok((seed, salts, jobs, shards, obs))
     })();
-    let (seed, salts, jobs, shards) = match flags {
+    let (seed, salts, jobs, shards, obs_opts) = match flags {
         Ok(f) => f,
         Err(e) => {
             eprintln!("defined-dbg: {e}");
             return ExitCode::FAILURE;
         }
     };
+    if obs_opts.trace_out.is_some() {
+        defined::obs::set_tracing(true);
+    }
     // Omitted `--jobs` means auto (`with_jobs(0)` resolves to the core
     // count); omitted `--shards` keeps each replay serial, `--shards 0`
     // means auto.
@@ -241,8 +375,12 @@ fn main() -> ExitCode {
         [cmd, scenario_arg] if cmd == "bisect" => {
             resolve(scenario_arg).and_then(|scn| bisect(&scn, &farm))
         }
+        [cmd, path] if cmd == "check-profile" => check_profile(path),
         _ => return usage(),
     };
+    // The observability artifacts are written after the verb, win or lose —
+    // a failing run's profile is exactly the one worth reading.
+    let result = result.and_then(|code| emit_obs(&obs_opts).map(|()| code));
     match result {
         Ok(code) => code,
         Err(e) => {

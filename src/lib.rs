@@ -17,7 +17,9 @@
 //! * [`core`] — the DEFINED-RB and DEFINED-LS engines, the recorder, the
 //!   debugger, and the threaded lockstep runtime;
 //! * [`scenario`] — the declarative scenario & fault-injection engine and
-//!   its registry of named workloads.
+//!   its registry of named workloads;
+//! * [`obs`] — the determinism-safe tracing & metrics substrate the whole
+//!   stack records into (DESIGN.md §11).
 //!
 //! See `examples/quickstart.rs` for the end-to-end flow.
 
@@ -25,6 +27,7 @@
 
 pub use checkpoint;
 pub use defined_core as core;
+pub use defined_obs as obs;
 pub use netsim;
 pub use routing;
 pub use scenario;

@@ -1,0 +1,196 @@
+//! Observability non-perturbation: turning the obs substrate on, off, or
+//! up (tracing) is invisible in every replay-relevant output.
+//!
+//! This is the engineering half of Ronsse's re-run invariant — observing
+//! an execution must not change it. The obs layer guarantees it by
+//! construction (wall-clock reads live only inside `defined-obs`, metrics
+//! are write-only from the hot path, switches gate only *recording*), and
+//! these tests hold the whole stack to that contract:
+//!
+//! * recordings, commit logs, debug transcripts, and explore/bisect farm
+//!   reports are byte-identical with collection enabled, disabled, and
+//!   with Chrome-trace capture running, across shards ∈ {1, 2} and farm
+//!   jobs ∈ {1, 2} (the `--profile`/`--trace-out` CLI paths);
+//! * a disabled registry records nothing at all;
+//! * the log2 histogram buckets and cross-thread snapshot merging the
+//!   profile report is built on behave as specified (complementing the
+//!   unit suites inside `crates/obs`).
+//!
+//! The compiled-out leg of the contract is the workspace `obs-off`
+//! feature: building with it erases every call site, so there is nothing
+//! left to diverge (CI builds it; it cannot be toggled from a test).
+//!
+//! Tests in this binary serialise on one lock: the obs switches are
+//! process-global, so a test flipping them must not interleave with the
+//! others.
+
+use defined::core::recorder::CommitRecord;
+use defined::core::FarmConfig;
+use defined::obs;
+use defined::scenario;
+use std::sync::{Mutex, MutexGuard};
+
+fn serial_guard() -> MutexGuard<'static, ()> {
+    static LOCK: Mutex<()> = Mutex::new(());
+    LOCK.lock().unwrap_or_else(|e| e.into_inner())
+}
+
+const SCRIPT: &str = "where\nstepg 3\nwhere\nstep 5\ninspect 0\nrun\nwhere\n";
+
+/// Every replay-relevant artifact one scenario produces end to end.
+#[derive(PartialEq, Debug)]
+struct Artifacts {
+    recording: Vec<u8>,
+    production_logs: Vec<Vec<CommitRecord>>,
+    replay_logs: Vec<Vec<CommitRecord>>,
+    transcript: String,
+    explore: String,
+    bisect: String,
+}
+
+fn run_workflow(name: &str, shards: usize, jobs: usize) -> Artifacts {
+    let scn = scenario::find(name).expect("registry scenario");
+    let run = scn.record_run().expect("records");
+    let replay_logs = scn.replay_logs_sharded(&run.bytes, shards).expect("replays");
+    let transcript =
+        scn.debug_transcript_sharded(&run.bytes, SCRIPT, shards).expect("debugs");
+    let farm = FarmConfig::with_jobs(jobs).with_shards(shards);
+    let explore = scn.explore_run(&run.bytes, 6, &farm).expect("explores").render();
+    let bisect =
+        scn.bisect_run(&run.bytes, &farm).expect("bisects").expect("has groups").render();
+    Artifacts {
+        recording: run.bytes,
+        production_logs: run.logs,
+        replay_logs,
+        transcript,
+        explore,
+        bisect,
+    }
+}
+
+/// The headline contract: enabled vs disabled vs tracing, across shard
+/// and job counts, on a scenario with rollbacks, drops, and a death cut.
+#[test]
+fn workflow_outputs_are_identical_with_obs_on_off_and_tracing() {
+    let _serial = serial_guard();
+    for shards in [1usize, 2] {
+        for jobs in [1usize, 2] {
+            obs::set_enabled(true);
+            let on = run_workflow("rip-blackhole", shards, jobs);
+
+            obs::set_tracing(true);
+            let traced = run_workflow("rip-blackhole", shards, jobs);
+            obs::set_tracing(false);
+            let _ = obs::take_events(); // Drop the capture buffer.
+
+            obs::set_enabled(false);
+            let off = run_workflow("rip-blackhole", shards, jobs);
+            obs::set_enabled(true);
+
+            assert_eq!(on, off, "obs on vs off diverged (shards={shards}, jobs={jobs})");
+            assert_eq!(on, traced, "tracing perturbed the run (shards={shards}, jobs={jobs})");
+        }
+    }
+}
+
+/// A disabled registry records nothing: counters, spans, histograms, and
+/// the trace buffer all stay put while a full workflow runs.
+#[test]
+fn disabled_collection_records_nothing() {
+    let _serial = serial_guard();
+    obs::set_enabled(false);
+    let before = obs::global().snapshot();
+    let _ = run_workflow("rip-blackhole", 2, 2);
+    let after = obs::global().snapshot();
+    obs::set_enabled(true);
+    for key in ["ls.delivered", "ls.waves", "wire.bytes_encoded", "gvt.samples"] {
+        assert_eq!(
+            before.counter(key),
+            after.counter(key),
+            "counter {key} moved while collection was off"
+        );
+    }
+    // The call sites still register their (zeroed) cells — only the
+    // recorded counts must stay put.
+    assert_eq!(
+        before.spans.get("ls.wave").map_or(0, |s| s.count),
+        after.spans.get("ls.wave").map_or(0, |s| s.count),
+        "span ls.wave recorded while collection was off"
+    );
+}
+
+/// An enabled run populates the metrics every subsystem contributes —
+/// the positive control for the test above.
+#[test]
+fn enabled_collection_covers_the_whole_stack() {
+    let _serial = serial_guard();
+    obs::set_enabled(true);
+    let before = obs::global().snapshot();
+    let _ = run_workflow("rip-blackhole", 2, 2);
+    let after = obs::global().snapshot();
+    for key in [
+        "ls.waves",
+        "ls.delivered",
+        "farm.jobs_claimed",
+        "ckpt.captures",
+        "gvt.samples",
+        "wire.bytes_encoded",
+        "wire.bytes_decoded",
+    ] {
+        assert!(
+            after.counter(key) > before.counter(key),
+            "counter {key} did not advance over a full workflow"
+        );
+    }
+    assert!(
+        after.spans.get("ls.wave").map_or(0, |s| s.count)
+            > before.spans.get("ls.wave").map_or(0, |s| s.count),
+        "span ls.wave did not record"
+    );
+    assert!(
+        after.histograms.get("ls.wave_events").map_or(0, |h| h.count)
+            > before.histograms.get("ls.wave_events").map_or(0, |h| h.count),
+        "histogram ls.wave_events did not record"
+    );
+}
+
+/// Log2 bucketing: zeros land in bucket 0, and each value `v >= 1` lands
+/// in the bucket whose floor is the largest power of two `<= v`.
+#[test]
+fn histogram_bucketing_is_log2_exact() {
+    assert_eq!(obs::bucket_index(0), 0);
+    for (v, want) in [(1u64, 1usize), (2, 2), (3, 2), (4, 3), (7, 3), (8, 4), (1023, 10)] {
+        assert_eq!(obs::bucket_index(v), want, "bucket_index({v})");
+        assert!(obs::bucket_floor(obs::bucket_index(v)) <= v);
+        assert!(v < obs::bucket_floor(obs::bucket_index(v) + 1));
+    }
+    assert_eq!(obs::bucket_index(u64::MAX), 64);
+}
+
+/// Snapshots taken from registries written by different threads merge to
+/// the same totals a single registry would have seen.
+#[test]
+fn snapshots_merge_across_threads() {
+    let _serial = serial_guard();
+    obs::set_enabled(true);
+    let a = obs::Registry::new();
+    let b = obs::Registry::new();
+    std::thread::scope(|scope| {
+        scope.spawn(|| {
+            a.counter("merge.events").add(30);
+            a.histogram("merge.sizes").record(16);
+        });
+        scope.spawn(|| {
+            b.counter("merge.events").add(12);
+            b.histogram("merge.sizes").record(1024);
+            b.histogram("merge.sizes").record(16);
+        });
+    });
+    let mut merged = a.snapshot();
+    merged.merge(&b.snapshot());
+    assert_eq!(merged.counter("merge.events"), 42);
+    let h = merged.histograms.get("merge.sizes").expect("merged histogram");
+    assert_eq!(h.count, 3);
+    assert_eq!(h.sum, 16 + 1024 + 16);
+    assert_eq!(h.buckets.get(&obs::bucket_index(16)), Some(&2));
+}
