@@ -1,0 +1,92 @@
+//! Fig. 13 (this reproduction's addition): cost of the durable `.drec`
+//! store — the CRC-framed serialisation and the validating, recovering
+//! open — relative to the raw in-memory codec.
+//!
+//! One stressed OSPF run over the Ebone topology supplies a real
+//! recording; per iteration we measure (a) writing it into the store
+//! format in memory, (b) opening the store — a full structural walk with
+//! every frame CRC checked plus `Recording` reconstruction — against the
+//! raw `Recording::from_bytes` decode, and (c) opening a torn copy, i.e.
+//! the recovery path that truncates to the last sync point. Everything
+//! runs over `VecIo`, so the numbers isolate format overhead from disk
+//! and fsync latency (policy `Never`; the `OnSync` cost is one
+//! `fdatasync` per sync point and belongs to the device, not the code).
+//!
+//! The raw codec is not a like-for-like baseline on *size*: a finished
+//! store additionally persists one `COMMITS` frame per node — the full
+//! reference commit logs `verify` replays against — and on a stressed
+//! run those dwarf the partial recording itself (the printed size line
+//! shows the ratio). The per-byte costs are what matter: the CRC pass
+//! touches every byte once, so store encode/decode must stay within a
+//! small constant factor of the raw codec per byte written — durable
+//! recording is never the reason to skip `--out`.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use defined_core::recorder::Recording;
+use defined_core::{DefinedConfig, RbNetwork};
+use defined_store::{open_bytes, write_recording, FsyncPolicy, StoreMeta, VecIo};
+use netsim::{NodeId, SimTime};
+use routing::ospf::{OspfConfig, OspfProcess};
+use topology::rocketfuel;
+
+fn ebone_recording() -> (Recording<()>, Vec<Vec<defined_core::recorder::CommitRecord>>) {
+    let g = rocketfuel::build(rocketfuel::Isp::Ebone);
+    let n = g.node_count();
+    let procs: Vec<OspfProcess> = {
+        let f = OspfProcess::for_graph(&g, OspfConfig::stress(n));
+        (0..n).map(|i| f(NodeId(i as u32))).collect()
+    };
+    let spawn = move |id: NodeId| procs[id.index()].clone();
+    let mut net = RbNetwork::new(&g, DefinedConfig::default(), 11, 0.3, spawn);
+    net.run_until(SimTime::from_secs(3));
+    net.into_recording()
+}
+
+fn bench_store(c: &mut Criterion) {
+    let (rec, logs) = ebone_recording();
+    let meta = StoreMeta { n_nodes: rec.n_nodes, source: rec.source, scenario: "fig13".into() };
+    let upto = rec.last_group;
+    let store_bytes = write_recording(
+        VecIo::new(),
+        &meta,
+        &rec,
+        &logs,
+        upto,
+        8,
+        FsyncPolicy::Never,
+    )
+    .expect("VecIo cannot fail")
+    .bytes;
+    let raw_bytes = rec.to_bytes();
+    // Tear off the closing segment so the open exercises recovery.
+    let torn = &store_bytes[..store_bytes.len() * 2 / 3];
+
+    eprintln!(
+        "fig13_store: store {} bytes vs raw {} bytes for the same recording",
+        store_bytes.len(),
+        raw_bytes.len()
+    );
+    let mut group = c.benchmark_group("fig13_store");
+    group.sample_size(20);
+    group.bench_function("write-store", |b| {
+        b.iter(|| {
+            write_recording(VecIo::new(), &meta, &rec, &logs, upto, 8, FsyncPolicy::Never)
+                .expect("VecIo cannot fail")
+                .bytes
+                .len()
+        });
+    });
+    group.bench_function("open-store", |b| {
+        b.iter(|| open_bytes::<()>(&store_bytes).expect("valid store").recording.ticks.len());
+    });
+    group.bench_function("open-store-torn", |b| {
+        b.iter(|| open_bytes::<()>(torn).expect("recoverable").info.recovered_tail_bytes);
+    });
+    group.bench_function("raw-decode-baseline", |b| {
+        b.iter(|| Recording::<()>::from_bytes(&raw_bytes).expect("valid recording").ticks.len());
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench_store);
+criterion_main!(benches);

@@ -37,6 +37,16 @@ pub struct BisectReport {
     /// A pure function of the recording and the speculation width — never
     /// of the worker count.
     pub replays: usize,
+    /// Evidence that the predicate is *not* monotone over prefixes, when
+    /// the probes happened to expose it: a group whose prefix was observed
+    /// bad (`.0`) together with a *later* group whose prefix was observed
+    /// healthy (`.1`). Bisection assumes monotonicity; when this is
+    /// `Some`, `first_bad_group` narrows one bad region but is not a
+    /// trustworthy "first" — treat it as a warning. Detection is
+    /// best-effort over the probes the search actually ran (a pure
+    /// function of the recording and the speculation width, so reports
+    /// stay job-count invariant).
+    pub oscillation: Option<(u64, u64)>,
 }
 
 /// Binary-searches the earliest group `g` such that replaying groups
@@ -165,9 +175,13 @@ where
         hit
     };
     let mut replays = 1usize;
-    if !probe(recording.last_group) {
+    if !farm::supervised(|| probe(recording.last_group)) {
         return None;
     }
+    // Every probe outcome the search observes, for the oscillation check
+    // below. A round always evaluates *all* its points (no early exit), so
+    // healthy points above the narrowed interval are observed too.
+    let mut observed: Vec<(u64, bool)> = vec![(recording.last_group, true)];
     // Invariant: bad(hi) is known true; the answer lies in [lo, hi].
     let (mut lo, mut hi) = (1u64, recording.last_group);
     while lo < hi {
@@ -177,8 +191,10 @@ where
         // interval into k + 1 near-equal segments. k = 1 gives the serial
         // midpoint lo + span / 2.
         let points: Vec<u64> = (1..=k).map(|i| lo + span * i / (k + 1)).collect();
-        let outcomes = farm::map_indexed(farm.jobs, points.len(), |i| probe(points[i]));
+        let eval = |i: usize| probe(points[i]);
+        let outcomes = farm::settle(farm::map_indexed(farm.jobs, points.len(), eval), eval);
         replays += points.len();
+        observed.extend(points.iter().copied().zip(outcomes.iter().copied()));
         match outcomes.iter().position(|&b| b) {
             Some(0) => hi = points[0],
             Some(i) => {
@@ -188,7 +204,19 @@ where
             None => lo = *points.last().expect("k >= 1") + 1,
         }
     }
-    Some(BisectReport { first_bad_group: lo, replays })
+    // Monotonicity spot check over everything the search saw: a healthy
+    // prefix *above* some bad prefix means the predicate oscillates and
+    // `lo` is merely *a* bad onset, not necessarily the first.
+    let min_bad = observed.iter().filter(|&&(_, b)| b).map(|&(g, _)| g).min();
+    let oscillation = min_bad.and_then(|mb| {
+        observed
+            .iter()
+            .filter(|&&(g, b)| !b && g > mb)
+            .map(|&(g, _)| g)
+            .max()
+            .map(|healthy| (mb, healthy))
+    });
+    Some(BisectReport { first_bad_group: lo, replays, oscillation })
 }
 
 /// Steps through the first bad group one event at a time and returns the
@@ -574,5 +602,66 @@ mod tests {
         assert_eq!(report.first_bad_group, 1);
         assert_eq!(report.replays, 1, "probe(last) alone settles a one-group search");
         assert_eq!(first_bad_group(&g, &cfg, &single, &spawn, |_| false), None);
+    }
+
+    /// A predicate that oscillates (bad in an early window, healthy again,
+    /// bad at the end) violates the documented monotonicity assumption —
+    /// the report must carry the observed evidence instead of silently
+    /// presenting `first_bad_group` as trustworthy, and it must do so
+    /// identically under every job count.
+    #[test]
+    fn oscillating_predicates_are_flagged() {
+        let (g, rec, procs) = ospf_recording();
+        let cfg = DefinedConfig::default();
+        let spawn = |id: NodeId| procs[id.index()].clone();
+        let last = rec.last_group;
+        assert!(last >= 12, "recording long enough: {last}");
+        let (w_lo, w_hi) = (last / 6, last / 2);
+        let pred = move |ls: &LockstepNet<OspfProcess>| {
+            let cg = ls.current_group();
+            (cg >= w_lo && cg < w_hi) || cg >= last
+        };
+        let farm = FarmConfig { speculation: 4, ..FarmConfig::serial() };
+        let report = first_bad_group_farm(&g, &cfg, &rec, spawn, pred, &farm)
+            .expect("the full prefix is bad");
+        let (bad_g, healthy_g) =
+            report.oscillation.expect("the speculative round saw the healthy gap");
+        assert!(bad_g < healthy_g, "witness order: bad {bad_g} < healthy {healthy_g}");
+        let farm2 = FarmConfig { jobs: 2, speculation: 4, ..FarmConfig::serial() };
+        assert_eq!(
+            first_bad_group_farm(&g, &cfg, &rec, spawn, pred, &farm2),
+            Some(report),
+            "oscillation evidence must be job-count invariant"
+        );
+        // A genuinely monotone predicate is never flagged.
+        let mono = move |ls: &LockstepNet<OspfProcess>| ls.current_group() >= w_hi;
+        let clean = first_bad_group(&g, &cfg, &rec, spawn, mono).expect("fires");
+        assert_eq!(clean.oscillation, None);
+    }
+
+    /// A probe that panics transiently (here: on its very first call) is
+    /// retried under supervision; the bisection completes without hanging
+    /// and reaches the same answer as the clean run. The panicked probe's
+    /// session is simply lost — the pool replenishes on demand.
+    #[test]
+    fn bisection_tolerates_transient_probe_panics() {
+        use std::sync::atomic::{AtomicBool, Ordering};
+        let (g, rec, procs) = ospf_recording();
+        let cfg = DefinedConfig::default();
+        let spawn = |id: NodeId| procs[id.index()].clone();
+        let boundary = rec.last_group / 2;
+        let clean = move |ls: &LockstepNet<OspfProcess>| ls.current_group() >= boundary;
+        let expected = first_bad_group(&g, &cfg, &rec, spawn, clean).expect("fires");
+        let tripped = AtomicBool::new(false);
+        let flaky = |ls: &LockstepNet<OspfProcess>| {
+            if !tripped.swap(true, Ordering::SeqCst) {
+                panic!("deliberately flaky probe");
+            }
+            clean(ls)
+        };
+        let farm = FarmConfig { jobs: 2, speculation: 2, ..FarmConfig::serial() };
+        let report =
+            first_bad_group_farm(&g, &cfg, &rec, spawn, flaky, &farm).expect("still fires");
+        assert_eq!(report.first_bad_group, expected.first_bad_group);
     }
 }

@@ -16,7 +16,7 @@
 //! farm at `jobs = 1`.
 
 use crate::config::{DefinedConfig, OrderingMode};
-use crate::farm::{self, FarmConfig};
+use crate::farm::{self, FarmConfig, JobPanic};
 use crate::ls::LockstepNet;
 use crate::recorder::Recording;
 use netsim::NodeId;
@@ -135,10 +135,11 @@ where
     F: Fn(&LockstepNet<P>) -> bool + Sync,
 {
     let salts: Vec<u64> = salts.into_iter().collect();
-    let hits = farm::map_indexed(farm.jobs, salts.len(), |i| {
+    let eval = |i: usize| {
         let ls = salted_replay(graph, base_cfg, recording, &spawn, salts[i], farm.shards);
         predicate(&ls)
-    });
+    };
+    let hits = farm::settle(farm::map_indexed(farm.jobs, salts.len(), eval), eval);
     (hits.iter().filter(|&&h| h).count(), salts.len())
 }
 
@@ -149,6 +150,10 @@ where
 /// "first match" and "how many match" pays a single sweep instead of two.
 /// The result vector is a pure function of the salt sequence, independent
 /// of `farm.jobs`.
+///
+/// Each probe is supervised: a replay that panics (twice) under some salt
+/// comes back as `Err(JobPanic)` in its slot instead of taking down the
+/// sweep, so one poisoned ordering cannot mask the rest of the survey.
 pub fn ordering_survey_farm<P, T, F, S>(
     graph: &Graph,
     base_cfg: &DefinedConfig,
@@ -157,7 +162,7 @@ pub fn ordering_survey_farm<P, T, F, S>(
     salts: impl IntoIterator<Item = u64>,
     project: F,
     farm: &FarmConfig,
-) -> Vec<T>
+) -> Vec<Result<T, JobPanic>>
 where
     P: ControlPlane,
     P::Ext: Sync,

@@ -96,10 +96,91 @@ impl Default for FarmConfig {
     }
 }
 
+/// A probe job that panicked on both its supervised attempts.
+///
+/// Worker panics never take the farm down: each job runs under
+/// `catch_unwind`, is retried once, and only then reported as this
+/// structured per-job failure — the surviving jobs' results are unaffected
+/// (and remain job-count invariant).
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct JobPanic {
+    /// The job's index in its round.
+    pub index: usize,
+    /// The panic payload, when it was a string.
+    pub message: String,
+}
+
+impl std::fmt::Display for JobPanic {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "probe job {} panicked: {}", self.index, self.message)
+    }
+}
+
+fn panic_message(payload: &(dyn std::any::Any + Send)) -> String {
+    if let Some(s) = payload.downcast_ref::<&str>() {
+        (*s).to_string()
+    } else if let Some(s) = payload.downcast_ref::<String>() {
+        s.clone()
+    } else {
+        "non-string panic payload".to_string()
+    }
+}
+
+/// Runs `eval` under `catch_unwind` with one retry: transient panics cost
+/// a retry, a second panic becomes a structured [`JobPanic`].
+fn eval_supervised<T>(eval: impl Fn() -> T, index: usize) -> Result<T, JobPanic> {
+    match std::panic::catch_unwind(std::panic::AssertUnwindSafe(&eval)) {
+        Ok(t) => Ok(t),
+        Err(first) => {
+            obs::counter!("farm.job_panics").add(1);
+            obs::counter!("farm.job_retries").add(1);
+            match std::panic::catch_unwind(std::panic::AssertUnwindSafe(&eval)) {
+                Ok(t) => Ok(t),
+                Err(_) => {
+                    obs::counter!("farm.job_panics").add(1);
+                    Err(JobPanic { index, message: panic_message(&*first) })
+                }
+            }
+        }
+    }
+}
+
+/// Two supervised attempts, then a third *uncaught* one on the calling
+/// thread — the graceful degradation to serial for callers whose return
+/// type cannot carry a per-job error: a transient panic is absorbed, a
+/// deterministic one propagates cleanly (no hung workers, no dead
+/// mailboxes) after the farm has already wound down.
+pub(crate) fn supervised<T>(eval: impl Fn() -> T) -> T {
+    match eval_supervised(&eval, 0) {
+        Ok(t) => t,
+        Err(_) => {
+            obs::counter!("farm.serial_fallback").add(1);
+            eval()
+        }
+    }
+}
+
+/// Resolves a round of supervised results: surviving jobs pass through,
+/// failed jobs are re-evaluated serially (uncaught) in index order.
+pub(crate) fn settle<T>(results: Vec<Result<T, JobPanic>>, eval: impl Fn(usize) -> T) -> Vec<T> {
+    results
+        .into_iter()
+        .enumerate()
+        .map(|(i, r)| {
+            r.unwrap_or_else(|_| {
+                obs::counter!("farm.serial_fallback").add(1);
+                eval(i)
+            })
+        })
+        .collect()
+}
+
 /// Runs `eval(0..n)` across `jobs` workers and returns the results in
 /// index order — a deterministic parallel map. Workers claim indices from a
-/// shared counter; placement by index erases completion order.
-pub(crate) fn map_indexed<T, F>(jobs: usize, n: usize, eval: F) -> Vec<T>
+/// shared counter; placement by index erases completion order. Each job is
+/// supervised: a panicking probe yields `Err(JobPanic)` in its slot rather
+/// than tearing down the scope.
+pub(crate) fn map_indexed<T, F>(jobs: usize, n: usize, eval: F) -> Vec<Result<T, JobPanic>>
 where
     T: Send,
     F: Fn(usize) -> T + Sync,
@@ -111,12 +192,12 @@ where
             .map(|i| {
                 obs::counter!("farm.jobs_claimed").add(1);
                 queued.lap(obs::hist!("farm.queue_wait_ns"));
-                eval(i)
+                eval_supervised(|| eval(i), i)
             })
             .collect();
     }
     let next = AtomicUsize::new(0);
-    let slots: Mutex<Vec<Option<T>>> = Mutex::new((0..n).map(|_| None).collect());
+    let slots: Mutex<Vec<Option<Result<T, JobPanic>>>> = Mutex::new((0..n).map(|_| None).collect());
     std::thread::scope(|scope| {
         for _ in 0..jobs {
             scope.spawn(|| loop {
@@ -126,7 +207,7 @@ where
                 }
                 obs::counter!("farm.jobs_claimed").add(1);
                 queued.lap(obs::hist!("farm.queue_wait_ns"));
-                let out = eval(i);
+                let out = eval_supervised(|| eval(i), i);
                 slots.lock()[i] = Some(out);
             });
         }
@@ -154,12 +235,13 @@ where
         return (0..n).find_map(|i| {
             obs::counter!("farm.jobs_claimed").add(1);
             queued.lap(obs::hist!("farm.queue_wait_ns"));
-            eval(i).map(|t| (i, t))
+            supervised(|| eval(i)).map(|t| (i, t))
         });
     }
     let next = AtomicUsize::new(0);
     let cutoff = AtomicUsize::new(usize::MAX);
     let best: Mutex<Option<(usize, T)>> = Mutex::new(None);
+    let failed: Mutex<Vec<usize>> = Mutex::new(Vec::new());
     std::thread::scope(|scope| {
         for _ in 0..jobs {
             scope.spawn(|| loop {
@@ -169,17 +251,39 @@ where
                 }
                 obs::counter!("farm.jobs_claimed").add(1);
                 queued.lap(obs::hist!("farm.queue_wait_ns"));
-                if let Some(t) = eval(i) {
-                    cutoff.fetch_min(i, Ordering::SeqCst);
-                    let mut b = best.lock();
-                    if b.as_ref().is_none_or(|&(bi, _)| i < bi) {
-                        *b = Some((i, t));
+                match eval_supervised(|| eval(i), i) {
+                    Ok(Some(t)) => {
+                        cutoff.fetch_min(i, Ordering::SeqCst);
+                        let mut b = best.lock();
+                        if b.as_ref().is_none_or(|&(bi, _)| i < bi) {
+                            *b = Some((i, t));
+                        }
                     }
+                    Ok(None) => {}
+                    Err(_) => failed.lock().push(i),
                 }
             });
         }
     });
-    best.into_inner()
+    // Serial third attempts for jobs that panicked twice, in index order,
+    // stopping once the established minimum can no longer be improved. A
+    // deterministic panic propagates here, on the calling thread, after
+    // the farm has wound down cleanly.
+    let mut best = best.into_inner();
+    let mut failed = failed.into_inner();
+    failed.sort_unstable();
+    for i in failed {
+        if best.as_ref().is_some_and(|&(bi, _)| bi < i) {
+            break;
+        }
+        obs::counter!("farm.serial_fallback").add(1);
+        if let Some(t) = eval(i) {
+            if best.as_ref().is_none_or(|&(bi, _)| i < bi) {
+                best = Some((i, t));
+            }
+        }
+    }
+    best
 }
 
 /// A reusable probe worker: a lockstep replay plus the checkpoint timeline
@@ -329,10 +433,85 @@ mod tests {
     #[test]
     fn map_indexed_orders_results_by_index() {
         for jobs in [1, 2, 8] {
-            let out = map_indexed(jobs, 20, |i| i * i);
+            let out: Vec<usize> =
+                map_indexed(jobs, 20, |i| i * i).into_iter().map(|r| r.unwrap()).collect();
             assert_eq!(out, (0..20).map(|i| i * i).collect::<Vec<_>>(), "jobs={jobs}");
         }
         assert!(map_indexed(4, 0, |i| i).is_empty());
+    }
+
+    /// A deterministically panicking job becomes a structured `Err` in its
+    /// slot — no hang, no scope teardown — and every surviving job's
+    /// result is identical under any job count.
+    #[test]
+    fn panicking_jobs_are_reported_not_fatal() {
+        for jobs in [1, 2, 8] {
+            let out = map_indexed(jobs, 12, |i| {
+                assert!(i != 5, "deliberate probe panic");
+                i * 3
+            });
+            assert_eq!(out.len(), 12, "jobs={jobs}");
+            for (i, r) in out.iter().enumerate() {
+                match r {
+                    Ok(v) if i != 5 => assert_eq!(*v, i * 3),
+                    Err(p) if i == 5 => {
+                        assert_eq!(p.index, 5);
+                        assert!(p.message.contains("deliberate probe panic"), "{p}");
+                    }
+                    other => panic!("jobs={jobs} slot {i}: unexpected {other:?}"),
+                }
+            }
+        }
+    }
+
+    /// A transient panic is absorbed by the single retry.
+    #[test]
+    fn transient_panics_are_retried() {
+        let tripped = AtomicUsize::new(0);
+        let out = map_indexed(2, 8, |i| {
+            if i == 3 && tripped.fetch_add(1, Ordering::SeqCst) == 0 {
+                panic!("transient");
+            }
+            i
+        });
+        assert!(out.iter().enumerate().all(|(i, r)| r.as_ref() == Ok(&i)), "{out:?}");
+        assert_eq!(tripped.load(Ordering::SeqCst), 2, "one failure + one retry");
+    }
+
+    /// `settle` re-runs failed jobs serially so Option-shaped callers
+    /// still get a full result set when the panic was transient.
+    #[test]
+    fn settle_degrades_failed_jobs_to_serial() {
+        let results = vec![Ok(10), Err(JobPanic { index: 1, message: "boom".into() }), Ok(30)];
+        assert_eq!(settle(results, |i| i * 100), vec![10, 100, 30]);
+    }
+
+    /// `sweep_min` keeps its earliest-hit guarantee when a job below the
+    /// eventual minimum panics twice: the serial third attempt re-probes it
+    /// before the answer is accepted.
+    #[test]
+    fn sweep_min_survives_panicking_probes() {
+        for jobs in [2, 3, 8] {
+            // Index 2 panics on its first two attempts, then succeeds with a
+            // hit — the sweep must still surface it as the minimum.
+            let calls = AtomicUsize::new(0);
+            let hit = |i: usize| {
+                if i == 2 && calls.fetch_add(1, Ordering::SeqCst) < 2 {
+                    panic!("flaky probe");
+                }
+                [2, 7, 11].contains(&i).then_some(i * 10)
+            };
+            assert_eq!(sweep_min(jobs, 32, hit), Some((2, 20)), "jobs={jobs}");
+            // A panicking non-hit below the minimum must not mask it.
+            let calls = AtomicUsize::new(0);
+            let hit = |i: usize| {
+                if i == 1 && calls.fetch_add(1, Ordering::SeqCst) < 2 {
+                    panic!("flaky probe");
+                }
+                (i == 7).then_some(i)
+            };
+            assert_eq!(sweep_min(jobs, 32, hit), Some((7, 7)), "jobs={jobs}");
+        }
     }
 
     #[test]

@@ -7,13 +7,18 @@ use crate::{Scenario, ScenarioError};
 use defined_core::bisect::{localise_fault_farm, BisectReport};
 use defined_core::debugger::Debugger;
 use defined_core::explore::ordering_survey_farm;
-use defined_core::gvt::GvtMonitor;
-use defined_core::recorder::{CommitRecord, Recording};
+use defined_core::farm::JobPanic;
+use defined_core::gvt::{gvt_estimate, GvtMonitor};
+use defined_core::ls::first_divergence;
+use defined_core::recorder::{trim_log, CommitRecord, Recording, TickRecord};
 use defined_core::session::DebugSession;
 use defined_core::wire::Wire;
-use defined_core::{DefinedConfig, FarmConfig, LockstepNet, RbNetwork};
+use defined_core::{DefinedConfig, EventClass, FarmConfig, LockstepNet, RbNetwork};
 use defined_obs as obs;
+use defined_store::{FileIo, FsyncPolicy, StoreError, StoreMeta, StoreWriter};
 use netsim::{NodeId, SimTime};
+use std::collections::{HashMap, HashSet};
+use std::path::Path;
 use routing::bgp::{BgpExt, BgpProcess};
 use routing::ospf::OspfProcess;
 use routing::rip::{RipExt, RipProcess};
@@ -160,16 +165,147 @@ fn ospf_outcome(probe: &Probe, cp: &OspfProcess) -> Option<String> {
 /// scenario's size — `LockstepNet::new` asserts on a mismatch, and a
 /// recording from a same-protocol but different-sized scenario should be a
 /// clean [`ScenarioError::BadRecording`], not a panic.
+///
+/// Accepts both serialisations transparently: the on-disk store format
+/// (sniffed by its magic; torn tails recover to the last sync point,
+/// corruption is a typed [`ScenarioError::Store`]) and the raw in-memory
+/// [`Recording::to_bytes`] framing.
 fn decode_for<P>(g: &Graph, bytes: &[u8]) -> Result<Recording<P::Ext>, ScenarioError>
 where
     P: ControlPlane,
     P::Ext: Wire,
 {
-    let rec = Recording::<P::Ext>::from_bytes(bytes).ok_or(ScenarioError::BadRecording)?;
+    let rec = if defined_store::is_store(bytes) {
+        defined_store::open_bytes::<P::Ext>(bytes)?.recording
+    } else {
+        Recording::<P::Ext>::from_bytes(bytes).ok_or(ScenarioError::BadRecording)?
+    };
     if rec.n_nodes != g.node_count() {
         return Err(ScenarioError::BadRecording);
     }
     Ok(rec)
+}
+
+/// Streams a production run's recording into an on-disk store *while the
+/// run is in flight*, so a crash mid-run loses at most one inter-sync
+/// window instead of the whole recording.
+///
+/// Only committed state is durable: the drain frontier trails the GVT
+/// bound by a safety margin, so every streamed frame is below the
+/// rollback floor and can never be invalidated by a later Time-Warp
+/// rewind. Frames the frontier never reached are appended at
+/// [`finish`](Self::finish) from the final canonical recording.
+struct StoreStreamer<X: Wire> {
+    w: StoreWriter<X, FileIo>,
+    /// Streamed externals, keyed `(node, ext_seq)`, valued by group — the
+    /// value lets [`finish`](Self::finish) detect a streamed frame the
+    /// canonical recording no longer contains.
+    seen_ext: HashMap<(NodeId, u64), u64>,
+    /// Streamed ticks, keyed `(node, group)`, valued by beacon source.
+    seen_ticks: HashMap<(NodeId, u64), NodeId>,
+    frontier: u64,
+}
+
+impl<X: Wire> StoreStreamer<X> {
+    fn create(path: &Path, meta: &StoreMeta) -> Result<Self, StoreError> {
+        let io = FileIo::create(path)?;
+        Ok(StoreStreamer {
+            w: StoreWriter::create(io, meta, FsyncPolicy::OnSync)?,
+            seen_ext: HashMap::new(),
+            seen_ticks: HashMap::new(),
+            frontier: 0,
+        })
+    }
+
+    /// Persists everything newly committed since the last drain and
+    /// declares it durable with a sync point.
+    fn drain<P>(&mut self, net: &RbNetwork<P>) -> Result<(), StoreError>
+    where
+        P: ControlPlane<Ext = X> + 'static,
+    {
+        let f = gvt_estimate(net).saturating_sub(2);
+        if f <= self.frontier {
+            return Ok(());
+        }
+        for e in net.externals_so_far() {
+            if e.group <= f && self.seen_ext.insert((e.node, e.ext_seq), e.group).is_none() {
+                self.w.append_ext(&e)?;
+            }
+        }
+        for (i, log) in net.commit_logs().iter().enumerate() {
+            let node = NodeId(i as u32);
+            for r in log {
+                if r.ann.class == EventClass::Beacon
+                    && r.ann.group <= f
+                    && self.seen_ticks.insert((node, r.ann.group), r.ann.origin).is_none()
+                {
+                    self.w.append_tick(&TickRecord {
+                        node,
+                        group: r.ann.group,
+                        source: r.ann.origin,
+                    })?;
+                }
+            }
+        }
+        self.frontier = f;
+        self.w.sync_point(f)
+    }
+
+    /// Appends whatever the streaming frontier never reached — straggler
+    /// externals and ticks, the drops and death cuts (only knowable at
+    /// finalisation) — then closes the store with the commit logs.
+    ///
+    /// One wrinkle: a node restart discards that node's pre-crash
+    /// committed log (DESIGN.md §7), so frames this streamer durably wrote
+    /// mid-run can be absent from the final canonical recording. The file
+    /// is append-only, so when that happens the streamed content is
+    /// retracted with a [`StoreWriter::reset`] tombstone and the canonical
+    /// recording is appended whole — the finished store always opens to
+    /// exactly `rec`, while a torn (pre-finish) file still recovers the
+    /// streamed prefix, which was committed truth at the time it synced.
+    fn finish(
+        mut self,
+        rec: &Recording<X>,
+        commits: &[Vec<CommitRecord>],
+        upto: u64,
+    ) -> Result<(), StoreError> {
+        let rec_ext: HashSet<(NodeId, u64, u64)> =
+            rec.externals.iter().map(|e| (e.node, e.ext_seq, e.group)).collect();
+        let rec_ticks: HashSet<(NodeId, u64, NodeId)> =
+            rec.ticks.iter().map(|t| (t.node, t.group, t.source)).collect();
+        // Ticks past `last_group` are dropped on open regardless, so only
+        // in-range stragglers count as superseded.
+        let superseded = self
+            .seen_ext
+            .iter()
+            .any(|(&(node, seq), &group)| !rec_ext.contains(&(node, seq, group)))
+            || self.seen_ticks.iter().any(|(&(node, group), &source)| {
+                group <= rec.last_group && !rec_ticks.contains(&(node, group, source))
+            });
+        if superseded {
+            self.w.reset()?;
+            self.seen_ext.clear();
+            self.seen_ticks.clear();
+        }
+        for e in &rec.externals {
+            if !self.seen_ext.contains_key(&(e.node, e.ext_seq)) {
+                self.w.append_ext(e)?;
+            }
+        }
+        for t in &rec.ticks {
+            if !self.seen_ticks.contains_key(&(t.node, t.group)) {
+                self.w.append_tick(t)?;
+            }
+        }
+        for d in &rec.drops {
+            self.w.append_drop(d)?;
+        }
+        for m in &rec.mutes {
+            self.w.append_mute(m)?;
+        }
+        self.w.finish(rec.last_group, upto, commits)?;
+        Ok(())
+    }
 }
 
 impl Scenario {
@@ -325,20 +461,33 @@ impl Scenario {
     /// Runs the instrumented production network and extracts the partial
     /// recording (the `record` half of the workflow).
     pub fn record_run(&self) -> Result<RecordedRun, ScenarioError> {
+        self.record_dispatch(None)
+    }
+
+    /// [`record_run`](Self::record_run), additionally *streaming* the
+    /// recording into an on-disk store at `path` as the run progresses:
+    /// committed frames are appended and fsynced at every sync point, so a
+    /// crash mid-run leaves a recoverable prefix instead of nothing. The
+    /// returned [`RecordedRun`] is identical to the store-less path.
+    pub fn record_run_to_store(&self, path: &Path) -> Result<RecordedRun, ScenarioError> {
+        self.record_dispatch(Some(path))
+    }
+
+    fn record_dispatch(&self, store: Option<&Path>) -> Result<RecordedRun, ScenarioError> {
         let g = self.checked_build()?;
         match self.protocol {
             ProtocolSpec::Rip { mode } => {
                 let procs = crate::registry::rip_processes(&g, mode);
-                self.record_typed(&g, procs, ext_to_rip, |net| self.probe_rip(net))
+                self.record_typed(&g, procs, ext_to_rip, |net| self.probe_rip(net), store)
             }
             ProtocolSpec::Ospf => {
                 let procs = crate::registry::ospf_processes(&g);
-                self.record_typed(&g, procs, ext_to_ospf, |net| self.probe_ospf(net))
+                self.record_typed(&g, procs, ext_to_ospf, |net| self.probe_ospf(net), store)
             }
             ProtocolSpec::Bgp { mode } => {
                 let roles = self.topology.fig4_roles().expect("validated");
                 let procs = crate::registry::bgp_fig4_processes(&roles, mode);
-                self.record_typed(&g, procs, ext_to_bgp, |net| self.probe_bgp(net))
+                self.record_typed(&g, procs, ext_to_bgp, |net| self.probe_bgp(net), store)
             }
         }
     }
@@ -426,6 +575,7 @@ impl Scenario {
         procs: Vec<P>,
         conv: impl Fn(&ExtSpec) -> Option<P::Ext>,
         outcome: impl FnOnce(&RbNetwork<P>) -> Option<String>,
+        store: Option<&Path>,
     ) -> Result<RecordedRun, ScenarioError>
     where
         P: ControlPlane + Clone + 'static,
@@ -434,6 +584,17 @@ impl Scenario {
         let mut net = RbNetwork::new(g, DefinedConfig::default(), self.seed, self.jitter_frac, {
             move |id: NodeId| procs[id.index()].clone()
         });
+        let mut streamer = match store {
+            Some(path) => {
+                let meta = StoreMeta {
+                    n_nodes: g.node_count(),
+                    source: net.initial_source(),
+                    scenario: self.name.clone(),
+                };
+                Some(StoreStreamer::create(path, &meta)?)
+            }
+            None => None,
+        };
         for inj in &self.workload {
             let ev = conv(&inj.ev).ok_or_else(|| {
                 ScenarioError::Invalid(format!("injection {:?} does not fit the protocol", inj.ev))
@@ -468,6 +629,9 @@ impl Scenario {
             t = (t + slice).min(end);
             net.run_until(t);
             monitor.observe(&net);
+            if let Some(s) = streamer.as_mut() {
+                s.drain(&net)?;
+            }
         }
         let outcome = outcome(&net);
         let upto = net.completed_group(2);
@@ -490,6 +654,14 @@ impl Scenario {
             rollbacks: m.rollbacks,
         };
         let (rec, logs) = net.into_recording();
+        if let Some(s) = streamer {
+            // Store the commit logs trimmed to the comparison horizon: that
+            // is exactly the prefix `verify` replays against, and groups
+            // past `upto` are not settled network-wide anyway.
+            let trimmed: Vec<Vec<CommitRecord>> =
+                logs.iter().map(|l| trim_log(l, upto)).collect();
+            s.finish(&rec, &trimmed, upto)?;
+        }
         Ok(RecordedRun {
             bytes: rec.to_bytes(),
             n_groups: rec.last_group,
@@ -692,13 +864,22 @@ impl Scenario {
         // string, from which both the sensitivity tally and the earliest
         // divergence fall out — half the replays of a find-then-count pair.
         let outcomes = ordering_survey_farm(g, &cfg, &rec, &spawn, 0..salts, read, farm);
-        let divergent = outcomes.iter().filter(|o| **o != baseline).count();
-        let found = outcomes
-            .into_iter()
-            .enumerate()
-            .find(|(_, o)| *o != baseline)
-            .map(|(i, o)| (i as u64, o));
-        Ok(ExploreReport { baseline, found, divergent, total: salts as usize })
+        let mut divergent = 0;
+        let mut found = None;
+        let mut failures = Vec::new();
+        for (i, o) in outcomes.into_iter().enumerate() {
+            match o {
+                Ok(o) if o != baseline => {
+                    divergent += 1;
+                    if found.is_none() {
+                        found = Some((i as u64, o));
+                    }
+                }
+                Ok(_) => {}
+                Err(p) => failures.push(p),
+            }
+        }
+        Ok(ExploreReport { baseline, found, divergent, total: salts as usize, failures })
     }
 
     fn bisect_typed<P>(
@@ -741,6 +922,72 @@ impl Scenario {
         });
         Ok(Some(BisectSummary { outcome: target, report, event }))
     }
+
+    /// Verifies an on-disk recording store end to end: structural
+    /// integrity (every frame CRC, self-check tallies), then a fresh
+    /// lockstep replay checked entry-by-entry against the commit logs the
+    /// production run stored. Strict: a store that needed torn-tail
+    /// recovery, or whose bytes were corrupted anywhere, is a typed
+    /// [`ScenarioError::Store`] — never a panic, never a silent pass.
+    pub fn verify_store(&self, bytes: &[u8], shards: usize) -> Result<VerifyReport, ScenarioError> {
+        let g = self.checked_build()?;
+        match self.protocol {
+            ProtocolSpec::Rip { mode } => {
+                self.verify_typed(&g, crate::registry::rip_processes(&g, mode), bytes, shards)
+            }
+            ProtocolSpec::Ospf => {
+                self.verify_typed(&g, crate::registry::ospf_processes(&g), bytes, shards)
+            }
+            ProtocolSpec::Bgp { mode } => {
+                let roles = self.topology.fig4_roles().expect("validated");
+                self.verify_typed(
+                    &g,
+                    crate::registry::bgp_fig4_processes(&roles, mode),
+                    bytes,
+                    shards,
+                )
+            }
+        }
+    }
+
+    fn verify_typed<P>(
+        &self,
+        g: &Graph,
+        procs: Vec<P>,
+        bytes: &[u8],
+        shards: usize,
+    ) -> Result<VerifyReport, ScenarioError>
+    where
+        P: ControlPlane + Clone + 'static,
+        P::Ext: Wire,
+    {
+        let r = defined_store::open_bytes_strict::<P::Ext>(bytes)?;
+        if r.recording.n_nodes != g.node_count() {
+            return Err(ScenarioError::BadRecording);
+        }
+        let commits = r.commits.expect("strict open only passes finished stores");
+        let upto = r.upto.expect("strict open only passes finished stores");
+        let last_group = r.recording.last_group;
+        let mut ls =
+            LockstepNet::new(g, DefinedConfig::default(), r.recording, move |id: NodeId| {
+                procs[id.index()].clone()
+            })
+            .with_shards(shards);
+        ls.run_to_end();
+        let divergence = first_divergence(&commits, ls.logs(), upto).map(|(node, i, a, b)| {
+            format!("node {node}, entry {i}: stored {a:?}, replay {b:?}")
+        });
+        let checked_entries = commits.iter().map(|l| trim_log(l, upto).len()).sum();
+        Ok(VerifyReport {
+            scenario: r.info.scenario,
+            frames: r.info.frames,
+            last_group,
+            upto,
+            checked_nodes: commits.len(),
+            checked_entries,
+            divergence,
+        })
+    }
 }
 
 /// What an ordering sweep over a scenario's recording found.
@@ -755,6 +1002,10 @@ pub struct ExploreReport {
     pub divergent: usize,
     /// How many salts were swept.
     pub total: usize,
+    /// Jobs whose probe panicked even after a retry and a serial fallback;
+    /// their salts are excluded from the tallies above. Surfaced instead
+    /// of aborting the sweep — one poisoned salt should not cost the rest.
+    pub failures: Vec<JobPanic>,
 }
 
 impl ExploreReport {
@@ -769,6 +1020,9 @@ impl ExploreReport {
                 out.push_str(&format!("first divergence: salt {salt} -> {outcome}\n"));
             }
             None => out.push_str("no divergent ordering in the swept range\n"),
+        }
+        for p in &self.failures {
+            out.push_str(&format!("WARNING: {p}; its salt is excluded from the sweep\n"));
         }
         out
     }
@@ -799,7 +1053,59 @@ impl BisectSummary {
             Some(ev) => out.push_str(&format!("culprit event: {ev}\n")),
             None => out.push_str("culprit event: at the group boundary (no single delivery)\n"),
         }
+        if let Some((bad, healthy)) = self.report.oscillation {
+            out.push_str(&format!(
+                "WARNING: the predicate oscillates — group {bad} already reports the \
+                 outcome but later group {healthy} does not; the located group is where \
+                 it *last* became established, not a provable first cause\n"
+            ));
+        }
         out
+    }
+}
+
+/// What [`Scenario::verify_store`] checked and found.
+#[derive(Clone, Debug)]
+pub struct VerifyReport {
+    /// Scenario name recorded in the store's meta frame.
+    pub scenario: String,
+    /// Valid frames in the store.
+    pub frames: usize,
+    /// Highest group the stored run completed.
+    pub last_group: u64,
+    /// Comparison horizon: groups `<= upto` are settled network-wide and
+    /// were checked against the replay.
+    pub upto: u64,
+    /// Nodes whose commit logs were compared.
+    pub checked_nodes: usize,
+    /// Commit-log entries compared (trimmed to the horizon).
+    pub checked_entries: usize,
+    /// First replay/stored mismatch, rendered — `None` when the replay
+    /// matches the stored logs exactly.
+    pub divergence: Option<String>,
+}
+
+impl VerifyReport {
+    /// Whether verification passed.
+    pub fn ok(&self) -> bool {
+        self.divergence.is_none()
+    }
+
+    /// Multi-line CLI rendering.
+    pub fn render(&self) -> String {
+        let head = format!(
+            "scenario {}: {} frames, last group {}, replay horizon {}\n",
+            self.scenario, self.frames, self.last_group, self.upto,
+        );
+        match &self.divergence {
+            Some(d) => format!(
+                "{head}VERIFY FAILED: replay diverges from the stored commit log\n  {d}\n"
+            ),
+            None => format!(
+                "{head}verify ok: {} commit-log entries across {} node(s) match a fresh replay\n",
+                self.checked_entries, self.checked_nodes,
+            ),
+        }
     }
 }
 

@@ -54,7 +54,7 @@ pub mod registry;
 pub mod scn;
 pub mod spec;
 
-pub use engine::{BisectSummary, ExploreReport, RecordedRun};
+pub use engine::{BisectSummary, ExploreReport, RecordedRun, VerifyReport};
 pub use registry::{bgp_fig4_processes, find, ospf_processes, registry, rip_processes};
 pub use spec::{ExtSpec, Fault, Injection, Probe, ProtocolSpec, TopologySpec};
 
@@ -118,6 +118,10 @@ pub enum ScenarioError {
     },
     /// The recording bytes do not decode under this scenario's protocol.
     BadRecording,
+    /// An on-disk recording store failed to open, verify, or write — the
+    /// inner error names the offset and the kind of corruption or I/O
+    /// failure (DESIGN.md §12).
+    Store(defined_store::StoreError),
 }
 
 impl std::fmt::Display for ScenarioError {
@@ -126,8 +130,22 @@ impl std::fmt::Display for ScenarioError {
             ScenarioError::Invalid(msg) => write!(f, "invalid scenario: {msg}"),
             ScenarioError::Parse { line, msg } => write!(f, "scn parse error (line {line}): {msg}"),
             ScenarioError::BadRecording => write!(f, "recording does not match the scenario"),
+            ScenarioError::Store(e) => write!(f, "recording store: {e}"),
         }
     }
 }
 
-impl std::error::Error for ScenarioError {}
+impl std::error::Error for ScenarioError {
+    fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
+        match self {
+            ScenarioError::Store(e) => Some(e),
+            _ => None,
+        }
+    }
+}
+
+impl From<defined_store::StoreError> for ScenarioError {
+    fn from(e: defined_store::StoreError) -> Self {
+        ScenarioError::Store(e)
+    }
+}

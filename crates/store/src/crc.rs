@@ -1,0 +1,58 @@
+//! CRC-32 (IEEE 802.3): the frame checksum of the `.drec` format.
+//!
+//! Hand-rolled because the build host is offline — no `crc32fast`. The
+//! reflected-polynomial table variant below is the classic byte-at-a-time
+//! formulation; it is not the throughput bottleneck of the store (frame
+//! encoding and fsync are), so no slicing-by-8 heroics.
+
+/// Reflected CRC-32 polynomial (IEEE 802.3 / zlib / PNG).
+const POLY: u32 = 0xEDB8_8320;
+
+const fn build_table() -> [u32; 256] {
+    let mut table = [0u32; 256];
+    let mut i = 0;
+    while i < 256 {
+        let mut c = i as u32;
+        let mut bit = 0;
+        while bit < 8 {
+            c = if c & 1 != 0 { POLY ^ (c >> 1) } else { c >> 1 };
+            bit += 1;
+        }
+        table[i] = c;
+        i += 1;
+    }
+    table
+}
+
+static TABLE: [u32; 256] = build_table();
+
+/// CRC-32 of `bytes` (init `0xFFFF_FFFF`, final xor `0xFFFF_FFFF` — the
+/// standard zlib/PNG parameterisation).
+pub fn crc32(bytes: &[u8]) -> u32 {
+    let mut c = !0u32;
+    for &b in bytes {
+        c = TABLE[((c ^ b as u32) & 0xFF) as usize] ^ (c >> 8);
+    }
+    !c
+}
+
+#[cfg(test)]
+mod tests {
+    use super::crc32;
+
+    /// The standard check value: CRC-32("123456789") = 0xCBF43926.
+    #[test]
+    fn matches_the_reference_vectors() {
+        assert_eq!(crc32(b"123456789"), 0xCBF4_3926);
+        assert_eq!(crc32(b""), 0);
+        assert_eq!(crc32(b"a"), 0xE8B7_BE43);
+        // Any single-bit flip changes the checksum (spot check).
+        let base = crc32(b"defined-store");
+        let mut buf = b"defined-store".to_vec();
+        for i in 0..buf.len() * 8 {
+            buf[i / 8] ^= 1 << (i % 8);
+            assert_ne!(crc32(&buf), base, "flip at bit {i} went undetected");
+            buf[i / 8] ^= 1 << (i % 8);
+        }
+    }
+}

@@ -1,0 +1,248 @@
+//! The `.drec` on-disk layout: header, frame kinds, and the typed error
+//! taxonomy every read path reports through. DESIGN.md §12 documents the
+//! format and its recovery invariants in full.
+
+use netsim::NodeId;
+use routing::enc::{put_u16, put_u32, put_u64, Reader};
+
+/// File magic: the first four bytes of every `.drec` store.
+pub const MAGIC: [u8; 4] = *b"DREC";
+
+/// Current format version, stored little-endian after the magic.
+pub const VERSION: u16 = 1;
+
+/// Fixed header length: magic (4) + version (2) + reserved (2) + CRC-32 of
+/// the preceding eight bytes (4).
+pub const HEADER_LEN: usize = 12;
+
+/// Per-frame overhead: kind (1) + payload length (4) + CRC-32 (4).
+pub const FRAME_OVERHEAD: usize = 9;
+
+/// Sanity cap on a single frame's declared payload length. A frame longer
+/// than this is corrupt by fiat — the cap keeps a flipped length byte from
+/// ever driving a giant allocation or a multi-gigabyte scan-ahead.
+pub const MAX_FRAME_LEN: u32 = 1 << 28;
+
+/// Frame kind bytes. The writer's layout contract: `META`, a `SYNC` at
+/// group 0, data frames (`EXT`/`DROP`/`MUTE`/`TICK`) interleaved with
+/// further `SYNC`s, then — only when the run closed cleanly — an optional
+/// `RESET` tombstone plus replacement data frames, one `COMMITS` frame
+/// per node, and a single terminal `FINISH`.
+pub(crate) mod kind {
+    /// Run metadata (node count, beacon source, scenario name).
+    pub const META: u8 = 0;
+    /// One [`ExtRecord`](defined_core::recorder::ExtRecord).
+    pub const EXT: u8 = 1;
+    /// One [`DropByIndex`](defined_core::recorder::DropByIndex).
+    pub const DROP: u8 = 2;
+    /// One [`MuteRecord`](defined_core::recorder::MuteRecord) (death cut).
+    pub const MUTE: u8 = 3;
+    /// One [`TickRecord`](defined_core::recorder::TickRecord).
+    pub const TICK: u8 = 4;
+    /// Durability point: everything before it is recoverable.
+    pub const SYNC: u8 = 5;
+    /// One node's committed delivery log.
+    pub const COMMITS: u8 = 6;
+    /// Terminal frame: run summary + self-check counts.
+    pub const FINISH: u8 = 7;
+    /// Retraction tombstone: every data frame before it is superseded by
+    /// the frames that follow. An append-only file cannot unwrite, so
+    /// when finalisation discovers streamed frames the canonical
+    /// recording no longer contains (a node restart discards its
+    /// pre-crash committed log), the writer tombstones the stream and
+    /// appends the authoritative content. Only ever followed by data
+    /// frames and the closing segment, never by a sync point — so a torn
+    /// tail still recovers to a pre-reset (streamed) prefix.
+    pub const RESET: u8 = 8;
+    /// Highest assigned kind byte.
+    pub const MAX: u8 = RESET;
+}
+
+/// Why a structurally complete region of a store failed validation.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum CorruptReason {
+    /// The stored frame checksum does not match the frame bytes.
+    BadCrc,
+    /// The frame kind byte names no known record type.
+    UnknownKind(u8),
+    /// The declared payload length exceeds [`MAX_FRAME_LEN`].
+    OversizedFrame(u32),
+    /// A CRC-valid frame's payload failed to decode (names the frame type).
+    BadPayload(&'static str),
+    /// Bytes present beyond the terminal finish frame.
+    TrailingData,
+    /// A self-check tally (sync point or finish summary) disagrees with
+    /// the frames actually present (names the check).
+    CountMismatch(&'static str),
+}
+
+impl std::fmt::Display for CorruptReason {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            CorruptReason::BadCrc => write!(f, "frame checksum mismatch"),
+            CorruptReason::UnknownKind(k) => write!(f, "unknown frame kind {k}"),
+            CorruptReason::OversizedFrame(n) => {
+                write!(f, "declared frame length {n} exceeds the {MAX_FRAME_LEN}-byte cap")
+            }
+            CorruptReason::BadPayload(what) => write!(f, "undecodable {what} payload"),
+            CorruptReason::TrailingData => write!(f, "trailing bytes after the finish frame"),
+            CorruptReason::CountMismatch(what) => write!(f, "{what} self-check count mismatch"),
+        }
+    }
+}
+
+/// Everything that can go wrong opening, scanning, or writing a store.
+/// Every reader path returns one of these — never a panic — and each
+/// variant says what a caller can do about it.
+#[derive(Debug)]
+pub enum StoreError {
+    /// The underlying I/O failed (writer paths, file opens).
+    Io(std::io::Error),
+    /// The input is shorter than the fixed header.
+    TooShort {
+        /// Actual byte length presented.
+        len: usize,
+    },
+    /// The input does not start with the `DREC` magic — not a store.
+    BadMagic,
+    /// A store of an unsupported format version.
+    BadVersion(u16),
+    /// The header bytes fail their own checksum.
+    CorruptHeader,
+    /// Mid-file corruption: a structurally complete frame at `offset` is
+    /// invalid. Unlike a torn tail this is never auto-recovered — the
+    /// damage is inside the durable region, so the caller must decide.
+    Corrupt {
+        /// Byte offset of the offending frame.
+        offset: usize,
+        /// What failed.
+        reason: CorruptReason,
+    },
+    /// The file is torn before its first sync point — nothing recoverable.
+    NoSyncPoint {
+        /// Byte offset where the valid prefix ends.
+        offset: usize,
+    },
+    /// Strict-mode rejection of an unfinished (crash-recovered) store:
+    /// the data is valid up to `synced_group`, but the run never closed.
+    Unfinished {
+        /// Last durable sync point's group.
+        synced_group: u64,
+        /// Bytes past that sync point that recovery would discard.
+        dropped_bytes: u64,
+    },
+}
+
+impl std::fmt::Display for StoreError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            StoreError::Io(e) => write!(f, "store I/O failed: {e}"),
+            StoreError::TooShort { len } => {
+                write!(f, "{len} byte(s) is shorter than the {HEADER_LEN}-byte store header")
+            }
+            StoreError::BadMagic => write!(f, "not a recording store (bad magic)"),
+            StoreError::BadVersion(v) => {
+                write!(f, "store format version {v} is not supported (this build reads {VERSION})")
+            }
+            StoreError::CorruptHeader => write!(f, "store header fails its checksum"),
+            StoreError::Corrupt { offset, reason } => {
+                write!(f, "corrupt frame at byte {offset}: {reason}")
+            }
+            StoreError::NoSyncPoint { offset } => {
+                write!(f, "torn before the first sync point (valid prefix ends at byte {offset})")
+            }
+            StoreError::Unfinished { synced_group, dropped_bytes } => write!(
+                f,
+                "store is unfinished: recoverable to sync point at group {synced_group}, \
+                 discarding {dropped_bytes} tail byte(s)"
+            ),
+        }
+    }
+}
+
+impl std::error::Error for StoreError {
+    fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
+        match self {
+            StoreError::Io(e) => Some(e),
+            _ => None,
+        }
+    }
+}
+
+impl From<std::io::Error> for StoreError {
+    fn from(e: std::io::Error) -> Self {
+        StoreError::Io(e)
+    }
+}
+
+/// Run metadata carried in the store's first frame — enough to identify
+/// and replay the recording without out-of-band context.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct StoreMeta {
+    /// Nodes in the recorded network.
+    pub n_nodes: usize,
+    /// The initially configured beacon source
+    /// ([`Recording::source`](defined_core::recorder::Recording::source)).
+    pub source: NodeId,
+    /// Name of the scenario that produced the run (empty when unknown).
+    pub scenario: String,
+}
+
+/// Upper bound on a credible node count in a meta frame. The meta payload
+/// is CRC-protected, so this only guards against a hand-crafted hostile
+/// file turning `Vec::with_capacity(n_nodes)` into an allocation bomb.
+const MAX_NODES: u64 = 1 << 24;
+
+impl StoreMeta {
+    pub(crate) fn encode(&self, buf: &mut Vec<u8>) {
+        put_u64(buf, self.n_nodes as u64);
+        put_u32(buf, self.source.0);
+        put_u64(buf, self.scenario.len() as u64);
+        buf.extend_from_slice(self.scenario.as_bytes());
+    }
+
+    pub(crate) fn decode(r: &mut Reader<'_>) -> Option<Self> {
+        let n_nodes = r.u64()?;
+        if n_nodes == 0 || n_nodes > MAX_NODES {
+            return None;
+        }
+        let source = NodeId(r.u32()?);
+        let name_len = r.len()?;
+        let scenario = String::from_utf8(r.bytes(name_len)?.to_vec()).ok()?;
+        Some(StoreMeta { n_nodes: n_nodes as usize, source, scenario })
+    }
+}
+
+/// Encodes the fixed file header (magic, version, reserved, header CRC).
+pub(crate) fn encode_header(buf: &mut Vec<u8>) {
+    buf.extend_from_slice(&MAGIC);
+    put_u16(buf, VERSION);
+    put_u16(buf, 0); // Reserved.
+    let crc = crate::crc::crc32(&buf[buf.len() - 8..]);
+    put_u32(buf, crc);
+}
+
+/// Validates the fixed header, returning the format version.
+pub(crate) fn check_header(bytes: &[u8]) -> Result<u16, StoreError> {
+    if bytes.len() < HEADER_LEN {
+        return Err(StoreError::TooShort { len: bytes.len() });
+    }
+    if bytes[..4] != MAGIC {
+        return Err(StoreError::BadMagic);
+    }
+    let stored = u32::from_le_bytes(bytes[8..12].try_into().expect("4 bytes"));
+    if crate::crc::crc32(&bytes[..8]) != stored {
+        return Err(StoreError::CorruptHeader);
+    }
+    let version = u16::from_le_bytes(bytes[4..6].try_into().expect("2 bytes"));
+    if version != VERSION {
+        return Err(StoreError::BadVersion(version));
+    }
+    Ok(version)
+}
+
+/// Whether `bytes` begin with the store magic — the cheap sniff the engine
+/// uses to tell a `.drec` store from a legacy raw recording.
+pub fn is_store(bytes: &[u8]) -> bool {
+    bytes.len() >= MAGIC.len() && bytes[..MAGIC.len()] == MAGIC
+}

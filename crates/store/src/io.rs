@@ -1,0 +1,194 @@
+//! The injectable I/O layer under the store writer.
+//!
+//! Everything the writer does to a byte sink goes through [`StoreIo`], so
+//! the same writer code runs against a real file ([`FileIo`]), an
+//! in-memory buffer ([`VecIo`]), or a fault injector ([`FaultyIo`]) that
+//! fails the Nth write, short-writes it, or silently stops persisting —
+//! the crash simulations the recovery tests are built on.
+
+use std::fs::File;
+use std::io::{self, Write};
+use std::path::Path;
+
+/// A byte sink the [`StoreWriter`](crate::writer::StoreWriter) appends to.
+///
+/// The writer issues exactly one `write_all` per frame, so an injected
+/// fault on the Nth write tears the file at the Nth frame boundary (or
+/// inside it, for short writes) — precisely the shapes a real crash
+/// leaves behind.
+pub trait StoreIo {
+    /// Appends `buf` in full, or reports why it could not.
+    fn write_all(&mut self, buf: &[u8]) -> io::Result<()>;
+    /// Flushes everything written so far to durable storage.
+    fn sync(&mut self) -> io::Result<()>;
+}
+
+/// Writers consume their sink; going through `&mut` lets a caller keep
+/// ownership — essential with [`FaultyIo`], where the interesting bytes
+/// are the ones persisted *before* the injected failure.
+impl<T: StoreIo + ?Sized> StoreIo for &mut T {
+    fn write_all(&mut self, buf: &[u8]) -> io::Result<()> {
+        (**self).write_all(buf)
+    }
+
+    fn sync(&mut self) -> io::Result<()> {
+        (**self).sync()
+    }
+}
+
+/// Real-file backend: appends to a freshly created file, `sync` is
+/// `fdatasync`.
+pub struct FileIo {
+    file: File,
+}
+
+impl FileIo {
+    /// Creates (truncating) the store file at `path`.
+    pub fn create(path: &Path) -> io::Result<Self> {
+        Ok(FileIo { file: File::create(path)? })
+    }
+}
+
+impl StoreIo for FileIo {
+    fn write_all(&mut self, buf: &[u8]) -> io::Result<()> {
+        self.file.write_all(buf)
+    }
+
+    fn sync(&mut self) -> io::Result<()> {
+        self.file.sync_data()
+    }
+}
+
+/// In-memory backend for tests and round trips; `sync` is a no-op.
+#[derive(Default)]
+pub struct VecIo {
+    /// Everything written so far.
+    pub bytes: Vec<u8>,
+}
+
+impl VecIo {
+    /// An empty in-memory sink.
+    pub fn new() -> Self {
+        Self::default()
+    }
+}
+
+impl StoreIo for VecIo {
+    fn write_all(&mut self, buf: &[u8]) -> io::Result<()> {
+        self.bytes.extend_from_slice(buf);
+        Ok(())
+    }
+
+    fn sync(&mut self) -> io::Result<()> {
+        Ok(())
+    }
+}
+
+/// The fault to inject. Write calls are counted from 1.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum FaultMode {
+    /// The `nth` write call persists nothing and returns an error.
+    FailWrite {
+        /// 1-based index of the failing write call.
+        nth: usize,
+    },
+    /// The `nth` write call persists only its first `keep` bytes, then
+    /// returns an error — a torn write.
+    ShortWrite {
+        /// 1-based index of the failing write call.
+        nth: usize,
+        /// Bytes of that write that do reach the sink.
+        keep: usize,
+    },
+    /// Every write call reports success, but only the first `bytes` bytes
+    /// are actually persisted — the kernel-page-cache lie a power loss
+    /// exposes. `sync` also (silently) succeeds; what survives is exactly
+    /// the byte budget.
+    KillAfter {
+        /// Total byte budget that reaches durable storage.
+        bytes: usize,
+    },
+}
+
+/// A [`StoreIo`] that injects one configured fault, retaining what a
+/// crashed process would actually have left on disk.
+pub struct FaultyIo {
+    mode: FaultMode,
+    writes: usize,
+    persisted: Vec<u8>,
+}
+
+impl FaultyIo {
+    /// A sink that will misbehave per `mode`.
+    pub fn new(mode: FaultMode) -> Self {
+        FaultyIo { mode, writes: 0, persisted: Vec::new() }
+    }
+
+    /// The bytes that actually made it to "disk".
+    pub fn persisted(&self) -> &[u8] {
+        &self.persisted
+    }
+
+    /// Consumes the sink, yielding the persisted bytes.
+    pub fn into_bytes(self) -> Vec<u8> {
+        self.persisted
+    }
+}
+
+impl StoreIo for FaultyIo {
+    fn write_all(&mut self, buf: &[u8]) -> io::Result<()> {
+        self.writes += 1;
+        match self.mode {
+            FaultMode::FailWrite { nth } if self.writes == nth => {
+                Err(io::Error::other("injected write failure"))
+            }
+            FaultMode::ShortWrite { nth, keep } if self.writes == nth => {
+                self.persisted.extend_from_slice(&buf[..keep.min(buf.len())]);
+                Err(io::Error::new(io::ErrorKind::WriteZero, "injected short write"))
+            }
+            FaultMode::KillAfter { bytes } => {
+                let room = bytes.saturating_sub(self.persisted.len());
+                self.persisted.extend_from_slice(&buf[..room.min(buf.len())]);
+                Ok(()) // The page cache accepted it; durability is a lie.
+            }
+            _ => {
+                self.persisted.extend_from_slice(buf);
+                Ok(())
+            }
+        }
+    }
+
+    fn sync(&mut self) -> io::Result<()> {
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn fail_write_drops_the_nth_call_entirely() {
+        let mut io = FaultyIo::new(FaultMode::FailWrite { nth: 2 });
+        io.write_all(b"aa").unwrap();
+        assert!(io.write_all(b"bb").is_err());
+        io.write_all(b"cc").unwrap();
+        assert_eq!(io.persisted(), b"aacc");
+    }
+
+    #[test]
+    fn short_write_keeps_a_prefix() {
+        let mut io = FaultyIo::new(FaultMode::ShortWrite { nth: 1, keep: 3 });
+        assert!(io.write_all(b"hello").is_err());
+        assert_eq!(io.persisted(), b"hel");
+    }
+
+    #[test]
+    fn kill_after_lies_about_success() {
+        let mut io = FaultyIo::new(FaultMode::KillAfter { bytes: 4 });
+        io.write_all(b"abc").unwrap();
+        io.write_all(b"def").unwrap();
+        io.sync().unwrap();
+        assert_eq!(io.persisted(), b"abcd");
+    }
+}

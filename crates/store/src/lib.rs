@@ -1,0 +1,238 @@
+//! `defined-store`: the append-only, crash-safe on-disk recording format.
+//!
+//! A `.drec` store is a versioned header followed by length-prefixed,
+//! CRC-32-framed records (reusing the [`Wire`](defined_core::wire::Wire)
+//! codecs of the in-memory [`Recording`](defined_core::recorder::Recording)),
+//! punctuated by periodic **sync points** that bound what a crash can
+//! lose. Opening a store recovers a torn tail back to the last valid sync
+//! point; mid-file corruption (bit flip, bad length, bad CRC) is a typed
+//! [`StoreError`] — never a panic, never a silently wrong replay.
+//!
+//! The writer runs over an injectable [`StoreIo`] so the recovery
+//! guarantees are *demonstrated* by fault injection ([`FaultyIo`]:
+//! failed, short, and silently-dropped writes), not assumed. DESIGN.md
+//! §12 specifies the layout and the recovery invariants.
+
+#![warn(missing_docs)]
+
+mod crc;
+mod format;
+mod io;
+mod reader;
+mod writer;
+
+pub use crc::crc32;
+pub use format::{is_store, CorruptReason, StoreError, StoreMeta, HEADER_LEN, MAGIC, MAX_FRAME_LEN, VERSION};
+pub use io::{FaultMode, FaultyIo, FileIo, StoreIo, VecIo};
+pub use reader::{open_bytes, open_bytes_strict, scan, Recovered, ScanInfo};
+pub use writer::{write_recording, FsyncPolicy, StoreWriter};
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use defined_core::recorder::{DropByIndex, ExtRecord, Recording, TickRecord};
+    use netsim::NodeId;
+
+    fn sample() -> (StoreMeta, Recording<u64>) {
+        let meta =
+            StoreMeta { n_nodes: 3, source: NodeId(0), scenario: "unit-sample".to_string() };
+        let rec = Recording {
+            n_nodes: 3,
+            source: NodeId(0),
+            externals: vec![
+                ExtRecord { node: NodeId(1), ext_seq: 1, group: 2, payload: 11u64 },
+                ExtRecord { node: NodeId(2), ext_seq: 1, group: 5, payload: 22u64 },
+                ExtRecord { node: NodeId(0), ext_seq: 1, group: 9, payload: 33u64 },
+            ],
+            drops: vec![DropByIndex { sender: NodeId(2), idx: 4 }],
+            mutes: vec![],
+            ticks: vec![
+                TickRecord { node: NodeId(0), group: 1, source: NodeId(0) },
+                TickRecord { node: NodeId(1), group: 4, source: NodeId(0) },
+            ],
+            last_group: 8,
+        };
+        (meta, rec)
+    }
+
+    fn write_sample(sync_every: u64) -> (Recording<u64>, Vec<u8>) {
+        let (meta, rec) = sample();
+        let commits = vec![Vec::new(), Vec::new(), Vec::new()];
+        let io = write_recording(VecIo::new(), &meta, &rec, &commits, rec.last_group, sync_every, FsyncPolicy::Never)
+            .expect("VecIo cannot fail");
+        (rec, io.bytes)
+    }
+
+    #[test]
+    fn round_trips_a_recording() {
+        let (rec, bytes) = write_sample(2);
+        assert!(is_store(&bytes));
+        let opened = open_bytes::<u64>(&bytes).expect("valid store");
+        assert_eq!(opened.recording, rec);
+        assert!(opened.info.finished);
+        assert_eq!(opened.info.scenario, "unit-sample");
+        assert_eq!(opened.upto, Some(8));
+        assert_eq!(opened.commits.as_deref().map(<[_]>::len), Some(3));
+        let info = scan(&bytes).expect("scan");
+        assert_eq!(info.n_ext, 3);
+        assert_eq!(info.n_ticks, 2);
+        assert_eq!(info.recovered_tail_bytes, 0);
+    }
+
+    #[test]
+    fn torn_tail_recovers_to_the_last_sync_point() {
+        let (rec, bytes) = write_sample(2);
+        // Chop the closing segment: everything after the header plus a
+        // few frames. Walk forward to a byte that keeps ≥ 1 sync point
+        // but loses the finish frame.
+        let cut = bytes.len() - 10;
+        let opened = open_bytes::<u64>(&bytes[..cut]).expect("recoverable");
+        assert!(!opened.info.finished);
+        assert!(opened.info.recovered_tail_bytes > 0);
+        assert!(opened.commits.is_none());
+        assert!(opened.recording.last_group <= rec.last_group);
+        // Strict mode refuses what plain open recovers.
+        match open_bytes_strict::<u64>(&bytes[..cut]) {
+            Err(StoreError::Unfinished { .. }) => {}
+            other => panic!("expected Unfinished, got {:?}", other.map(|r| r.info)),
+        }
+    }
+
+    #[test]
+    fn torn_before_any_sync_point_is_unrecoverable() {
+        let (_, bytes) = write_sample(2);
+        match open_bytes::<u64>(&bytes[..HEADER_LEN + 3]) {
+            Err(StoreError::NoSyncPoint { .. }) => {}
+            other => panic!("expected NoSyncPoint, got {:?}", other.map(|r| r.info)),
+        }
+    }
+
+    #[test]
+    fn mid_file_flip_is_a_typed_error_not_a_recovery() {
+        let (_, mut bytes) = write_sample(2);
+        // Flip a byte inside an early frame payload (well before the
+        // tail): the CRC catches it as corruption, not a torn tail.
+        bytes[HEADER_LEN + 6] ^= 0x40;
+        match open_bytes::<u64>(&bytes) {
+            Err(StoreError::Corrupt { .. }) => {}
+            other => panic!("expected Corrupt, got {:?}", other.map(|r| r.info)),
+        }
+    }
+
+    #[test]
+    fn header_damage_is_typed() {
+        let (_, bytes) = write_sample(4);
+        assert!(matches!(open_bytes::<u64>(&bytes[..5]), Err(StoreError::TooShort { len: 5 })));
+        let mut b = bytes.clone();
+        b[0] = b'X';
+        assert!(matches!(open_bytes::<u64>(&b), Err(StoreError::BadMagic)));
+        assert!(!is_store(&b));
+        let mut b = bytes.clone();
+        b[4] = 0xEE; // Version field — header CRC no longer matches.
+        assert!(matches!(open_bytes::<u64>(&b), Err(StoreError::CorruptHeader)));
+        let mut b = bytes;
+        b[10] ^= 0x01; // CRC field itself.
+        assert!(matches!(open_bytes::<u64>(&b), Err(StoreError::CorruptHeader)));
+    }
+
+    #[test]
+    fn trailing_garbage_after_finish_is_corrupt() {
+        let (_, mut bytes) = write_sample(2);
+        bytes.push(0);
+        assert!(matches!(
+            open_bytes::<u64>(&bytes),
+            Err(StoreError::Corrupt { reason: CorruptReason::TrailingData, .. })
+        ));
+    }
+
+    #[test]
+    fn injected_kill_recovers_like_a_real_crash() {
+        let (meta, rec) = sample();
+        let commits = vec![Vec::new(); 3];
+        // Learn the full length, then replay the same writes through a
+        // KillAfter sink that silently stops persisting partway.
+        let full = write_recording(VecIo::new(), &meta, &rec, &commits, 8, 1, FsyncPolicy::Never)
+            .expect("VecIo cannot fail")
+            .bytes;
+        let budget = full.len() * 2 / 3;
+        let io = FaultyIo::new(FaultMode::KillAfter { bytes: budget });
+        let io = write_recording(io, &meta, &rec, &commits, 8, 1, FsyncPolicy::Never)
+            .expect("KillAfter reports success");
+        let persisted = io.into_bytes();
+        assert_eq!(persisted.len(), budget);
+        let opened = open_bytes::<u64>(&persisted).expect("recover the durable prefix");
+        assert!(!opened.info.finished);
+        assert!(opened.recording.last_group < rec.last_group || opened.info.recovered_tail_bytes > 0);
+    }
+
+    #[test]
+    fn injected_write_failure_surfaces_as_io_error() {
+        let (meta, rec) = sample();
+        let commits = vec![Vec::new(); 3];
+        let io = FaultyIo::new(FaultMode::FailWrite { nth: 4 });
+        match write_recording(io, &meta, &rec, &commits, 8, 2, FsyncPolicy::Never) {
+            Err(StoreError::Io(_)) => {}
+            Err(other) => panic!("expected Io, got {other}"),
+            Ok(_) => panic!("expected the injected failure to surface"),
+        }
+    }
+
+    #[test]
+    fn reset_tombstone_retracts_streamed_frames() {
+        // Simulate a streamed run whose finalisation discovers the
+        // canonical recording disowns what was streamed (restart case):
+        // stream one set of frames, tombstone, append the authoritative
+        // set. The finished store must open to the post-reset content
+        // only, while a pre-finish tear still recovers the streamed set.
+        let (meta, rec) = sample();
+        let stale = TickRecord { node: NodeId(2), group: 3, source: NodeId(0) };
+        let mut w = StoreWriter::<u64, VecIo>::create(VecIo::new(), &meta, FsyncPolicy::Never)
+            .expect("create");
+        w.append_tick(&stale).expect("stale tick");
+        w.append_ext(&rec.externals[0]).expect("stale ext");
+        w.sync_point(4).expect("sync");
+        w.reset().expect("tombstone");
+        for e in &rec.externals {
+            w.append_ext(e).expect("ext");
+        }
+        for t in &rec.ticks {
+            w.append_tick(t).expect("tick");
+        }
+        for d in &rec.drops {
+            w.append_drop(d).expect("drop");
+        }
+        let commits = vec![Vec::new(); 3];
+        let io = w.finish(rec.last_group, rec.last_group, &commits).expect("finish");
+        let bytes = io.bytes;
+
+        let opened = open_bytes::<u64>(&bytes).expect("finished store opens");
+        assert!(opened.info.finished);
+        assert_eq!(opened.recording, rec, "only post-reset content survives");
+        assert_eq!(opened.info.n_ticks, rec.ticks.len() as u64, "tallies restart at the reset");
+
+        // Tear off the closing segment: recovery lands on the last sync
+        // point, *before* the tombstone, so the streamed frames are back.
+        let cut = bytes.len() - 10;
+        let torn = open_bytes::<u64>(&bytes[..cut]).expect("torn store recovers");
+        assert!(!torn.info.finished);
+        assert_eq!(torn.recording.last_group, 4);
+        assert_eq!(torn.recording.ticks, vec![stale]);
+    }
+
+    #[test]
+    fn errors_render_actionable_messages() {
+        let msgs = [
+            StoreError::BadMagic.to_string(),
+            StoreError::BadVersion(9).to_string(),
+            StoreError::Corrupt { offset: 17, reason: CorruptReason::BadCrc }.to_string(),
+            StoreError::NoSyncPoint { offset: 12 }.to_string(),
+            StoreError::Unfinished { synced_group: 6, dropped_bytes: 40 }.to_string(),
+        ];
+        for m in &msgs {
+            assert!(!m.is_empty());
+        }
+        assert!(msgs[1].contains('9'));
+        assert!(msgs[2].contains("17"));
+        assert!(msgs[4].contains("group 6"));
+    }
+}

@@ -1,0 +1,437 @@
+//! Opening a store: structural walk, CRC validation, torn-tail recovery,
+//! and reconstruction of the in-memory [`Recording`].
+//!
+//! The contract every path here honours: **recover or return a typed
+//! error, never panic, never hand back a silently wrong recording.** A
+//! torn tail (crash/kill mid-append) truncates back to the last valid
+//! sync point; a structurally complete but invalid frame — bad CRC,
+//! unknown kind, impossible length, undecodable payload — is mid-file
+//! corruption and yields a [`StoreError::Corrupt`] naming the offset.
+
+use crate::format::{check_header, kind, CorruptReason, StoreError, StoreMeta, FRAME_OVERHEAD, HEADER_LEN, MAX_FRAME_LEN, VERSION};
+use defined_core::recorder::{CommitRecord, DropByIndex, ExtRecord, MuteRecord, Recording, TickRecord};
+use defined_core::wire::Wire;
+use defined_obs as obs;
+use netsim::NodeId;
+use routing::enc::Reader;
+use std::ops::Range;
+
+/// One structurally valid frame located by the walk.
+struct RawFrame {
+    /// Byte offset of the frame's kind byte.
+    offset: usize,
+    kind: u8,
+    payload: Range<usize>,
+}
+
+impl RawFrame {
+    /// Byte offset just past this frame (payload + trailing CRC).
+    fn end(&self) -> usize {
+        self.payload.end + 4
+    }
+}
+
+/// How the frame walk ended.
+enum End {
+    /// A terminal finish frame closed the store.
+    Finished,
+    /// Bytes ran out without a finish frame — torn or still being
+    /// written. `valid_end` is where the last complete frame stopped.
+    Unfinished { valid_end: usize },
+}
+
+/// Walks the frame sequence, validating structure and CRCs. Returns every
+/// complete valid frame plus how the file ended. Mid-file corruption is an
+/// error; running out of bytes is not (that is the recovery path's job).
+fn walk(bytes: &[u8]) -> Result<(Vec<RawFrame>, End), StoreError> {
+    check_header(bytes)?;
+    let mut frames = Vec::new();
+    let mut pos = HEADER_LEN;
+    loop {
+        let rem = bytes.len() - pos;
+        if rem < FRAME_OVERHEAD {
+            // Clean boundary (rem == 0) still lacks a finish frame, so it
+            // is torn/unfinished all the same.
+            return Ok((frames, End::Unfinished { valid_end: pos }));
+        }
+        let kind_byte = bytes[pos];
+        let len = u32::from_le_bytes(bytes[pos + 1..pos + 5].try_into().expect("4 bytes"));
+        if len > MAX_FRAME_LEN {
+            return Err(StoreError::Corrupt {
+                offset: pos,
+                reason: CorruptReason::OversizedFrame(len),
+            });
+        }
+        let end = pos + FRAME_OVERHEAD + len as usize;
+        if end > bytes.len() {
+            // The declared frame overruns the file: a torn append. (A
+            // flipped length byte can land here too — callers that must
+            // distinguish use strict mode, which rejects any recovery.)
+            return Ok((frames, End::Unfinished { valid_end: pos }));
+        }
+        let stored = u32::from_le_bytes(bytes[end - 4..end].try_into().expect("4 bytes"));
+        if crate::crc::crc32(&bytes[pos..end - 4]) != stored {
+            return Err(StoreError::Corrupt { offset: pos, reason: CorruptReason::BadCrc });
+        }
+        if kind_byte > kind::MAX {
+            return Err(StoreError::Corrupt {
+                offset: pos,
+                reason: CorruptReason::UnknownKind(kind_byte),
+            });
+        }
+        let finish = kind_byte == kind::FINISH;
+        frames.push(RawFrame { offset: pos, kind: kind_byte, payload: pos + 5..pos + 5 + len as usize });
+        if finish {
+            if end < bytes.len() {
+                return Err(StoreError::Corrupt {
+                    offset: end,
+                    reason: CorruptReason::TrailingData,
+                });
+            }
+            return Ok((frames, End::Finished));
+        }
+        pos = end;
+    }
+}
+
+/// A validated store skeleton: the logical frames (torn tail already
+/// truncated), the decoded meta, and the self-check bookkeeping.
+struct Structure {
+    frames: Vec<RawFrame>,
+    meta: StoreMeta,
+    finished: bool,
+    synced_group: u64,
+    recovered_tail_bytes: u64,
+    n_ext: u64,
+    n_drops: u64,
+    n_mutes: u64,
+    n_ticks: u64,
+    /// `(last_group, upto)` from the finish frame, when finished.
+    summary: Option<(u64, u64)>,
+}
+
+fn corrupt(offset: usize, reason: CorruptReason) -> StoreError {
+    StoreError::Corrupt { offset, reason }
+}
+
+/// Full structural validation: walk, recover a torn tail to the last sync
+/// point, verify every self-check tally, and decode the meta frame.
+fn validate(bytes: &[u8]) -> Result<Structure, StoreError> {
+    let (mut frames, end) = walk(bytes)?;
+    let finished = matches!(end, End::Finished);
+    let mut recovered_tail_bytes = 0u64;
+    if let End::Unfinished { valid_end } = end {
+        let last_sync = frames.iter().rposition(|f| f.kind == kind::SYNC);
+        match last_sync {
+            None => return Err(StoreError::NoSyncPoint { offset: valid_end }),
+            Some(i) => {
+                let durable_end = frames[i].end();
+                frames.truncate(i + 1);
+                recovered_tail_bytes = (bytes.len() - durable_end) as u64;
+            }
+        }
+    }
+    // The meta frame leads, exactly once.
+    let Some(first) = frames.first() else {
+        return Err(StoreError::NoSyncPoint { offset: HEADER_LEN });
+    };
+    if first.kind != kind::META {
+        return Err(corrupt(first.offset, CorruptReason::BadPayload("meta")));
+    }
+    let mut r = Reader::new(&bytes[first.payload.clone()]);
+    let meta = match StoreMeta::decode(&mut r) {
+        Some(m) if r.remaining() == 0 => m,
+        _ => return Err(corrupt(first.offset, CorruptReason::BadPayload("meta"))),
+    };
+    if frames.iter().skip(1).any(|f| f.kind == kind::META) {
+        let dup = frames.iter().skip(1).find(|f| f.kind == kind::META).expect("just found");
+        return Err(corrupt(dup.offset, CorruptReason::CountMismatch("meta frame")));
+    }
+
+    // Sync self-checks: payload carries the group and the number of data
+    // frames written so far; both must agree with what is actually here,
+    // and the groups must be monotone.
+    let mut data_frames = 0u64;
+    let (mut n_ext, mut n_drops, mut n_mutes, mut n_ticks) = (0u64, 0u64, 0u64, 0u64);
+    let mut synced_group = 0u64;
+    let mut saw_sync = false;
+    let mut saw_reset = false;
+    for f in &frames {
+        match f.kind {
+            kind::EXT => {
+                n_ext += 1;
+                data_frames += 1;
+            }
+            kind::DROP => {
+                n_drops += 1;
+                data_frames += 1;
+            }
+            kind::MUTE => {
+                n_mutes += 1;
+                data_frames += 1;
+            }
+            kind::TICK => {
+                n_ticks += 1;
+                data_frames += 1;
+            }
+            kind::SYNC => {
+                let mut r = Reader::new(&bytes[f.payload.clone()]);
+                let (group, counted) = match (r.u64(), r.u64()) {
+                    (Some(g), Some(c)) if r.remaining() == 0 => (g, c),
+                    _ => return Err(corrupt(f.offset, CorruptReason::BadPayload("sync point"))),
+                };
+                // A sync point after a reset tombstone would let recovery
+                // land on a half-retracted prefix; the writer never emits
+                // one, so its presence is corruption.
+                if counted != data_frames || (saw_sync && group < synced_group) || saw_reset {
+                    return Err(corrupt(f.offset, CorruptReason::CountMismatch("sync point")));
+                }
+                synced_group = group;
+                saw_sync = true;
+            }
+            kind::RESET => {
+                // Everything streamed so far is retracted; the tallies —
+                // like the content — restart from the authoritative
+                // frames that follow.
+                n_ext = 0;
+                n_drops = 0;
+                n_mutes = 0;
+                n_ticks = 0;
+                saw_reset = true;
+            }
+            _ => {}
+        }
+    }
+
+    // Commits frames: only meaningful in a finished store, where there
+    // must be exactly one per node, contiguous, in node order, directly
+    // before the finish frame. In a recovered (unfinished) prefix the
+    // closing segment never made it, so any commits frames are ignored.
+    let mut summary = None;
+    if finished {
+        let fin = frames.last().expect("finished walk ends on a finish frame");
+        let commit_idxs: Vec<usize> =
+            (0..frames.len()).filter(|&i| frames[i].kind == kind::COMMITS).collect();
+        if commit_idxs.len() != meta.n_nodes {
+            return Err(corrupt(fin.offset, CorruptReason::CountMismatch("commit logs")));
+        }
+        let first_commit = frames.len() - 1 - meta.n_nodes;
+        for (want, &i) in (0..meta.n_nodes).zip(&commit_idxs) {
+            if i != first_commit + want {
+                return Err(corrupt(frames[i].offset, CorruptReason::CountMismatch("commit logs")));
+            }
+            let mut r = Reader::new(&bytes[frames[i].payload.clone()]);
+            if r.u32() != Some(want as u32) {
+                return Err(corrupt(frames[i].offset, CorruptReason::CountMismatch("commit logs")));
+            }
+        }
+        let mut r = Reader::new(&bytes[fin.payload.clone()]);
+        let fields: Option<[u64; 6]> = (|| {
+            let v = [r.u64()?, r.u64()?, r.u64()?, r.u64()?, r.u64()?, r.u64()?];
+            (r.remaining() == 0).then_some(v)
+        })();
+        let Some([last_group, upto, f_ext, f_drops, f_mutes, f_ticks]) = fields else {
+            return Err(corrupt(fin.offset, CorruptReason::BadPayload("finish")));
+        };
+        if (f_ext, f_drops, f_mutes, f_ticks) != (n_ext, n_drops, n_mutes, n_ticks) {
+            return Err(corrupt(fin.offset, CorruptReason::CountMismatch("finish summary")));
+        }
+        summary = Some((last_group, upto));
+    }
+
+    Ok(Structure {
+        frames,
+        meta,
+        finished,
+        synced_group,
+        recovered_tail_bytes,
+        n_ext,
+        n_drops,
+        n_mutes,
+        n_ticks,
+        summary,
+    })
+}
+
+/// What a structural scan of a store reveals — everything knowable without
+/// the protocol's payload type.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct ScanInfo {
+    /// Scenario name from the meta frame (empty when unknown).
+    pub scenario: String,
+    /// Nodes in the recorded network.
+    pub n_nodes: usize,
+    /// The initially configured beacon source.
+    pub source: NodeId,
+    /// Store format version.
+    pub version: u16,
+    /// Whether the store closed cleanly with a finish frame. `false`
+    /// means a torn tail was recovered back to the last sync point.
+    pub finished: bool,
+    /// Valid frames in the logical store (after any recovery truncation).
+    pub frames: usize,
+    /// Group of the last durable sync point.
+    pub synced_group: u64,
+    /// Bytes past the last sync point that recovery discarded (0 for a
+    /// finished store).
+    pub recovered_tail_bytes: u64,
+    /// External-event frames present (after any retraction tombstone).
+    pub n_ext: u64,
+    /// Drop frames present (after any retraction tombstone).
+    pub n_drops: u64,
+    /// Death-cut frames present (after any retraction tombstone).
+    pub n_mutes: u64,
+    /// Tick frames present (after any retraction tombstone).
+    pub n_ticks: u64,
+}
+
+impl From<&Structure> for ScanInfo {
+    fn from(s: &Structure) -> Self {
+        ScanInfo {
+            scenario: s.meta.scenario.clone(),
+            n_nodes: s.meta.n_nodes,
+            source: s.meta.source,
+            version: VERSION,
+            finished: s.finished,
+            frames: s.frames.len(),
+            synced_group: s.synced_group,
+            recovered_tail_bytes: s.recovered_tail_bytes,
+            n_ext: s.n_ext,
+            n_drops: s.n_drops,
+            n_mutes: s.n_mutes,
+            n_ticks: s.n_ticks,
+        }
+    }
+}
+
+/// Structurally validates a store without decoding protocol payloads:
+/// header, every frame CRC, self-check tallies, torn-tail recovery. This
+/// is the protocol-independent integrity check behind `defined-dbg
+/// verify`.
+pub fn scan(bytes: &[u8]) -> Result<ScanInfo, StoreError> {
+    validate(bytes).map(|s| ScanInfo::from(&s))
+}
+
+/// A store opened for replay: the reconstructed recording plus, when the
+/// run closed cleanly, its stored reference commit logs.
+pub struct Recovered<X> {
+    /// The recording, canonicalised exactly as
+    /// [`RbNetwork::into_recording`](defined_core::harness::RbNetwork::into_recording)
+    /// produces it.
+    pub recording: Recording<X>,
+    /// Per-node committed logs (trimmed to `upto` at write time); present
+    /// iff the store is finished.
+    pub commits: Option<Vec<Vec<CommitRecord>>>,
+    /// The comparison horizon the commit logs were trimmed to; present
+    /// iff the store is finished.
+    pub upto: Option<u64>,
+    /// The structural scan that accompanied the open.
+    pub info: ScanInfo,
+}
+
+/// Opens a store and reconstructs the [`Recording`], recovering a torn
+/// tail back to the last sync point (reported via
+/// `info.recovered_tail_bytes` and the `store.recovered_tail_bytes`
+/// counter). Any mid-file corruption is a typed error.
+pub fn open_bytes<X: Wire>(bytes: &[u8]) -> Result<Recovered<X>, StoreError> {
+    let s = validate(bytes)?;
+    obs::counter!("wire.bytes_decoded").add(bytes.len() as u64);
+    let mut externals: Vec<ExtRecord<X>> = Vec::new();
+    let mut drops: Vec<DropByIndex> = Vec::new();
+    let mut mutes: Vec<MuteRecord> = Vec::new();
+    let mut ticks: Vec<TickRecord> = Vec::new();
+    let mut commits: Vec<Vec<CommitRecord>> = Vec::new();
+    for f in &s.frames {
+        let mut r = Reader::new(&bytes[f.payload.clone()]);
+        match f.kind {
+            kind::EXT => match ExtRecord::<X>::decode(&mut r) {
+                Some(e) if r.remaining() == 0 => externals.push(e),
+                _ => return Err(corrupt(f.offset, CorruptReason::BadPayload("external event"))),
+            },
+            kind::DROP => match DropByIndex::decode(&mut r) {
+                Some(d) if r.remaining() == 0 => drops.push(d),
+                _ => return Err(corrupt(f.offset, CorruptReason::BadPayload("drop"))),
+            },
+            kind::MUTE => match MuteRecord::decode(&mut r) {
+                Some(m) if r.remaining() == 0 => mutes.push(m),
+                _ => return Err(corrupt(f.offset, CorruptReason::BadPayload("death cut"))),
+            },
+            kind::TICK => match TickRecord::decode(&mut r) {
+                Some(t) if r.remaining() == 0 => ticks.push(t),
+                _ => return Err(corrupt(f.offset, CorruptReason::BadPayload("tick"))),
+            },
+            kind::RESET => {
+                // Retraction tombstone: the frames before it were
+                // superseded at finalisation (restart scenarios); the
+                // authoritative content follows.
+                externals.clear();
+                drops.clear();
+                mutes.clear();
+                ticks.clear();
+            }
+            kind::COMMITS if s.finished => {
+                let log = (|| {
+                    let _node = r.u32()?;
+                    let n = r.len()?;
+                    let mut log = Vec::with_capacity(n);
+                    for _ in 0..n {
+                        log.push(CommitRecord::decode(&mut r)?);
+                    }
+                    (r.remaining() == 0).then_some(log)
+                })();
+                match log {
+                    Some(log) => commits.push(log),
+                    None => {
+                        return Err(corrupt(f.offset, CorruptReason::BadPayload("commit log")))
+                    }
+                }
+            }
+            _ => {}
+        }
+    }
+    let (last_group, upto) = match s.summary {
+        Some((last_group, upto)) => (last_group, upto),
+        // Recovered prefix: durable exactly up to the last sync point.
+        None => (s.synced_group, 0),
+    };
+    if s.recovered_tail_bytes > 0 {
+        obs::counter!("store.recovered_tail_bytes").add(s.recovered_tail_bytes);
+    }
+    // Canonicalise exactly as `RbNetwork::into_recording` does, so a
+    // store round trip is byte-identical to the in-memory recording.
+    externals.sort_by_key(|e| (e.group, e.node, e.ext_seq));
+    drops.sort_by_key(|d| (d.sender, d.idx));
+    drops.dedup();
+    ticks.retain(|t| t.group <= last_group);
+    ticks.sort_by_key(|t| (t.group, t.node));
+    let recording = Recording {
+        n_nodes: s.meta.n_nodes,
+        source: s.meta.source,
+        externals,
+        drops,
+        mutes,
+        ticks,
+        last_group,
+    };
+    Ok(Recovered {
+        recording,
+        commits: s.finished.then_some(commits),
+        upto: s.finished.then_some(upto),
+        info: ScanInfo::from(&s),
+    })
+}
+
+/// Strict open: like [`open_bytes`], but refuses a store that needed
+/// recovery — any torn tail becomes [`StoreError::Unfinished`]. This is
+/// what `verify` uses, so a flipped length byte that masquerades as a
+/// torn tail can never pass verification.
+pub fn open_bytes_strict<X: Wire>(bytes: &[u8]) -> Result<Recovered<X>, StoreError> {
+    let r = open_bytes::<X>(bytes)?;
+    if !r.info.finished {
+        return Err(StoreError::Unfinished {
+            synced_group: r.info.synced_group,
+            dropped_bytes: r.info.recovered_tail_bytes,
+        });
+    }
+    Ok(r)
+}

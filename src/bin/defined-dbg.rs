@@ -2,10 +2,12 @@
 //! interactively, the paper's full workflow as a command-line tool.
 //!
 //! ```text
-//! defined-dbg record  <scenario> <recording-file> [--seed <u64>] [--shards <n>]
+//! defined-dbg record  <scenario> [recording-file] [--out <run.drec>] [--seed <u64>] [--shards <n>]
 //! defined-dbg debug   <scenario> <recording-file> [script-file] [--shards <n>]
-//! defined-dbg explore <scenario> [--salts <n>] [--jobs <n>] [--shards <n>]
-//! defined-dbg bisect  <scenario> [--jobs <n>] [--shards <n>]
+//! defined-dbg replay  <scenario> <recording-file> [--shards <n>]
+//! defined-dbg explore <scenario> [recording-file] [--salts <n>] [--jobs <n>] [--shards <n>]
+//! defined-dbg bisect  <scenario> [recording-file] [--jobs <n>] [--shards <n>]
+//! defined-dbg verify  <run.drec> [--scenario <name>] [--shards <n>]
 //! defined-dbg check-profile <profile.json>
 //! defined-dbg scenarios
 //! ```
@@ -30,10 +32,27 @@
 //! the partial recording (external events, losses, death cuts, beacon tick
 //! schedule) to the file; `--seed` overrides the scenario's network-
 //! nondeterminism seed — sweeping it must not change the committed
-//! execution. `debug` rebuilds the debugging network from the same
-//! scenario, loads the recording, and drives a `DebugSession` with commands
-//! from the script file (or stdin when omitted) — `help` lists them.
-//! Replays are deterministic, so sessions are exactly repeatable.
+//! execution. With `--out <run.drec>` the recording is additionally (or
+//! instead) *streamed* into the append-only crash-safe store format
+//! (DESIGN.md §12) as the run progresses: committed frames are fsynced at
+//! every sync point, so killing the recorder mid-run leaves a recoverable
+//! prefix rather than nothing. `debug` rebuilds the debugging network from
+//! the same scenario, loads the recording, and drives a `DebugSession`
+//! with commands from the script file (or stdin when omitted) — `help`
+//! lists them. Replays are deterministic, so sessions are exactly
+//! repeatable.
+//!
+//! Every verb that reads a recording file accepts both formats
+//! transparently — the raw `record` output and a `.drec` store (sniffed by
+//! magic). A store with a torn tail is recovered to its last sync point
+//! with a warning on stderr; mid-file corruption is a typed error, never a
+//! panic and never a silently wrong replay. `replay` re-executes a
+//! recording in lockstep without an interactive session. `verify` is the
+//! store's integrity gate: it checks every frame CRC and the writer's
+//! self-check tallies, then replays the recording and compares the commit
+//! logs entry-by-entry against the logs the production run stored,
+//! exiting non-zero on any mismatch (the scenario defaults to the name in
+//! the store's meta frame; `--scenario` overrides it).
 //!
 //! Sessions are also *reversible*: `rstep [n]`, `rcont`, and `goto P` walk
 //! execution backward over periodic whole-network checkpoints, so any
@@ -66,14 +85,17 @@ use std::process::ExitCode;
 
 fn usage() -> ExitCode {
     eprintln!(
-        "usage: defined-dbg record  <scenario> <recording-file> [--seed <u64>] [--shards <n>]\n\
+        "usage: defined-dbg record  <scenario> [recording-file] [--out <run.drec>] [--seed <u64>] [--shards <n>]\n\
          \x20      defined-dbg debug   <scenario> <recording-file> [script-file] [--shards <n>]\n\
-         \x20      defined-dbg explore <scenario> [--salts <n>] [--jobs <n>] [--shards <n>]\n\
-         \x20      defined-dbg bisect  <scenario> [--jobs <n>] [--shards <n>]\n\
+         \x20      defined-dbg replay  <scenario> <recording-file> [--shards <n>]\n\
+         \x20      defined-dbg explore <scenario> [recording-file] [--salts <n>] [--jobs <n>] [--shards <n>]\n\
+         \x20      defined-dbg bisect  <scenario> [recording-file] [--jobs <n>] [--shards <n>]\n\
+         \x20      defined-dbg verify  <run.drec> [--scenario <name>] [--shards <n>]\n\
          \x20      defined-dbg check-profile <profile.json>\n\
          \x20      defined-dbg scenarios\n\
          \n\
          <scenario> is a registry name (see `defined-dbg scenarios`) or a .scn file path\n\
+         recording files may be raw `record` output or a crash-safe .drec store (--out)\n\
          --jobs 0 / --shards 0 mean one worker per available core\n\
          run verbs also accept --profile, --profile-json <path>, --trace-out <path>"
     );
@@ -124,10 +146,23 @@ fn print_gvt_line() {
     );
 }
 
-fn record(scn: &Scenario, path: &str, shards: Option<usize>) -> Result<ExitCode, String> {
-    let run = scn.record_run().map_err(|e| e.to_string())?;
-    std::fs::write(path, &run.bytes).map_err(|e| format!("{path}: {e}"))?;
-    println!("{} -> {path}", run.summary(&scn.name));
+fn record(
+    scn: &Scenario,
+    path: Option<&str>,
+    out: Option<&str>,
+    shards: Option<usize>,
+) -> Result<ExitCode, String> {
+    let run = match out {
+        Some(store_path) => scn
+            .record_run_to_store(std::path::Path::new(store_path))
+            .map_err(|e| format!("{store_path}: {e}"))?,
+        None => scn.record_run().map_err(|e| e.to_string())?,
+    };
+    if let Some(path) = path {
+        std::fs::write(path, &run.bytes).map_err(|e| format!("{path}: {e}"))?;
+    }
+    let dest = out.or(path).expect("record has at least one output");
+    println!("{} -> {dest}", run.summary(&scn.name));
     print_gvt_line();
     if let Some(outcome) = &run.outcome {
         println!("production outcome: {outcome}");
@@ -157,6 +192,25 @@ fn read_script(arg: Option<&str>) -> Result<String, String> {
     }
 }
 
+/// Warns (stderr) when a store file needed torn-tail recovery, so a
+/// replay of the durable prefix is never mistaken for the full run. A
+/// structurally corrupt store stays silent here — the verb's own open
+/// will surface the typed error.
+fn warn_recovered(path: &str, bytes: &[u8]) {
+    if !defined::store::is_store(bytes) {
+        return;
+    }
+    if let Ok(info) = defined::store::scan(bytes) {
+        if !info.finished {
+            eprintln!(
+                "{path}: torn tail recovered — replaying the durable prefix through \
+                 group {} ({} byte(s) past the last sync point discarded)",
+                info.synced_group, info.recovered_tail_bytes
+            );
+        }
+    }
+}
+
 fn debug(
     scn: &Scenario,
     rec_path: &str,
@@ -164,6 +218,7 @@ fn debug(
     shards: usize,
 ) -> Result<ExitCode, String> {
     let bytes = std::fs::read(rec_path).map_err(|e| format!("{rec_path}: {e}"))?;
+    warn_recovered(rec_path, &bytes);
     let script = read_script(script)?;
     match scn.debug_transcript_sharded(&bytes, &script, shards) {
         Ok(transcript) => {
@@ -181,24 +236,77 @@ fn debug(
 /// Default ordering-sweep width for `explore` when `--salts` is omitted.
 const DEFAULT_SALTS: u64 = 32;
 
+/// The recording bytes a search verb operates on: loaded from a file when
+/// one was given (skipping the re-record), freshly recorded otherwise.
+fn search_bytes(scn: &Scenario, rec_path: Option<&str>) -> Result<Vec<u8>, String> {
+    match rec_path {
+        Some(path) => {
+            let bytes = std::fs::read(path).map_err(|e| format!("{path}: {e}"))?;
+            warn_recovered(path, &bytes);
+            Ok(bytes)
+        }
+        None => {
+            let run = scn.record_run().map_err(|e| e.to_string())?;
+            println!("{}", run.summary(&scn.name));
+            print_gvt_line();
+            Ok(run.bytes)
+        }
+    }
+}
+
 fn explore(
     scn: &Scenario,
+    rec_path: Option<&str>,
     salts: u64,
     farm: &defined::core::FarmConfig,
 ) -> Result<ExitCode, String> {
-    let run = scn.record_run().map_err(|e| e.to_string())?;
-    println!("{}", run.summary(&scn.name));
-    print_gvt_line();
-    let report = scn.explore_run(&run.bytes, salts, farm).map_err(|e| e.to_string())?;
+    let bytes = search_bytes(scn, rec_path)?;
+    let report = scn.explore_run(&bytes, salts, farm).map_err(|e| e.to_string())?;
     print!("{}", report.render());
     Ok(ExitCode::SUCCESS)
 }
 
-fn bisect(scn: &Scenario, farm: &defined::core::FarmConfig) -> Result<ExitCode, String> {
-    let run = scn.record_run().map_err(|e| e.to_string())?;
-    println!("{}", run.summary(&scn.name));
-    print_gvt_line();
-    match scn.bisect_run(&run.bytes, farm).map_err(|e| e.to_string())? {
+fn replay(scn: &Scenario, rec_path: &str, shards: usize) -> Result<ExitCode, String> {
+    let bytes = std::fs::read(rec_path).map_err(|e| format!("{rec_path}: {e}"))?;
+    warn_recovered(rec_path, &bytes);
+    let logs = scn.replay_logs_sharded(&bytes, shards).map_err(|e| format!("{rec_path}: {e}"))?;
+    let entries: usize = logs.iter().map(Vec::len).sum();
+    println!("replayed {}: {} node(s), {} committed entries", scn.name, logs.len(), entries);
+    Ok(ExitCode::SUCCESS)
+}
+
+fn verify(rec_path: &str, scenario: Option<&str>, shards: usize) -> Result<ExitCode, String> {
+    let bytes = std::fs::read(rec_path).map_err(|e| format!("{rec_path}: {e}"))?;
+    if !defined::store::is_store(&bytes) {
+        return Err(format!("{rec_path}: not a recording store (missing DREC magic)"));
+    }
+    let name = match scenario {
+        Some(name) => name.to_string(),
+        None => {
+            let info = defined::store::scan(&bytes).map_err(|e| format!("{rec_path}: {e}"))?;
+            info.scenario
+        }
+    };
+    let scn = resolve(&name)?;
+    match scn.verify_store(&bytes, shards) {
+        Ok(report) => {
+            print!("{}", report.render());
+            Ok(if report.ok() { ExitCode::SUCCESS } else { ExitCode::FAILURE })
+        }
+        Err(e) => {
+            eprintln!("{rec_path}: {e}");
+            Ok(ExitCode::FAILURE)
+        }
+    }
+}
+
+fn bisect(
+    scn: &Scenario,
+    rec_path: Option<&str>,
+    farm: &defined::core::FarmConfig,
+) -> Result<ExitCode, String> {
+    let bytes = search_bytes(scn, rec_path)?;
+    match scn.bisect_run(&bytes, farm).map_err(|e| e.to_string())? {
         Some(summary) => {
             print!("{}", summary.render());
             Ok(ExitCode::SUCCESS)
@@ -321,16 +429,21 @@ fn main() -> ExitCode {
     // Flags belong to specific verbs; anywhere else they must be a usage
     // error, not a silently ignored argument.
     let verb = args.first().cloned().unwrap_or_default();
-    let run_verb = matches!(verb.as_str(), "record" | "debug" | "explore" | "bisect");
-    type Flags = (Option<u64>, Option<u64>, Option<u64>, Option<u64>, ObsOpts);
+    let run_verb =
+        matches!(verb.as_str(), "record" | "debug" | "replay" | "explore" | "bisect" | "verify");
+    type Flags =
+        (Option<u64>, Option<u64>, Option<u64>, Option<u64>, Option<String>, Option<String>, ObsOpts);
     let flags: Result<Flags, String> = (|| {
         let seed = if verb == "record" { take_flag(&mut args, "seed")? } else { None };
+        let out = if verb == "record" { take_path_flag(&mut args, "out")? } else { None };
         let salts = if verb == "explore" { take_flag(&mut args, "salts")? } else { None };
         let jobs = if verb == "explore" || verb == "bisect" {
             take_flag(&mut args, "jobs")?
         } else {
             None
         };
+        let scenario =
+            if verb == "verify" { take_path_flag(&mut args, "scenario")? } else { None };
         let shards = if run_verb { take_flag(&mut args, "shards")? } else { None };
         let obs = if run_verb {
             ObsOpts {
@@ -341,9 +454,9 @@ fn main() -> ExitCode {
         } else {
             ObsOpts::default()
         };
-        Ok((seed, salts, jobs, shards, obs))
+        Ok((seed, salts, jobs, shards, out, scenario, obs))
     })();
-    let (seed, salts, jobs, shards, obs_opts) = match flags {
+    let (seed, salts, jobs, shards, out, scenario_flag, obs_opts) = match flags {
         Ok(f) => f,
         Err(e) => {
             eprintln!("defined-dbg: {e}");
@@ -360,21 +473,38 @@ fn main() -> ExitCode {
         .with_shards(shards.unwrap_or(1) as usize);
     let result = match args.as_slice() {
         [cmd] if cmd == "scenarios" => return list_scenarios(),
-        [cmd, scenario_arg, path] if cmd == "record" => resolve(scenario_arg).and_then(|mut scn| {
-            if let Some(s) = seed {
-                scn = scn.with_seed(s);
-            }
-            record(&scn, path, shards.map(|s| s as usize))
-        }),
+        [cmd, scenario_arg, rest @ ..]
+            if cmd == "record" && rest.len() <= 1 && (out.is_some() || rest.len() == 1) =>
+        {
+            resolve(scenario_arg).and_then(|mut scn| {
+                if let Some(s) = seed {
+                    scn = scn.with_seed(s);
+                }
+                record(
+                    &scn,
+                    rest.first().map(|s| s.as_str()),
+                    out.as_deref(),
+                    shards.map(|s| s as usize),
+                )
+            })
+        }
         [cmd, scenario_arg, path, rest @ ..] if cmd == "debug" && rest.len() <= 1 => {
             let script = rest.first().map(|s| s.as_str());
             resolve(scenario_arg).and_then(|scn| debug(&scn, path, script, farm.shards))
         }
-        [cmd, scenario_arg] if cmd == "explore" => resolve(scenario_arg)
-            .and_then(|scn| explore(&scn, salts.unwrap_or(DEFAULT_SALTS), &farm)),
-        [cmd, scenario_arg] if cmd == "bisect" => {
-            resolve(scenario_arg).and_then(|scn| bisect(&scn, &farm))
+        [cmd, scenario_arg, path] if cmd == "replay" => {
+            resolve(scenario_arg).and_then(|scn| replay(&scn, path, farm.shards))
         }
+        [cmd, scenario_arg, rest @ ..] if cmd == "explore" && rest.len() <= 1 => {
+            resolve(scenario_arg).and_then(|scn| {
+                explore(&scn, rest.first().map(|s| s.as_str()), salts.unwrap_or(DEFAULT_SALTS), &farm)
+            })
+        }
+        [cmd, scenario_arg, rest @ ..] if cmd == "bisect" && rest.len() <= 1 => {
+            resolve(scenario_arg)
+                .and_then(|scn| bisect(&scn, rest.first().map(|s| s.as_str()), &farm))
+        }
+        [cmd, path] if cmd == "verify" => verify(path, scenario_flag.as_deref(), farm.shards),
         [cmd, path] if cmd == "check-profile" => check_profile(path),
         _ => return usage(),
     };

@@ -16,6 +16,8 @@
 //! * [`checkpoint`] — snapshot strategies with page-level accounting;
 //! * [`core`] — the DEFINED-RB and DEFINED-LS engines, the recorder, the
 //!   debugger, and the threaded lockstep runtime;
+//! * [`store`] — the append-only, crash-safe on-disk recording store with
+//!   torn-tail recovery and fault-injectable I/O (DESIGN.md §12);
 //! * [`scenario`] — the declarative scenario & fault-injection engine and
 //!   its registry of named workloads;
 //! * [`obs`] — the determinism-safe tracing & metrics substrate the whole
@@ -28,6 +30,7 @@
 pub use checkpoint;
 pub use defined_core as core;
 pub use defined_obs as obs;
+pub use defined_store as store;
 pub use netsim;
 pub use routing;
 pub use scenario;

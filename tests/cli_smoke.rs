@@ -240,6 +240,80 @@ fn explore_and_bisect_are_jobs_invariant_through_the_binary() {
     assert_eq!(b1, bisect("2"), "bisect report varies with --jobs");
 }
 
+/// The durable-store workflow end to end, exactly as a user drives it:
+/// `record --out` streams a `.drec` file, `debug`/`replay` accept it
+/// without re-recording, `verify` passes on the intact file — and a
+/// single flipped byte makes `verify` fail with a typed diagnostic (a
+/// clean error line, never a panic backtrace).
+#[test]
+fn store_record_verify_and_corruption_detection() {
+    let drec = tmp_path("store.drec");
+    let script = tmp_path("store.script");
+    std::fs::write(&script, "where\nstepg 2\nrun\nwhere\n").expect("writes script");
+
+    let out = defined_dbg()
+        .args(["record", "ospf-loss-window", "--out"])
+        .arg(&drec)
+        .output()
+        .expect("spawns");
+    assert_success(&out, "record --out");
+    let bytes = std::fs::read(&drec).expect("store written");
+    assert_eq!(&bytes[..4], b"DREC", "store file carries the magic");
+
+    let dbg = defined_dbg()
+        .args(["debug", "ospf-loss-window"])
+        .arg(&drec)
+        .arg(&script)
+        .output()
+        .expect("spawns");
+    assert_success(&dbg, "debug from .drec");
+
+    let replay = defined_dbg()
+        .args(["replay", "ospf-loss-window"])
+        .arg(&drec)
+        .output()
+        .expect("spawns");
+    assert_success(&replay, "replay from .drec");
+    assert!(String::from_utf8_lossy(&replay.stdout).contains("replayed ospf-loss-window"));
+
+    // The scenario name travels in the file; verify needs no other args.
+    let verify = defined_dbg().arg("verify").arg(&drec).output().expect("spawns");
+    assert_success(&verify, "verify intact store");
+    assert!(String::from_utf8_lossy(&verify.stdout).contains("verify ok"));
+
+    // Flip one mid-file byte: verification must fail with a clean typed
+    // diagnostic — exit non-zero, no panic backtrace on either stream.
+    let mut corrupt = bytes.clone();
+    let pos = corrupt.len() / 2;
+    corrupt[pos] ^= 0x10;
+    std::fs::write(&drec, &corrupt).expect("writes corrupted store");
+    let bad = defined_dbg().arg("verify").arg(&drec).output().expect("spawns");
+    assert!(!bad.status.success(), "corrupted store must fail verification");
+    let err = String::from_utf8_lossy(&bad.stderr).to_string()
+        + &String::from_utf8_lossy(&bad.stdout);
+    assert!(!err.contains("panicked"), "diagnostic must be typed, not a backtrace:\n{err}");
+    assert!(err.contains("byte") || err.contains("corrupt") || err.contains("unfinished"), "{err}");
+
+    // Truncate to two thirds: strict verify refuses, but replay recovers
+    // the durable prefix (with a torn-tail warning on stderr).
+    std::fs::write(&drec, &bytes[..bytes.len() * 2 / 3]).expect("writes torn store");
+    let torn = defined_dbg().arg("verify").arg(&drec).output().expect("spawns");
+    assert!(!torn.status.success(), "torn store must fail strict verification");
+    let recovered = defined_dbg()
+        .args(["replay", "ospf-loss-window"])
+        .arg(&drec)
+        .output()
+        .expect("spawns");
+    assert_success(&recovered, "replay recovers the torn store's durable prefix");
+    assert!(
+        String::from_utf8_lossy(&recovered.stderr).contains("torn tail"),
+        "recovery must be announced"
+    );
+
+    let _ = std::fs::remove_file(&drec);
+    let _ = std::fs::remove_file(&script);
+}
+
 #[test]
 fn bad_usage_exits_nonzero() {
     for args in [
@@ -258,6 +332,15 @@ fn bad_usage_exits_nonzero() {
         &["explore", "rip-blackhole", "--jobs", "two"][..],
         &["bisect", "rip-blackhole", "--salts", "4"][..],
         &["record", "bgp-med", "/tmp/x", "--jobs", "2"][..],
+        // Store verbs: record needs some output, verify/replay need paths.
+        &["record", "bgp-med"][..],
+        &["record", "bgp-med", "--out"][..],
+        &["verify"][..],
+        &["verify", "/tmp/no-such-store.drec"][..],
+        &["replay", "bgp-med"][..],
+        // --out belongs to record; --scenario belongs to verify.
+        &["debug", "bgp-med", "/tmp/x", "--out", "/tmp/y"][..],
+        &["record", "bgp-med", "/tmp/x", "--scenario", "bgp-med"][..],
     ] {
         let out = defined_dbg().args(args).output().expect("spawns");
         assert!(

@@ -7,8 +7,9 @@
 //! are write-only from the hot path, switches gate only *recording*), and
 //! these tests hold the whole stack to that contract:
 //!
-//! * recordings, commit logs, debug transcripts, and explore/bisect farm
-//!   reports are byte-identical with collection enabled, disabled, and
+//! * recordings, commit logs, debug transcripts, explore/bisect farm
+//!   reports, the streamed on-disk `.drec` store (byte-for-byte), and its
+//!   verify report are identical with collection enabled, disabled, and
 //!   with Chrome-trace capture running, across shards ∈ {1, 2} and farm
 //!   jobs ∈ {1, 2} (the `--profile`/`--trace-out` CLI paths);
 //! * a disabled registry records nothing at all;
@@ -46,6 +47,10 @@ struct Artifacts {
     transcript: String,
     explore: String,
     bisect: String,
+    /// The streamed `.drec` file, byte for byte — obs must not perturb
+    /// what reaches the disk, not just what replays from it.
+    store_bytes: Vec<u8>,
+    verify: String,
 }
 
 fn run_workflow(name: &str, shards: usize, jobs: usize) -> Artifacts {
@@ -58,6 +63,11 @@ fn run_workflow(name: &str, shards: usize, jobs: usize) -> Artifacts {
     let explore = scn.explore_run(&run.bytes, 6, &farm).expect("explores").render();
     let bisect =
         scn.bisect_run(&run.bytes, &farm).expect("bisects").expect("has groups").render();
+    let path = std::env::temp_dir().join(format!("defined-obs-{name}-{shards}-{jobs}.drec"));
+    let _ = scn.record_run_to_store(&path).expect("streamed record");
+    let store_bytes = std::fs::read(&path).expect("store file readable");
+    let _ = std::fs::remove_file(&path);
+    let verify = scn.verify_store(&store_bytes, shards).expect("verify opens").render();
     Artifacts {
         recording: run.bytes,
         production_logs: run.logs,
@@ -65,6 +75,8 @@ fn run_workflow(name: &str, shards: usize, jobs: usize) -> Artifacts {
         transcript,
         explore,
         bisect,
+        store_bytes,
+        verify,
     }
 }
 
@@ -103,7 +115,14 @@ fn disabled_collection_records_nothing() {
     let _ = run_workflow("rip-blackhole", 2, 2);
     let after = obs::global().snapshot();
     obs::set_enabled(true);
-    for key in ["ls.delivered", "ls.waves", "wire.bytes_encoded", "gvt.samples"] {
+    for key in [
+        "ls.delivered",
+        "ls.waves",
+        "wire.bytes_encoded",
+        "gvt.samples",
+        "store.bytes_written",
+        "store.fsync",
+    ] {
         assert_eq!(
             before.counter(key),
             after.counter(key),
@@ -136,6 +155,9 @@ fn enabled_collection_covers_the_whole_stack() {
         "gvt.samples",
         "wire.bytes_encoded",
         "wire.bytes_decoded",
+        "store.bytes_written",
+        "store.fsync",
+        "store.sync_points",
     ] {
         assert!(
             after.counter(key) > before.counter(key),

@@ -10,6 +10,9 @@ use defined::core::recorder::{DropByIndex, ExtRecord, MuteRecord, Recording, Tic
 use defined::core::{Annotation, OrderingMode};
 use defined::netsim::NodeId;
 use defined::routing::bgp::{BgpExt, PathAttrs};
+use defined::store::{
+    open_bytes, write_recording, FaultMode, FaultyIo, FsyncPolicy, StoreMeta, VecIo,
+};
 use proptest::prelude::*;
 
 fn attrs() -> impl Strategy<Value = PathAttrs> {
@@ -84,6 +87,41 @@ fn recording() -> impl Strategy<Value = Recording<BgpExt>> {
         })
 }
 
+fn store_meta(rec: &Recording<BgpExt>) -> StoreMeta {
+    StoreMeta { n_nodes: rec.n_nodes, source: rec.source, scenario: "fuzz".into() }
+}
+
+/// Serialises `rec` into the on-disk store format, in memory.
+fn to_store(rec: &Recording<BgpExt>, sync_every: u64) -> Vec<u8> {
+    let commits = vec![Vec::new(); rec.n_nodes];
+    write_recording(
+        VecIo::new(),
+        &store_meta(rec),
+        rec,
+        &commits,
+        rec.last_group,
+        sync_every,
+        FsyncPolicy::Never,
+    )
+    .expect("in-memory store write cannot fail")
+    .bytes
+}
+
+/// The store reader canonicalises on open, exactly as
+/// `RbNetwork::into_recording` does; the fuzz strategies produce arbitrary
+/// orderings and duplicates, so store round trips compare against this
+/// normal form.
+fn canon(rec: &Recording<BgpExt>) -> Recording<BgpExt> {
+    let mut rec = rec.clone();
+    let last_group = rec.last_group;
+    rec.externals.sort_by_key(|e| (e.group, e.node, e.ext_seq));
+    rec.drops.sort_by_key(|d| (d.sender, d.idx));
+    rec.drops.dedup();
+    rec.ticks.retain(|t| t.group <= last_group);
+    rec.ticks.sort_by_key(|t| (t.group, t.node));
+    rec
+}
+
 proptest! {
     /// Everything the encoder writes, the decoder reads back verbatim.
     #[test]
@@ -124,5 +162,92 @@ proptest! {
         let pos = ((bytes.len() as f64) * pos_frac) as usize % bytes.len();
         bytes[pos] ^= 1 << bit;
         let _ = Recording::<BgpExt>::from_bytes(&bytes);
+    }
+
+    /// On-disk store round trip: write → open reproduces the canonical
+    /// recording, whatever the sync-point cadence.
+    #[test]
+    fn store_round_trip(rec in recording(), sync_every in 1u64..32) {
+        let bytes = to_store(&rec, sync_every);
+        let r = open_bytes::<BgpExt>(&bytes).expect("fresh store opens");
+        prop_assert!(r.info.finished);
+        prop_assert_eq!(r.recording, canon(&rec));
+        prop_assert_eq!(r.commits, Some(vec![Vec::new(); rec.n_nodes]));
+        prop_assert_eq!(r.upto, Some(rec.last_group));
+    }
+
+    /// Truncating a store at any byte boundary recovers to a sync point or
+    /// yields a typed error — never a panic, never a finished store, never
+    /// groups beyond what was durable.
+    #[test]
+    fn store_truncation_recovers_or_errors(
+        rec in recording(),
+        sync_every in 1u64..32,
+        cut_frac in 0.0f64..1.0,
+    ) {
+        let bytes = to_store(&rec, sync_every);
+        let cut = ((bytes.len() as f64) * cut_frac) as usize;
+        if cut >= bytes.len() {
+            return Ok(());
+        }
+        if let Ok(r) = open_bytes::<BgpExt>(&bytes[..cut]) {
+            prop_assert!(!r.info.finished);
+            prop_assert!(r.commits.is_none());
+            prop_assert!(r.recording.last_group <= rec.last_group);
+        }
+    }
+
+    /// A flipped bit anywhere in a store never passes for a finished
+    /// store: the frame CRC catches it, or a forged length degrades the
+    /// file to a recovered (unfinished) prefix.
+    #[test]
+    fn store_bit_flips_are_caught(
+        rec in recording(),
+        sync_every in 1u64..32,
+        pos_frac in 0.0f64..1.0,
+        bit in 0u8..8,
+    ) {
+        let mut bytes = to_store(&rec, sync_every);
+        let pos = ((bytes.len() as f64) * pos_frac) as usize % bytes.len();
+        bytes[pos] ^= 1 << bit;
+        if let Ok(r) = open_bytes::<BgpExt>(&bytes) {
+            prop_assert!(!r.info.finished, "flip at byte {} passed as finished", pos);
+        }
+    }
+
+    /// An injected write fault — failed write, torn write, or a power
+    /// loss exposing the page-cache lie — leaves a file recovery handles:
+    /// open recovers a durable prefix or returns a typed error.
+    #[test]
+    fn store_faulty_io_recovers_or_errors(
+        rec in recording(),
+        mode_sel in 0usize..3,
+        nth in 1usize..48,
+        keep in 0usize..16,
+        budget in 0usize..4096,
+    ) {
+        let mode = match mode_sel {
+            0 => FaultMode::FailWrite { nth },
+            1 => FaultMode::ShortWrite { nth, keep },
+            _ => FaultMode::KillAfter { bytes: budget },
+        };
+        let mut io = FaultyIo::new(mode);
+        let commits = vec![Vec::new(); rec.n_nodes];
+        let _ = write_recording(
+            &mut io,
+            &store_meta(&rec),
+            &rec,
+            &commits,
+            rec.last_group,
+            4,
+            FsyncPolicy::Never,
+        );
+        let persisted = io.into_bytes();
+        if let Ok(r) = open_bytes::<BgpExt>(&persisted) {
+            prop_assert!(r.recording.last_group <= rec.last_group);
+            if !r.info.finished {
+                prop_assert!(r.commits.is_none());
+            }
+        }
     }
 }

@@ -42,6 +42,41 @@ fn every_scenario_records_and_replays() {
 }
 
 #[test]
+fn every_scenario_survives_a_store_round_trip() {
+    // The on-disk store is a second serialisation of the same recording:
+    // for every registered scenario, streaming the run into a store and
+    // debugging from the file must be indistinguishable from debugging the
+    // raw recording bytes, and `verify` must pass against the stored
+    // commit logs (skipped for restart scenarios, whose production logs
+    // are not replay-equivalent past the restart — DESIGN.md §7).
+    for scn in registry() {
+        let path = std::env::temp_dir().join(format!("defined-matrix-{}.drec", scn.name));
+        let run = scn
+            .record_run_to_store(&path)
+            .unwrap_or_else(|e| panic!("{}: streamed record failed: {e}", scn.name));
+        let bytes = std::fs::read(&path).expect("store file readable");
+        let _ = std::fs::remove_file(&path);
+        let info = defined::store::scan(&bytes)
+            .unwrap_or_else(|e| panic!("{}: store scan failed: {e}", scn.name));
+        assert!(info.finished, "{}: streamed store did not finish", scn.name);
+        assert_eq!(info.scenario, scn.name);
+
+        let t_store = scn
+            .debug_transcript(&bytes, SCRIPT)
+            .unwrap_or_else(|e| panic!("{}: debug from store failed: {e}", scn.name));
+        let t_raw = scn.debug_transcript(&run.bytes, SCRIPT).expect("debug from raw bytes");
+        assert_eq!(t_store, t_raw, "{}: store and raw transcripts diverged", scn.name);
+
+        if !scn.has_restart() {
+            let report = scn
+                .verify_store(&bytes, 1)
+                .unwrap_or_else(|e| panic!("{}: verify failed to open: {e}", scn.name));
+            assert!(report.ok(), "{}: verify found divergence: {}", scn.name, report.render());
+        }
+    }
+}
+
+#[test]
 fn scenario_outcomes_are_seed_independent() {
     // The committed execution — and with it the probed outcome — must be a
     // function of the recorded externals only, never of the jitter seed.

@@ -1,0 +1,345 @@
+//! Kill-safety acceptance for the on-disk recording store (DESIGN.md §12).
+//!
+//! The contract under test: a store file truncated at **any** byte offset,
+//! or corrupted by a flipped bit anywhere, either recovers to the last
+//! durable sync point or yields a typed error — it never panics and never
+//! hands back a silently wrong recording. A recovered prefix is exactly
+//! the in-memory recording filtered to the synced group, so its replay
+//! (commit logs and debug transcripts alike) is byte-identical to the
+//! replay of that in-memory prefix.
+
+use defined::core::recorder::{trim_log, Recording};
+use defined::netsim::{NodeId, SimDuration, SimTime};
+use defined::routing::rip::RefreshMode;
+use defined::scenario::{
+    ExtSpec, Fault, Injection, Probe, ProtocolSpec, Scenario, TopologySpec,
+};
+use defined::store::{
+    open_bytes, open_bytes_strict, scan, write_recording, FaultMode, FaultyIo, FsyncPolicy,
+    StoreError, StoreMeta, HEADER_LEN,
+};
+
+/// A deliberately small OSPF run (4-ring, 2 s, one loss window) so the
+/// every-byte-offset sweeps stay cheap while still producing drops,
+/// several streamed sync points, and a multi-group tick schedule.
+fn small_ospf() -> Scenario {
+    Scenario {
+        name: "store-recovery-mini".into(),
+        description: "4-ring OSPF with a loss window, for store kill-safety tests".into(),
+        topology: TopologySpec::Ring { n: 4, delay: SimDuration::from_millis(4) },
+        protocol: ProtocolSpec::Ospf,
+        seed: 7,
+        jitter_frac: 0.4,
+        duration: SimDuration::from_secs(2),
+        workload: vec![],
+        faults: vec![Fault::LossWindow {
+            from: SimTime::from_millis(600),
+            until: SimTime::from_millis(1200),
+            a: NodeId(0),
+            b: NodeId(1),
+            p: 0.5,
+        }],
+        probe: Probe::OspfReachable { node: NodeId(2) },
+    }
+}
+
+/// A small RIP run with external-event injections, so the streamed-store
+/// tests also cover external frames (OSPF takes no runtime externals).
+fn small_rip() -> Scenario {
+    Scenario {
+        name: "store-recovery-rip".into(),
+        description: "4-ring RIP with injected prefixes, for store streaming tests".into(),
+        topology: TopologySpec::Ring { n: 4, delay: SimDuration::from_millis(4) },
+        protocol: ProtocolSpec::Rip { mode: RefreshMode::DestinationAndNextHop },
+        seed: 11,
+        jitter_frac: 0.3,
+        duration: SimDuration::from_secs(2),
+        workload: vec![
+            Injection {
+                at: SimTime::from_millis(200),
+                node: NodeId(1),
+                ev: ExtSpec::RipConnect { prefix: 42 },
+            },
+            Injection {
+                at: SimTime::from_millis(900),
+                node: NodeId(3),
+                ev: ExtSpec::RipConnect { prefix: 77 },
+            },
+        ],
+        faults: vec![],
+        probe: Probe::RipRoute { node: NodeId(0), prefix: 42 },
+    }
+}
+
+/// Records `scn` while streaming into a store file, returning the store
+/// bytes, the canonical in-memory recording, and the commit logs trimmed
+/// to the run's comparison horizon (what the store carries).
+fn record_streamed<X: defined::core::wire::Wire>(
+    scn: &Scenario,
+    tag: &str,
+) -> (Vec<u8>, Recording<X>, Vec<Vec<defined::core::CommitRecord>>, u64) {
+    let path = std::env::temp_dir().join(format!("defined-store-recovery-{tag}.drec"));
+    let run = scn.record_run_to_store(&path).expect("streamed record");
+    let bytes = std::fs::read(&path).expect("store file readable");
+    let _ = std::fs::remove_file(&path);
+    let rec = Recording::<X>::from_bytes(&run.bytes).expect("raw recording decodes");
+    let trimmed = run.logs.iter().map(|l| trim_log(l, run.upto)).collect();
+    (bytes, rec, trimmed, run.upto)
+}
+
+/// The in-memory recording a durable prefix at sync point `g` must equal:
+/// everything with a group tag `<= g`, no drops or death cuts (those are
+/// only knowable — and only written — at finalisation).
+fn prefix_of<X: Clone>(rec: &Recording<X>, g: u64) -> Recording<X> {
+    Recording {
+        n_nodes: rec.n_nodes,
+        source: rec.source,
+        externals: rec.externals.iter().filter(|e| e.group <= g).cloned().collect(),
+        drops: Vec::new(),
+        mutes: Vec::new(),
+        ticks: rec.ticks.iter().filter(|t| t.group <= g).cloned().collect(),
+        last_group: g,
+    }
+}
+
+#[test]
+fn streamed_store_round_trips_and_verifies() {
+    let scn = small_ospf();
+    let (bytes, rec, trimmed, upto) = record_streamed::<()>(&scn, "roundtrip");
+    let info = scan(&bytes).expect("fresh store scans");
+    assert!(info.finished);
+    assert_eq!(info.scenario, scn.name);
+    assert_eq!(info.n_nodes, 4);
+    let r = open_bytes_strict::<()>(&bytes).expect("fresh store opens strictly");
+    assert_eq!(r.recording, rec, "store round trip reproduces the in-memory recording");
+    assert_eq!(r.commits.as_deref(), Some(&trimmed[..]));
+    assert_eq!(r.upto, Some(upto));
+    assert!(!rec.drops.is_empty(), "the loss window must exercise drop frames");
+    let report = scn.verify_store(&bytes, 1).expect("verify opens");
+    assert!(report.ok(), "fresh store verifies: {}", report.render());
+    assert_eq!(report.checked_nodes, 4);
+    // The same bytes drive the debug stack directly (format sniffing).
+    let t_store = scn.debug_transcript(&bytes, "stepg 2\nwhere\n").expect("debug from store");
+    let t_raw =
+        scn.debug_transcript(&rec.to_bytes(), "stepg 2\nwhere\n").expect("debug from raw");
+    assert_eq!(t_store, t_raw);
+}
+
+/// The tentpole acceptance sweep: truncate the streamed store at **every**
+/// byte offset. Each prefix must recover to a sync point or fail with a
+/// typed error; every recovered recording must equal the in-memory prefix
+/// at its synced group, and its replay — commit logs and debug transcript —
+/// must be byte-identical to the replay of that in-memory prefix.
+#[test]
+fn every_offset_truncation_recovers_or_errors() {
+    let scn = small_ospf();
+    let (bytes, rec, _, _) = record_streamed::<()>(&scn, "truncate");
+    let mut recovered: Vec<(u64, usize)> = Vec::new(); // (synced group, example cut)
+    for cut in 0..bytes.len() {
+        match open_bytes::<()>(&bytes[..cut]) {
+            Ok(r) => {
+                assert!(!r.info.finished, "a strict prefix can never be finished (cut {cut})");
+                assert!(r.commits.is_none() && r.upto.is_none());
+                assert_eq!(
+                    r.recording,
+                    prefix_of(&rec, r.recording.last_group),
+                    "recovered prefix at cut {cut} must be the in-memory prefix at group {}",
+                    r.recording.last_group
+                );
+                if !recovered.iter().any(|&(g, _)| g == r.recording.last_group) {
+                    recovered.push((r.recording.last_group, cut));
+                }
+            }
+            Err(e) => {
+                // Typed, actionable, and displayable — the contract for
+                // everything recovery cannot save.
+                assert!(!format!("{e}").is_empty());
+            }
+        }
+    }
+    assert!(
+        recovered.len() >= 2,
+        "the run must stream at least two distinct sync points, got {recovered:?}"
+    );
+    // Replay byte-identity, once per distinct recovered prefix.
+    for &(g, cut) in &recovered {
+        let mem_bytes = prefix_of(&rec, g).to_bytes();
+        let logs_store = scn.replay_logs(&bytes[..cut]).expect("recovered prefix replays");
+        let logs_mem = scn.replay_logs(&mem_bytes).expect("in-memory prefix replays");
+        assert_eq!(logs_store, logs_mem, "commit logs diverge for prefix at group {g}");
+        let script = "stepg 1\nwhere\nrun\nwhere\n";
+        let t_store = scn.debug_transcript(&bytes[..cut], script).expect("store debug");
+        let t_mem = scn.debug_transcript(&mem_bytes, script).expect("memory debug");
+        assert_eq!(t_store, t_mem, "debug transcripts diverge for prefix at group {g}");
+    }
+}
+
+/// Every bit of the 12-byte header is load-bearing: any flip is rejected
+/// with a typed error before a single frame is trusted.
+#[test]
+fn every_header_bit_flip_is_rejected() {
+    let scn = small_ospf();
+    let (bytes, _, _, _) = record_streamed::<()>(&scn, "header");
+    for pos in 0..HEADER_LEN {
+        for bit in 0..8 {
+            let mut flipped = bytes.clone();
+            flipped[pos] ^= 1 << bit;
+            assert!(
+                scan(&flipped).is_err(),
+                "header flip at byte {pos} bit {bit} must be rejected"
+            );
+            assert!(open_bytes::<()>(&flipped).is_err());
+        }
+    }
+}
+
+/// A flipped bit anywhere in the body can never pass for a finished
+/// store: the frame CRC catches it (typed error), or — when the flip
+/// forges a frame length that overruns the file — recovery degrades the
+/// store to an unfinished prefix. Strict open therefore always refuses.
+#[test]
+fn body_bit_flips_never_yield_a_finished_store() {
+    let scn = small_ospf();
+    let (bytes, _, _, _) = record_streamed::<()>(&scn, "body");
+    for pos in HEADER_LEN..bytes.len() {
+        let mut flipped = bytes.clone();
+        flipped[pos] ^= 1 << (pos % 8);
+        if let Ok(r) = open_bytes::<()>(&flipped) {
+            assert!(!r.info.finished, "flip at byte {pos} passed as finished");
+        }
+        assert!(open_bytes_strict::<()>(&flipped).is_err());
+    }
+}
+
+/// Streamed external events survive recovery: RIP prefixes injected
+/// mid-run appear in every recovered prefix whose sync point covers them.
+#[test]
+fn streamed_externals_recover_with_their_prefix() {
+    let scn = small_rip();
+    let (bytes, rec, _, _) = record_streamed::<defined::routing::rip::RipExt>(&scn, "rip");
+    assert_eq!(rec.externals.len(), 2, "both injections must be recorded");
+    let r = open_bytes::<defined::routing::rip::RipExt>(&bytes).expect("opens");
+    assert_eq!(r.recording, rec);
+    // Sweep a stride of truncation offsets (the exhaustive sweep runs on
+    // the OSPF store above; this one checks external frames specifically).
+    for cut in (0..bytes.len()).step_by(7) {
+        if let Ok(r) = open_bytes::<defined::routing::rip::RipExt>(&bytes[..cut]) {
+            assert_eq!(r.recording, prefix_of(&rec, r.recording.last_group));
+        }
+    }
+}
+
+/// Fault-injected writes through the offline writer: failing or tearing
+/// the Nth write call, for every N, leaves a file recovery handles.
+#[test]
+fn fault_injected_writes_leave_recoverable_files() {
+    let scn = small_ospf();
+    let (_, rec, trimmed, upto) = record_streamed::<()>(&scn, "faulty");
+    let meta = StoreMeta { n_nodes: rec.n_nodes, source: rec.source, scenario: scn.name.clone() };
+    let full = write_recording(
+        defined::store::VecIo::new(),
+        &meta,
+        &rec,
+        &trimmed,
+        upto,
+        4,
+        FsyncPolicy::Never,
+    )
+    .expect("clean write")
+    .bytes;
+    for nth in 1.. {
+        for mode in
+            [FaultMode::FailWrite { nth }, FaultMode::ShortWrite { nth, keep: 3 }]
+        {
+            let mut io = FaultyIo::new(mode);
+            let wrote =
+                write_recording(&mut io, &meta, &rec, &trimmed, upto, 4, FsyncPolicy::Never)
+                    .is_ok();
+            let persisted = io.into_bytes();
+            if matches!(mode, FaultMode::FailWrite { .. }) && wrote {
+                // nth exceeded the total write count: the file is whole.
+                assert_eq!(persisted, full);
+                let r = open_bytes::<()>(&persisted).expect("whole file opens");
+                assert!(r.info.finished);
+                return; // Every failing index has been covered.
+            }
+            assert!(!wrote, "an injected fault must surface to the writer");
+            match open_bytes::<()>(&persisted) {
+                Ok(r) => {
+                    assert!(!r.info.finished);
+                    assert_eq!(r.recording, prefix_of(&rec, r.recording.last_group));
+                }
+                Err(e) => assert!(!format!("{e}").is_empty()),
+            }
+        }
+    }
+}
+
+/// `KillAfter` models a power loss after the page cache accepted
+/// everything: only a byte budget survives. Recovery must treat every
+/// budget like the equivalent truncation.
+#[test]
+fn kill_after_power_loss_recovers_like_truncation() {
+    let scn = small_ospf();
+    let (_, rec, trimmed, upto) = record_streamed::<()>(&scn, "kill");
+    let meta = StoreMeta { n_nodes: rec.n_nodes, source: rec.source, scenario: scn.name.clone() };
+    let full = write_recording(
+        defined::store::VecIo::new(),
+        &meta,
+        &rec,
+        &trimmed,
+        upto,
+        4,
+        FsyncPolicy::Never,
+    )
+    .expect("clean write")
+    .bytes;
+    for budget in (0..full.len()).step_by(13).chain([full.len()]) {
+        let mut io = FaultyIo::new(FaultMode::KillAfter { bytes: budget });
+        // The kill lies: every write reports success, so the writer
+        // finishes "cleanly" — durability is decided by the budget alone.
+        write_recording(&mut io, &meta, &rec, &trimmed, upto, 4, FsyncPolicy::Never)
+            .expect("writes appear to succeed");
+        let persisted = io.into_bytes();
+        assert_eq!(&persisted[..], &full[..budget.min(full.len())]);
+        match open_bytes::<()>(&persisted) {
+            Ok(r) if r.info.finished => assert_eq!(budget, full.len()),
+            Ok(r) => assert_eq!(r.recording, prefix_of(&rec, r.recording.last_group)),
+            Err(e) => assert!(!format!("{e}").is_empty()),
+        }
+    }
+}
+
+/// The typed error taxonomy is stable and actionable — the errors a
+/// troubleshooter actually sees name the offset and the failure class.
+#[test]
+fn corruption_errors_are_typed_and_name_the_offset() {
+    let scn = small_ospf();
+    let (bytes, _, _, _) = record_streamed::<()>(&scn, "typed");
+    // Empty and tiny files: too short.
+    assert!(matches!(scan(&[]), Err(StoreError::TooShort { .. })));
+    assert!(matches!(scan(&bytes[..5]), Err(StoreError::TooShort { .. })));
+    // Wrong magic.
+    let mut wrong = bytes.clone();
+    wrong[0] = b'X';
+    assert!(matches!(scan(&wrong), Err(StoreError::BadMagic)));
+    // A mid-file payload flip is caught by the frame CRC at that offset.
+    let mut flipped = bytes.clone();
+    let pos = bytes.len() / 2;
+    flipped[pos] ^= 0x10;
+    match scan(&flipped) {
+        Err(StoreError::Corrupt { offset, .. }) => assert!(offset <= pos),
+        Ok(info) => assert!(!info.finished, "flip degraded to a recovered prefix"),
+        Err(e) => panic!("unexpected error class for a payload flip: {e}"),
+    }
+    // Strict open refuses a torn tail with the recovery coordinates.
+    let torn = &bytes[..bytes.len() - 3];
+    match open_bytes_strict::<()>(torn) {
+        Err(StoreError::Unfinished { synced_group, dropped_bytes }) => {
+            assert!(synced_group > 0);
+            assert!(dropped_bytes > 0);
+        }
+        Err(e) => panic!("strict open of a torn tail must be Unfinished, got {e}"),
+        Ok(_) => panic!("strict open of a torn tail must fail"),
+    }
+}
