@@ -3,6 +3,7 @@
 //! causal-chain bound (§2.2).
 
 use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use defined_core::config::CapturePolicy;
 use defined_core::{DefinedConfig, RbNetwork};
 use netsim::{NodeId, SimDuration, SimTime};
 use routing::ospf::{OspfConfig, OspfProcess};
@@ -20,11 +21,17 @@ fn run(cfg: DefinedConfig, jitter: f64) -> defined_core::RbMetrics {
 fn bench_checkpoint_every(c: &mut Criterion) {
     let mut group = c.benchmark_group("ablation_checkpoint_every");
     group.sample_size(10);
-    for k in [1u32, 4, 16] {
-        group.bench_with_input(BenchmarkId::from_parameter(k), &k, |b, &k| {
+    let policies = [
+        ("1", CapturePolicy::Every(1)),
+        ("4", CapturePolicy::Every(4)),
+        ("16", CapturePolicy::Every(16)),
+        ("auto", CapturePolicy::auto()),
+    ];
+    for (label, policy) in policies {
+        group.bench_with_input(BenchmarkId::from_parameter(label), &policy, |b, &policy| {
             b.iter(|| {
                 let cfg = DefinedConfig {
-                    checkpoint_every: k,
+                    capture: policy,
                     strategy: checkpoint::Strategy::MemIntercept,
                     commit_horizon: Some(SimDuration::from_secs(2)),
                     ..DefinedConfig::default()

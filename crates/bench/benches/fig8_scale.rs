@@ -2,6 +2,7 @@
 //! ordering function, on BRITE-style graphs.
 
 use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use defined_core::config::CapturePolicy;
 use defined_core::{DefinedConfig, OrderingMode, RbNetwork};
 use netsim::{NodeId, SimDuration, SimTime};
 use routing::ospf::{OspfConfig, OspfProcess};
@@ -14,6 +15,9 @@ fn rb_run(n: usize, ordering: OrderingMode, seconds: u64) -> u64 {
     let cfg = DefinedConfig {
         ordering,
         strategy: checkpoint::Strategy::MemIntercept,
+        // The production capture cadence: adapt the checkpoint interval to
+        // the observed rollback churn instead of capturing every delivery.
+        capture: CapturePolicy::auto(),
         commit_horizon: Some(SimDuration::from_secs(2)),
         ..DefinedConfig::default()
     };

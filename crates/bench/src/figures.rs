@@ -535,7 +535,7 @@ pub fn fig8d(scale: Scale) -> FigureData {
             let ok = (0..n).all(|i| {
                 let id = NodeId(i as u32);
                 let expected = OspfProcess::expected_table(&g, &mask, id);
-                net.control_plane(id).routing_table() == &expected
+                *net.control_plane(id).routing_table() == expected
             });
             if ok {
                 converged_at = Some(net.sim().now());

@@ -85,7 +85,7 @@ impl OspfRunner {
                 OspfRunner::Baseline(s) => s.process(id).control_plane().routing_table(),
                 OspfRunner::Rb(net) => net.control_plane(id).routing_table(),
             };
-            actual == &expected
+            *actual == expected
         })
     }
 

@@ -39,6 +39,10 @@ pub struct CostModel {
     pub prefork_residual: f64,
     /// Fraction still paid under [`ForkTiming::PreForkTouch`].
     pub touch_residual: f64,
+    /// Per-page cost of recognising a dirty page as already pooled (hash +
+    /// compare + refcount, no copy). An order of magnitude below
+    /// [`CostModel::copy_page_ns`]: dedup hits are priced, not free.
+    pub dedup_page_ns: u64,
     /// Fixed cost of a restore (process switch analogue).
     pub restore_base_ns: u64,
     /// Copy-on-write working-set pages a full-fork (FK) restore must touch
@@ -56,6 +60,7 @@ impl Default for CostModel {
         CostModel {
             fork_base_ns: 60_000,      // 60 µs fork() overhead
             copy_page_ns: 600,         // ~0.6 µs per 4 KiB page copied
+            dedup_page_ns: 60,         // ~0.06 µs to hash + match a pooled page
             prefork_residual: 0.35,
             touch_residual: 0.05,
             restore_base_ns: 120_000,  // 120 µs context restore
@@ -81,7 +86,23 @@ impl CostModel {
             Some(d) => d,
             None => state_bytes.div_ceil(PAGE_SIZE),
         };
-        let full = self.fork_base_ns + self.copy_page_ns * pages as u64;
+        // Without pool information every dirty page is priced as a copy.
+        self.capture_ns(timing, pages, pages)
+    }
+
+    /// Critical-path cost (ns) of a pool-backed (MI) capture: of the
+    /// `dirty_pages` that changed since the previous image, only
+    /// `fresh_pages` were new to the content-addressed pool and copied; the
+    /// rest were dedup hits, priced at [`CostModel::dedup_page_ns`].
+    ///
+    /// This is the estimator the store's own accounting matches: the copy
+    /// term covers exactly the bytes `ckpt.bytes_stored` records
+    /// (`MemStats::fresh_bytes`), so estimator and observed bytes cannot
+    /// drift apart.
+    pub fn capture_ns(&self, timing: ForkTiming, dirty_pages: usize, fresh_pages: usize) -> u64 {
+        let fresh = fresh_pages.min(dirty_pages) as u64;
+        let deduped = dirty_pages as u64 - fresh;
+        let full = self.fork_base_ns + self.copy_page_ns * fresh + self.dedup_page_ns * deduped;
         let frac = match timing {
             ForkTiming::OnArrival => 1.0,
             ForkTiming::PreFork => self.prefork_residual,
@@ -145,6 +166,65 @@ mod tests {
         let a = m.rollback_ns(8 * PAGE_SIZE, Some(2), 0, 50_000);
         let b = m.rollback_ns(8 * PAGE_SIZE, Some(2), 5, 50_000);
         assert_eq!(b - a, 250_000);
+    }
+
+    #[test]
+    fn estimator_matches_observed_bytes_on_churn() {
+        // A synthetic churn run: one page dirtied per round, with a
+        // rollback + re-capture after each capture. The estimator's copy
+        // term must price exactly the pages the store recorded as
+        // materialised (`fresh_bytes` == what `ckpt.bytes_stored` adds),
+        // not the full dirty set the naive estimator would charge.
+        use crate::{Checkpointer, Snapshotable, Strategy};
+
+        #[derive(Clone)]
+        struct Blob(Vec<u8>);
+        impl Snapshotable for Blob {
+            fn encode(&self, buf: &mut Vec<u8>) {
+                buf.extend_from_slice(&self.0);
+            }
+            fn decode(bytes: &[u8]) -> Option<Self> {
+                Some(Blob(bytes.to_vec()))
+            }
+        }
+
+        let m = CostModel::default();
+        let mut cp = Checkpointer::new(Strategy::MemIntercept);
+        let mut blob = Blob(vec![0u8; 64 * PAGE_SIZE]); // page-aligned size
+        let mut priced_copy_pages = 0u64;
+        let mut dirty_pages_seen = 0u64;
+        for round in 0..16usize {
+            blob.0[round * PAGE_SIZE] = round as u8 + 1;
+            let id = cp.checkpoint(&blob);
+            let s = cp.stats();
+            priced_copy_pages += s.last_fresh_pages as u64;
+            dirty_pages_seen += s.last_dirty_pages as u64;
+            // Churn: roll back to the capture and re-commit the same state.
+            let restored = cp.restore(id).expect("restorable");
+            cp.truncate_from(id);
+            cp.checkpoint(&restored);
+            let s = cp.stats();
+            priced_copy_pages += s.last_fresh_pages as u64;
+            dirty_pages_seen += s.last_dirty_pages as u64;
+        }
+        let observed = cp.stats().fresh_bytes;
+        assert_eq!(
+            priced_copy_pages * PAGE_SIZE as u64,
+            observed,
+            "estimator copy term must equal the bytes the store recorded"
+        );
+        // The churn re-captures copied nothing, so the consistent estimate
+        // is strictly below what full dirty-page pricing would charge.
+        let consistent = m.capture_ns(
+            ForkTiming::OnArrival,
+            dirty_pages_seen as usize,
+            priced_copy_pages as usize,
+        );
+        let naive = m.capture_ns(ForkTiming::OnArrival, dirty_pages_seen as usize, dirty_pages_seen as usize);
+        assert!(
+            consistent < naive,
+            "dedup hits must be priced below copies ({consistent} vs {naive})"
+        );
     }
 
     #[test]

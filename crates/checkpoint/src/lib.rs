@@ -17,6 +17,10 @@
 //! Memory accounting distinguishes **virtual** bytes (what `fork()` maps:
 //! every checkpoint's full image — the paper's VM curve in Fig. 7c) from
 //! **physical** bytes (unique pages actually materialised — the PM curve).
+//! Under MI every page is interned in a content-addressed, refcounted
+//! [`PagePool`], so identical content is stored once across checkpoints,
+//! across retention thinning, and across rollback generations — checkpoint
+//! cost scales with state that *changed*, not with checkpoints taken.
 //!
 //! The [`ForkTiming`] enum models *when* the checkpoint cost is paid relative
 //! to packet processing (Fig. 7b): at arrival (TF), pre-forked during idle
@@ -27,11 +31,13 @@
 
 mod cost;
 mod pages;
+mod pool;
 mod store;
 mod timeline;
 
 pub use cost::{CostModel, ForkTiming};
-pub use pages::{PageImage, PAGE_SIZE};
+pub use pages::{BuildCost, PageImage, PAGE_SIZE};
+pub use pool::{PagePool, PoolStats};
 pub use store::{CheckpointId, Checkpointer, MemStats, Strategy};
 pub use timeline::{RetentionPolicy, Timeline};
 

@@ -1,59 +1,111 @@
-//! Page-granular state images with copy-on-write sharing.
+//! Page-granular state images whose pages live in a content-addressed pool.
 
+use crate::pool::{PagePool, PooledPage};
 use std::sync::Arc;
 
 /// The page granularity used for diffing; matches the 4 KiB pages the
 /// kernel's copy-on-write operates on.
 pub const PAGE_SIZE: usize = 4096;
 
-type Page = Arc<Vec<u8>>;
+/// What building an image cost, page-wise.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub struct BuildCost {
+    /// Pages that differ from the previous image (what memory interception
+    /// must inspect and re-reference).
+    pub dirty_pages: usize,
+    /// Of the dirty pages, those whose content was *new to the pool* — the
+    /// only pages that allocated and copied bytes.
+    pub fresh_pages: usize,
+    /// Bytes those fresh pages materialised (what the store actually grew
+    /// by).
+    pub fresh_bytes: usize,
+}
 
-/// A byte image split into `Arc`-shared pages.
+/// A byte image split into pages interned in a [`PagePool`].
 ///
-/// Deriving one image from another shares every unchanged page, which is the
-/// in-process analogue of `fork()`'s copy-on-write: virtual size is the full
-/// image, physical size is only the pages this image materialised anew.
-#[derive(Clone, Debug)]
+/// Deriving one image from another shares every unchanged page, and the pool
+/// additionally shares identical content *across* unrelated images and
+/// rollback generations: virtual size is the full image, physical size is
+/// only the pages the pool had never seen.
+///
+/// Images hold pool references, so they must be released back to the pool
+/// that built them ([`PageImage::release`]) rather than merely dropped —
+/// the owning [`crate::Checkpointer`] does this on every eviction path.
+#[derive(Debug)]
 pub struct PageImage {
-    pages: Vec<Page>,
+    pages: Vec<PooledPage>,
     len: usize,
 }
 
 impl PageImage {
-    /// Builds an image from raw bytes (every page freshly materialised).
-    pub fn from_bytes(bytes: &[u8]) -> Self {
-        let pages = bytes
-            .chunks(PAGE_SIZE)
-            .map(|c| Arc::new(c.to_vec()))
-            .collect();
-        PageImage { pages, len: bytes.len() }
+    /// Builds an image from raw bytes, interning every page.
+    pub fn from_bytes(pool: &mut PagePool, bytes: &[u8]) -> (Self, BuildCost) {
+        let mut pages = Vec::with_capacity(bytes.len().div_ceil(PAGE_SIZE));
+        let mut cost = BuildCost::default();
+        for chunk in bytes.chunks(PAGE_SIZE) {
+            let before = pool.stats().misses;
+            let p = pool.intern(chunk);
+            cost.dirty_pages += 1;
+            if pool.stats().misses > before {
+                cost.fresh_pages += 1;
+                cost.fresh_bytes += chunk.len();
+            }
+            pages.push(p);
+        }
+        (PageImage { pages, len: bytes.len() }, cost)
     }
 
-    /// Builds an image of `bytes` sharing unchanged pages with `prev`.
-    ///
-    /// Returns the image and the number of pages that had to be copied
-    /// (the dirty-page count, which is what memory interception pays for).
-    pub fn diff_from(prev: &PageImage, bytes: &[u8]) -> (Self, usize) {
+    /// Builds an image of `bytes` sharing unchanged pages with `prev`
+    /// (position-wise fast path, no re-hash), interning changed pages into
+    /// the pool (content-wise dedup against everything else it holds).
+    pub fn diff_from(pool: &mut PagePool, prev: &PageImage, bytes: &[u8]) -> (Self, BuildCost) {
         let mut pages = Vec::with_capacity(bytes.len().div_ceil(PAGE_SIZE));
-        let mut dirty = 0;
+        let mut cost = BuildCost::default();
         for (i, chunk) in bytes.chunks(PAGE_SIZE).enumerate() {
             match prev.pages.get(i) {
-                Some(p) if p.as_slice() == chunk => pages.push(Arc::clone(p)),
+                Some(p) if p.page.as_slice() == chunk => pages.push(pool.retain(p)),
                 _ => {
-                    pages.push(Arc::new(chunk.to_vec()));
-                    dirty += 1;
+                    let before = pool.stats().misses;
+                    let p = pool.intern(chunk);
+                    cost.dirty_pages += 1;
+                    if pool.stats().misses > before {
+                        cost.fresh_pages += 1;
+                        cost.fresh_bytes += chunk.len();
+                    }
+                    pages.push(p);
                 }
             }
         }
-        (PageImage { pages, len: bytes.len() }, dirty)
+        (PageImage { pages, len: bytes.len() }, cost)
+    }
+
+    /// Takes a whole-image reference: every page re-retained from the pool.
+    pub fn retain_clone(&self, pool: &mut PagePool) -> Self {
+        let pages = self.pages.iter().map(|p| pool.retain(p)).collect();
+        PageImage { pages, len: self.len }
+    }
+
+    /// Returns every page reference to the pool. Call exactly once, from the
+    /// store that owns the image.
+    pub fn release(&self, pool: &mut PagePool) {
+        for p in &self.pages {
+            pool.release(p);
+        }
+    }
+
+    /// Reassembles the raw bytes into `out` (cleared first).
+    pub fn write_bytes(&self, out: &mut Vec<u8>) {
+        out.clear();
+        out.reserve(self.len);
+        for p in &self.pages {
+            out.extend_from_slice(&p.page);
+        }
     }
 
     /// Reassembles the raw bytes.
     pub fn to_bytes(&self) -> Vec<u8> {
-        let mut out = Vec::with_capacity(self.len);
-        for p in &self.pages {
-            out.extend_from_slice(p);
-        }
+        let mut out = Vec::new();
+        self.write_bytes(&mut out);
         out
     }
 
@@ -76,7 +128,7 @@ impl PageImage {
     /// `sink`; used to compute unique physical bytes across many images.
     pub fn visit_pages(&self, sink: &mut impl FnMut(usize, usize)) {
         for p in &self.pages {
-            sink(Arc::as_ptr(p) as usize, p.len());
+            sink(Arc::as_ptr(&p.page) as usize, p.page.len());
         }
     }
 }
@@ -86,7 +138,7 @@ mod tests {
     use super::*;
     use std::collections::HashMap;
 
-    fn physical_bytes(images: &[PageImage]) -> usize {
+    fn physical_bytes(images: &[&PageImage]) -> usize {
         let mut seen: HashMap<usize, usize> = HashMap::new();
         for img in images {
             img.visit_pages(&mut |ptr, len| {
@@ -98,55 +150,101 @@ mod tests {
 
     #[test]
     fn round_trip() {
+        let mut pool = PagePool::new();
         let data: Vec<u8> = (0..10_000).map(|i| (i % 251) as u8).collect();
-        let img = PageImage::from_bytes(&data);
+        let (img, cost) = PageImage::from_bytes(&mut pool, &data);
         assert_eq!(img.to_bytes(), data);
         assert_eq!(img.len(), 10_000);
         assert_eq!(img.page_count(), 3);
         assert!(!img.is_empty());
+        assert_eq!(cost.fresh_pages, 3);
+        assert_eq!(cost.fresh_bytes, 10_000);
+        img.release(&mut pool);
+        assert_eq!(pool.resident_bytes(), 0);
     }
 
     #[test]
     fn empty_image() {
-        let img = PageImage::from_bytes(&[]);
+        let mut pool = PagePool::new();
+        let (img, cost) = PageImage::from_bytes(&mut pool, &[]);
         assert!(img.is_empty());
         assert_eq!(img.page_count(), 0);
         assert_eq!(img.to_bytes(), Vec::<u8>::new());
+        assert_eq!(cost, BuildCost::default());
     }
 
     #[test]
     fn diff_shares_unchanged_pages() {
+        let mut pool = PagePool::new();
         let mut data: Vec<u8> = vec![7; 5 * PAGE_SIZE];
-        let base = PageImage::from_bytes(&data);
+        let (base, _) = PageImage::from_bytes(&mut pool, &data);
         // Touch one byte in page 2.
         data[2 * PAGE_SIZE + 10] = 9;
-        let (next, dirty) = PageImage::diff_from(&base, &data);
-        assert_eq!(dirty, 1);
+        let (next, cost) = PageImage::diff_from(&mut pool, &base, &data);
+        assert_eq!(cost.dirty_pages, 1);
+        assert_eq!(cost.fresh_pages, 1);
         assert_eq!(next.to_bytes(), data);
-        // Physical cost of holding both: 5 pages + 1 dirty page.
-        assert_eq!(physical_bytes(&[base, next]), 6 * PAGE_SIZE);
+        // Physical cost of holding both: base dedups its 5 identical pages
+        // to one pooled page, plus the one dirty page.
+        assert_eq!(pool.resident_bytes(), 2 * PAGE_SIZE);
+        assert_eq!(physical_bytes(&[&base, &next]), 2 * PAGE_SIZE);
     }
 
     #[test]
     fn diff_handles_growth_and_shrink() {
-        let base = PageImage::from_bytes(&vec![1; 2 * PAGE_SIZE]);
+        let mut pool = PagePool::new();
+        let (base, _) = PageImage::from_bytes(&mut pool, &vec![1; 2 * PAGE_SIZE]);
         let grown: Vec<u8> = vec![1; 3 * PAGE_SIZE + 7];
-        let (g, dirty_g) = PageImage::diff_from(&base, &grown);
+        let (g, cost_g) = PageImage::diff_from(&mut pool, &base, &grown);
         assert_eq!(g.to_bytes(), grown);
-        assert_eq!(dirty_g, 2, "one new full page + one tail page");
+        // One new full page (deduped against the pool!) + one tail page.
+        assert_eq!(cost_g.dirty_pages, 2);
+        assert_eq!(cost_g.fresh_pages, 1, "the grown full page already exists in the pool");
         let shrunk: Vec<u8> = vec![1; PAGE_SIZE / 2];
-        let (s, dirty_s) = PageImage::diff_from(&base, &shrunk);
+        let (s, cost_s) = PageImage::diff_from(&mut pool, &base, &shrunk);
         assert_eq!(s.to_bytes(), shrunk);
         // The final partial page differs in length from the full base page.
-        assert_eq!(dirty_s, 1);
+        assert_eq!(cost_s.dirty_pages, 1);
     }
 
     #[test]
     fn identical_diff_is_all_shared() {
+        let mut pool = PagePool::new();
         let data = vec![3; 4 * PAGE_SIZE];
-        let base = PageImage::from_bytes(&data);
-        let (next, dirty) = PageImage::diff_from(&base, &data);
-        assert_eq!(dirty, 0);
-        assert_eq!(physical_bytes(&[base, next]), 4 * PAGE_SIZE);
+        let (base, _) = PageImage::from_bytes(&mut pool, &data);
+        let (next, cost) = PageImage::diff_from(&mut pool, &base, &data);
+        assert_eq!(cost.dirty_pages, 0);
+        assert_eq!(cost.fresh_bytes, 0);
+        // All four identical pages collapse to a single pooled page.
+        assert_eq!(pool.resident_bytes(), PAGE_SIZE);
+        assert_eq!(physical_bytes(&[&base, &next]), PAGE_SIZE);
+    }
+
+    #[test]
+    fn pool_dedups_across_unrelated_images() {
+        let mut pool = PagePool::new();
+        let data = vec![9; 3 * PAGE_SIZE];
+        let (a, ca) = PageImage::from_bytes(&mut pool, &data);
+        let (b, cb) = PageImage::from_bytes(&mut pool, &data);
+        assert_eq!(ca.fresh_pages, 1);
+        assert_eq!(cb.fresh_pages, 0, "second image re-uses pooled content");
+        assert_eq!(pool.resident_bytes(), PAGE_SIZE);
+        a.release(&mut pool);
+        assert_eq!(pool.resident_bytes(), PAGE_SIZE, "b keeps the page alive");
+        b.release(&mut pool);
+        assert_eq!(pool.resident_bytes(), 0);
+    }
+
+    #[test]
+    fn retain_clone_round_trips_and_refcounts() {
+        let mut pool = PagePool::new();
+        let data: Vec<u8> = (0..2 * PAGE_SIZE).map(|i| (i % 13) as u8).collect();
+        let (a, _) = PageImage::from_bytes(&mut pool, &data);
+        let b = a.retain_clone(&mut pool);
+        assert_eq!(b.to_bytes(), data);
+        a.release(&mut pool);
+        assert_eq!(b.to_bytes(), data, "clone keeps pages alive");
+        b.release(&mut pool);
+        assert_eq!(pool.resident_bytes(), 0);
     }
 }

@@ -1,0 +1,181 @@
+//! A content-addressed, refcounted page pool.
+//!
+//! Every 4 KiB page a [`crate::Checkpointer`] materialises is interned here,
+//! keyed by its FNV-1a content hash (with full byte comparison on hash
+//! collisions). Images hold *references* into the pool; identical pages are
+//! stored once no matter how many checkpoints, timelines, or rollback
+//! generations contain them. Releasing an image decrements refcounts and
+//! frees only pages nothing else still references — which is what lets
+//! retention thinning and rollback truncation drop *references* instead of
+//! bytes, and lets a post-rollback re-capture re-use the pages of the images
+//! it just invalidated.
+
+use crate::fnv1a;
+use std::collections::HashMap;
+use std::sync::Arc;
+
+/// One pooled page: the shared bytes plus the content hash they were
+/// interned under. The hash is cached so releasing or re-retaining a page
+/// never re-hashes its contents.
+#[derive(Debug)]
+pub(crate) struct PooledPage {
+    pub(crate) hash: u64,
+    pub(crate) page: Arc<Vec<u8>>,
+}
+
+struct Slot {
+    page: Arc<Vec<u8>>,
+    refs: usize,
+}
+
+/// Aggregate pool activity, readable in O(1).
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub struct PoolStats {
+    /// Distinct pages currently held (refcount > 0).
+    pub live_pages: usize,
+    /// Bytes of those distinct pages — the physical footprint.
+    pub resident_bytes: usize,
+    /// Page lookups satisfied by an already-pooled page.
+    pub hits: u64,
+    /// Page lookups that had to materialise a new page.
+    pub misses: u64,
+    /// Bytes the hits avoided copying.
+    pub bytes_deduped: u64,
+}
+
+/// The content-addressed page store shared by every image in one
+/// [`crate::Checkpointer`].
+#[derive(Default)]
+pub struct PagePool {
+    buckets: HashMap<u64, Vec<Slot>>,
+    stats: PoolStats,
+}
+
+impl PagePool {
+    /// An empty pool.
+    pub fn new() -> Self {
+        PagePool::default()
+    }
+
+    /// Interns `chunk`, returning a page reference with one refcount held by
+    /// the caller. A pooled page with identical bytes is shared (hit); only
+    /// genuinely new content allocates (miss).
+    pub(crate) fn intern(&mut self, chunk: &[u8]) -> PooledPage {
+        let hash = fnv1a(chunk);
+        let bucket = self.buckets.entry(hash).or_default();
+        if let Some(slot) = bucket.iter_mut().find(|s| s.page.as_slice() == chunk) {
+            slot.refs += 1;
+            self.stats.hits += 1;
+            self.stats.bytes_deduped += chunk.len() as u64;
+            return PooledPage { hash, page: Arc::clone(&slot.page) };
+        }
+        let page = Arc::new(chunk.to_vec());
+        bucket.push(Slot { page: Arc::clone(&page), refs: 1 });
+        self.stats.misses += 1;
+        self.stats.live_pages += 1;
+        self.stats.resident_bytes += chunk.len();
+        PooledPage { hash, page }
+    }
+
+    /// Takes an additional reference on an already-pooled page (sharing an
+    /// unchanged page with the previous image). Counted as a dedup hit: the
+    /// page's bytes were not copied.
+    pub(crate) fn retain(&mut self, p: &PooledPage) -> PooledPage {
+        let slot = self
+            .buckets
+            .get_mut(&p.hash)
+            .and_then(|b| b.iter_mut().find(|s| Arc::ptr_eq(&s.page, &p.page)))
+            .expect("retained page must be pooled");
+        slot.refs += 1;
+        self.stats.hits += 1;
+        self.stats.bytes_deduped += p.page.len() as u64;
+        PooledPage { hash: p.hash, page: Arc::clone(&p.page) }
+    }
+
+    /// Drops one reference; the page's bytes are freed only when no image
+    /// references it any more.
+    pub(crate) fn release(&mut self, p: &PooledPage) {
+        let bucket = self.buckets.get_mut(&p.hash).expect("released page must be pooled");
+        let i = bucket
+            .iter()
+            .position(|s| Arc::ptr_eq(&s.page, &p.page))
+            .expect("released page must be pooled");
+        bucket[i].refs -= 1;
+        if bucket[i].refs == 0 {
+            self.stats.live_pages -= 1;
+            self.stats.resident_bytes -= bucket[i].page.len();
+            bucket.swap_remove(i);
+            if bucket.is_empty() {
+                self.buckets.remove(&p.hash);
+            }
+        }
+    }
+
+    /// Current pool statistics.
+    pub fn stats(&self) -> PoolStats {
+        self.stats
+    }
+
+    /// Bytes of distinct live pages — the pool's physical footprint, O(1).
+    pub fn resident_bytes(&self) -> usize {
+        self.stats.resident_bytes
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn intern_dedups_identical_content() {
+        let mut pool = PagePool::new();
+        let a = pool.intern(&[7u8; 100]);
+        let b = pool.intern(&[7u8; 100]);
+        assert!(Arc::ptr_eq(&a.page, &b.page));
+        let s = pool.stats();
+        assert_eq!((s.hits, s.misses), (1, 1));
+        assert_eq!(s.live_pages, 1);
+        assert_eq!(s.resident_bytes, 100);
+        assert_eq!(s.bytes_deduped, 100);
+    }
+
+    #[test]
+    fn release_frees_only_unreferenced_pages() {
+        let mut pool = PagePool::new();
+        let a = pool.intern(&[1u8; 64]);
+        let b = pool.intern(&[1u8; 64]); // shares with a
+        let c = pool.intern(&[2u8; 64]);
+        pool.release(&a);
+        assert_eq!(pool.stats().live_pages, 2, "b still references a's page");
+        pool.release(&b);
+        assert_eq!(pool.stats().live_pages, 1);
+        pool.release(&c);
+        assert_eq!(pool.stats().live_pages, 0);
+        assert_eq!(pool.resident_bytes(), 0);
+    }
+
+    #[test]
+    fn retain_shares_without_rehash() {
+        let mut pool = PagePool::new();
+        let a = pool.intern(&[3u8; 32]);
+        let b = pool.retain(&a);
+        assert!(Arc::ptr_eq(&a.page, &b.page));
+        assert_eq!(pool.stats().hits, 1);
+        pool.release(&a);
+        pool.release(&b);
+        assert_eq!(pool.stats().live_pages, 0);
+    }
+
+    #[test]
+    fn hash_collisions_fall_back_to_byte_compare() {
+        // Force two different contents into one bucket by inserting, then
+        // interning a slice that happens to share the bucket is impractical
+        // to construct for FNV; instead assert the bucket scan compares
+        // bytes: same-length different contents never alias.
+        let mut pool = PagePool::new();
+        let a = pool.intern(&[0u8; 16]);
+        let b = pool.intern(&[1u8; 16]);
+        assert!(!Arc::ptr_eq(&a.page, &b.page));
+        assert_eq!(pool.stats().misses, 2);
+    }
+}

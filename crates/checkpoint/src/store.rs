@@ -1,10 +1,11 @@
 //! The checkpoint store: ordered snapshots with rollback truncation and
-//! commit-horizon garbage collection.
+//! commit-horizon garbage collection, backed by a content-addressed page
+//! pool so storage grows with *state that changed*, not with checkpoints.
 
 use crate::pages::PageImage;
+use crate::pool::PagePool;
 use crate::Snapshotable;
 use defined_obs as obs;
-use std::collections::HashMap;
 use std::collections::VecDeque;
 
 /// Identifier of one checkpoint; strictly increasing per [`Checkpointer`].
@@ -40,14 +41,36 @@ pub struct MemStats {
     /// Sum of full logical image sizes over retained checkpoints (the VM
     /// curve of Fig. 7c). Zero for `CloneState`.
     pub virtual_bytes: usize,
-    /// Unique materialised bytes over retained checkpoints (the PM curve).
-    /// Equals `virtual_bytes` for `Fork`; much smaller for `MemIntercept`.
+    /// Unique materialised bytes over retained checkpoints (the PM curve):
+    /// full images for `Fork` plus the page pool's distinct live pages for
+    /// `MemIntercept`. Maintained incrementally — O(1) to read.
     pub physical_bytes: usize,
-    /// Dirty pages copied by the most recent checkpoint (MI only).
+    /// Dirty pages (changed vs. the previous image) of the most recent
+    /// checkpoint (MI only).
     pub last_dirty_pages: usize,
-    /// Total dirty pages copied since creation (MI only).
+    /// Total dirty pages since creation (MI only).
     pub total_dirty_pages: u64,
+    /// Of the most recent checkpoint's dirty pages, how many were new to
+    /// the page pool and actually copied (MI only).
+    pub last_fresh_pages: usize,
+    /// Total bytes the store materialised since creation — what
+    /// `ckpt.bytes_stored` records. Fork counts full images; MI counts only
+    /// pool-fresh pages.
+    pub fresh_bytes: u64,
+    /// Page-pool lookups satisfied without copying (MI only).
+    pub pool_hits: u64,
+    /// Page-pool lookups that materialised a new page (MI only).
+    pub pool_misses: u64,
+    /// Bytes dedup avoided copying (MI only).
+    pub bytes_deduped: u64,
+    /// Logical size of the image parked between a rollback truncation and
+    /// the next capture (MI only). Its pages stay resident — and counted in
+    /// `physical_bytes` — so the post-rollback re-capture copies nothing.
+    pub parked_bytes: usize,
 }
+
+/// Cap on spare encode buffers kept for reuse.
+const SPARE_BUFS: usize = 8;
 
 /// An ordered store of state checkpoints.
 ///
@@ -56,17 +79,35 @@ pub struct MemStats {
 /// `release_before` when the commit horizon advances (§2.2: "an entry in the
 /// history can be removed after all messages that might be ordered before it
 /// have arrived").
+///
+/// Under [`Strategy::MemIntercept`] every page lives in a [`PagePool`]
+/// shared by all of this store's images: identical content is stored once
+/// across checkpoints and across rollback generations, and every eviction
+/// path (thinning, truncation, the commit horizon) decrements refcounts
+/// instead of dropping bytes. The restored-to image invalidated by
+/// `truncate_from` is parked until the next capture completes, so a
+/// post-rollback re-capture re-uses its pages instead of copying them back.
 pub struct Checkpointer<S> {
     strategy: Strategy,
     entries: VecDeque<(CheckpointId, Stored<S>)>,
+    pool: PagePool,
+    /// The restored-to image invalidated by the latest `truncate_from`,
+    /// kept alive until the next `checkpoint` so the forced post-rollback
+    /// re-capture diffs against it (at most one element).
+    graveyard: Vec<PageImage>,
     next: u64,
     taken: u64,
     restores: u64,
     last_dirty: usize,
     total_dirty: u64,
+    last_fresh: usize,
+    fresh_bytes: u64,
     /// Incrementally maintained so the hot path never scans entries.
     virtual_bytes: usize,
+    /// Bytes held by `Stored::Full` entries (Fork's physical footprint).
+    full_bytes: usize,
     encode_buf: Vec<u8>,
+    spare_bufs: Vec<Vec<u8>>,
 }
 
 impl<S> Stored<S> {
@@ -85,13 +126,19 @@ impl<S: Snapshotable> Checkpointer<S> {
         Checkpointer {
             strategy,
             entries: VecDeque::new(),
+            pool: PagePool::new(),
+            graveyard: Vec::new(),
             next: 0,
             taken: 0,
             restores: 0,
             last_dirty: 0,
             total_dirty: 0,
+            last_fresh: 0,
+            fresh_bytes: 0,
             virtual_bytes: 0,
+            full_bytes: 0,
             encode_buf: Vec::new(),
+            spare_bufs: Vec::new(),
         }
     }
 
@@ -106,37 +153,55 @@ impl<S: Snapshotable> Checkpointer<S> {
         let id = CheckpointId(self.next);
         self.next += 1;
         self.taken += 1;
+        let mut stored_fresh = 0usize;
         let stored = match self.strategy {
             Strategy::CloneState => Stored::Clone(state.clone()),
             Strategy::Fork => {
-                let mut buf = Vec::new();
+                let mut buf = self.spare_bufs.pop().unwrap_or_default();
+                buf.clear();
                 state.encode(&mut buf);
+                stored_fresh = buf.len();
+                self.full_bytes += buf.len();
                 Stored::Full(buf)
             }
             Strategy::MemIntercept => {
                 self.encode_buf.clear();
                 state.encode(&mut self.encode_buf);
-                let prev = self.entries.iter().rev().find_map(|(_, s)| match s {
-                    Stored::Paged(img) => Some(img),
-                    _ => None,
+                let before = self.pool.stats();
+                // Diff base: the newest live paged image, or — right after a
+                // rollback truncation — the parked image of the checkpoint
+                // we restored to, whose pages this re-capture can re-use
+                // wholesale.
+                let prev = self.graveyard.last().or_else(|| {
+                    self.entries.iter().rev().find_map(|(_, s)| match s {
+                        Stored::Paged(img) => Some(img),
+                        _ => None,
+                    })
                 });
-                let (img, dirty) = match prev {
-                    Some(p) => PageImage::diff_from(p, &self.encode_buf),
-                    None => {
-                        let img = PageImage::from_bytes(&self.encode_buf);
-                        let pages = img.page_count();
-                        (img, pages)
-                    }
+                let (img, cost) = match prev {
+                    Some(p) => PageImage::diff_from(&mut self.pool, p, &self.encode_buf),
+                    None => PageImage::from_bytes(&mut self.pool, &self.encode_buf),
                 };
-                self.last_dirty = dirty;
-                self.total_dirty += dirty as u64;
-                obs::counter!("ckpt.pages_dirty").add(dirty as u64);
+                for dead in self.graveyard.drain(..) {
+                    dead.release(&mut self.pool);
+                }
+                let after = self.pool.stats();
+                self.last_dirty = cost.dirty_pages;
+                self.total_dirty += cost.dirty_pages as u64;
+                self.last_fresh = cost.fresh_pages;
+                stored_fresh = cost.fresh_bytes;
+                obs::counter!("ckpt.pages_dirty").add(cost.dirty_pages as u64);
                 obs::counter!("ckpt.pages_total").add(img.page_count() as u64);
+                obs::counter!("ckpt.pool.hits").add(after.hits - before.hits);
+                obs::counter!("ckpt.pool.misses").add(after.misses - before.misses);
+                obs::counter!("ckpt.pool.bytes_deduped")
+                    .add(after.bytes_deduped - before.bytes_deduped);
                 Stored::Paged(img)
             }
         };
+        self.fresh_bytes += stored_fresh as u64;
         obs::counter!("ckpt.captures").add(1);
-        obs::counter!("ckpt.bytes_stored").add(stored.logical_len() as u64);
+        obs::counter!("ckpt.bytes_stored").add(stored_fresh as u64);
         self.virtual_bytes += stored.logical_len();
         self.entries.push_back((id, stored));
         id
@@ -157,14 +222,45 @@ impl<S: Snapshotable> Checkpointer<S> {
         match stored {
             Stored::Clone(s) => Some(s.clone()),
             Stored::Full(bytes) => S::decode(bytes),
-            Stored::Paged(img) => S::decode(&img.to_bytes()),
+            Stored::Paged(img) => {
+                let mut buf = self.spare_bufs.pop().unwrap_or_default();
+                img.write_bytes(&mut buf);
+                let out = S::decode(&buf);
+                self.put_spare(buf);
+                out
+            }
+        }
+    }
+
+    /// Returns a stored entry's backing bytes to the reuse pools.
+    fn dispose(&mut self, stored: Stored<S>, park: bool) {
+        match stored {
+            Stored::Clone(_) => {}
+            Stored::Full(b) => {
+                self.full_bytes -= b.len();
+                self.put_spare(b);
+            }
+            Stored::Paged(img) => {
+                if park {
+                    self.graveyard.push(img);
+                } else {
+                    img.release(&mut self.pool);
+                }
+            }
+        }
+    }
+
+    fn put_spare(&mut self, buf: Vec<u8>) {
+        if self.spare_bufs.len() < SPARE_BUFS {
+            self.spare_bufs.push(buf);
         }
     }
 
     /// Discards exactly the checkpoint `id`, wherever it sits in the order
-    /// (retention thinning). A no-op for unknown ids. Page-diff images are
-    /// self-contained, so removing an interior checkpoint never invalidates
-    /// its neighbours.
+    /// (retention thinning). A no-op for unknown ids. Images reference the
+    /// shared page pool, so removing an interior checkpoint drops only the
+    /// refcounts it held: neighbours stay restorable and pages they still
+    /// reference stay resident.
     pub fn remove(&mut self, id: CheckpointId) {
         let slice = self.entries.make_contiguous();
         let pos = slice.partition_point(|(i, _)| *i < id);
@@ -173,14 +269,27 @@ impl<S: Snapshotable> Checkpointer<S> {
             obs::counter!("ckpt.evictions").add(1);
             obs::counter!("ckpt.evicted_bytes").add(stored.logical_len() as u64);
             self.virtual_bytes -= stored.logical_len();
+            self.dispose(stored, false);
         }
     }
 
     /// Discards checkpoints at or after `id` (rollback invalidates them).
+    ///
+    /// The invalidated paged images are parked until the next `checkpoint`
+    /// call so the post-rollback re-capture shares their pages instead of
+    /// copying the restored state afresh.
     pub fn truncate_from(&mut self, id: CheckpointId) {
+        // At most one parked image at a time.
+        for dead in std::mem::take(&mut self.graveyard) {
+            dead.release(&mut self.pool);
+        }
         while self.entries.back().map(|(i, _)| *i >= id).unwrap_or(false) {
-            let (_, stored) = self.entries.pop_back().expect("checked");
+            let (popped, stored) = self.entries.pop_back().expect("checked");
             self.virtual_bytes -= stored.logical_len();
+            // Only the restored-to image (`id` itself, popped last) is a
+            // useful diff base for the forced re-capture; newer invalidated
+            // images release their page refs immediately.
+            self.dispose(stored, popped == id);
         }
     }
 
@@ -189,6 +298,7 @@ impl<S: Snapshotable> Checkpointer<S> {
         while self.entries.front().map(|(i, _)| *i < id).unwrap_or(false) {
             let (_, stored) = self.entries.pop_front().expect("checked");
             self.virtual_bytes -= stored.logical_len();
+            self.dispose(stored, false);
         }
     }
 
@@ -207,41 +317,53 @@ impl<S: Snapshotable> Checkpointer<S> {
         self.entries.is_empty()
     }
 
-    /// O(1) statistics for hot paths; `physical_bytes` is left zero (it
-    /// requires a page scan — use [`Checkpointer::stats`] when needed).
+    /// Distinct live pages and their bytes in the shared page pool.
+    pub fn pool_stats(&self) -> crate::pool::PoolStats {
+        self.pool.stats()
+    }
+
+    /// O(1) statistics. `physical_bytes` counts `Fork` full images plus the
+    /// page pool's distinct live pages (including, transiently, images
+    /// parked between a rollback truncation and the next capture).
     pub fn stats_fast(&self) -> MemStats {
+        let pool = self.pool.stats();
         MemStats {
             retained: self.entries.len(),
             taken: self.taken,
             restores: self.restores,
             virtual_bytes: self.virtual_bytes,
-            physical_bytes: 0,
+            physical_bytes: self.full_bytes + pool.resident_bytes,
             last_dirty_pages: self.last_dirty,
             total_dirty_pages: self.total_dirty,
+            last_fresh_pages: self.last_fresh,
+            fresh_bytes: self.fresh_bytes,
+            pool_hits: pool.hits,
+            pool_misses: pool.misses,
+            bytes_deduped: pool.bytes_deduped,
+            parked_bytes: self.graveyard.iter().map(|img| img.len()).sum(),
         }
     }
 
-    /// Full memory statistics, including deduplicated physical bytes
-    /// (scans every retained page — O(retained × pages)).
+    /// Full memory statistics. Physical bytes are maintained incrementally
+    /// by the pool, so this is O(1) and identical to
+    /// [`Checkpointer::stats_fast`] (kept for API stability).
     pub fn stats(&self) -> MemStats {
-        let mut unique: HashMap<usize, usize> = HashMap::new();
-        let mut full_bytes = 0usize;
-        for (_, stored) in &self.entries {
-            match stored {
-                Stored::Clone(_) => {}
-                Stored::Full(b) => {
-                    full_bytes += b.len();
-                }
-                Stored::Paged(img) => {
-                    img.visit_pages(&mut |ptr, len| {
-                        unique.insert(ptr, len);
-                    });
-                }
-            }
+        self.stats_fast()
+    }
+}
+
+impl<S> Drop for Checkpointer<S> {
+    fn drop(&mut self) {
+        // Release image refs so pool bookkeeping stays consistent even if a
+        // debug assertion inspects the pool mid-drop. (The pool itself is
+        // dropped right after, so this is belt-and-braces.)
+        for dead in std::mem::take(&mut self.graveyard) {
+            dead.release(&mut self.pool);
         }
-        MemStats {
-            physical_bytes: full_bytes + unique.values().sum::<usize>(),
-            ..self.stats_fast()
+        for (_, stored) in std::mem::take(&mut self.entries) {
+            if let Stored::Paged(img) = stored {
+                img.release(&mut self.pool);
+            }
         }
     }
 }
@@ -373,7 +495,7 @@ mod tests {
             cp.remove(b);
             assert_eq!(cp.len(), 2);
             assert!(cp.restore(b).is_none());
-            // Neighbours stay restorable: page-diff images are self-contained.
+            // Neighbours stay restorable: their pool refs are independent.
             assert_eq!(cp.restore(a).unwrap().cells[3], 3);
             assert_eq!(cp.restore(c).unwrap().cells[3], 99);
             cp.remove(b); // Unknown id: a no-op.
@@ -404,6 +526,63 @@ mod tests {
         cp.checkpoint(&t);
         assert_eq!(cp.stats().last_dirty_pages, 1);
         assert!(cp.stats().total_dirty_pages > first_dirty as u64);
+    }
+
+    #[test]
+    fn recapture_after_truncation_reuses_parked_pages() {
+        let mut cp = Checkpointer::new(Strategy::MemIntercept);
+        let mut t = Table::new(50_000);
+        let a = cp.checkpoint(&t);
+        t.poke(7, 1);
+        cp.checkpoint(&t);
+        t.poke(7, 2);
+        cp.checkpoint(&t);
+        // Roll all the way back: every image is invalidated…
+        let restored = cp.restore(a).unwrap();
+        cp.truncate_from(a);
+        assert!(cp.is_empty());
+        // …but re-capturing the restored state copies nothing: the parked
+        // images still hold every page.
+        let before = cp.stats().fresh_bytes;
+        let b = cp.checkpoint(&restored);
+        let s = cp.stats();
+        assert_eq!(s.fresh_bytes, before, "re-capture materialised no bytes");
+        assert_eq!(s.last_fresh_pages, 0);
+        assert_eq!(cp.restore(b).unwrap(), restored);
+    }
+
+    #[test]
+    fn fresh_bytes_track_what_is_materialised() {
+        let mut cp = Checkpointer::new(Strategy::MemIntercept);
+        let mut t = Table::new(10_000);
+        cp.checkpoint(&t);
+        let full = cp.stats().fresh_bytes;
+        assert_eq!(full, (10_000 * 8 + 8) as u64, "first capture is all fresh");
+        // An unchanged re-capture materialises nothing.
+        cp.checkpoint(&t);
+        assert_eq!(cp.stats().fresh_bytes, full);
+        // A one-page change materialises at most one page.
+        t.poke(0, 42);
+        cp.checkpoint(&t);
+        let delta = cp.stats().fresh_bytes - full;
+        assert!(delta <= PAGE_SIZE as u64, "delta {delta}");
+        assert!(cp.stats().bytes_deduped > 0);
+    }
+
+    #[test]
+    fn pool_empties_when_all_checkpoints_are_released() {
+        let mut cp = Checkpointer::new(Strategy::MemIntercept);
+        let mut t = Table::new(10_000);
+        for i in 0..10 {
+            t.poke(i, 99 + i as u64);
+            cp.checkpoint(&t);
+        }
+        cp.release_before(CheckpointId(u64::MAX));
+        assert!(cp.is_empty());
+        let pool = cp.pool_stats();
+        assert_eq!(pool.live_pages, 0, "no leaked refcounts");
+        assert_eq!(pool.resident_bytes, 0);
+        assert_eq!(cp.stats().physical_bytes, 0);
     }
 
     #[test]

@@ -1,0 +1,61 @@
+//! A thread-local pool of reusable byte buffers for the capture hot path.
+//!
+//! Every RB/LS capture serialises per-node state (event queues, LSA
+//! databases) through temporary `Vec<u8>` scratch buffers, and every restore
+//! re-encodes a probe to find the control-plane split. At fig8 scale those
+//! were millions of short-lived allocations; pooling them makes the
+//! serialisation cost proportional to bytes moved, not captures taken.
+//! Buffers never cross threads, so sharded replay determinism is untouched.
+
+use std::cell::RefCell;
+
+/// Buffers retained per thread.
+const POOL_CAP: usize = 8;
+
+thread_local! {
+    static POOL: RefCell<Vec<Vec<u8>>> = const { RefCell::new(Vec::new()) };
+}
+
+/// Runs `f` with a cleared scratch buffer borrowed from the thread-local
+/// pool. Nested calls get distinct buffers.
+pub fn with_buf<R>(f: impl FnOnce(&mut Vec<u8>) -> R) -> R {
+    let mut buf = POOL.with(|p| p.borrow_mut().pop()).unwrap_or_default();
+    buf.clear();
+    let out = f(&mut buf);
+    POOL.with(|p| {
+        let mut p = p.borrow_mut();
+        if p.len() < POOL_CAP {
+            p.push(buf);
+        }
+    });
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn buffers_are_reused_and_cleared() {
+        let ptr = with_buf(|b| {
+            b.extend_from_slice(b"hello");
+            b.as_ptr() as usize
+        });
+        with_buf(|b| {
+            assert!(b.is_empty(), "pooled buffer must come back cleared");
+            assert_eq!(b.as_ptr() as usize, ptr, "same allocation reused");
+        });
+    }
+
+    #[test]
+    fn nested_borrows_get_distinct_buffers() {
+        with_buf(|outer| {
+            outer.push(1);
+            with_buf(|inner| {
+                inner.push(2);
+                assert_ne!(outer.as_ptr(), inner.as_ptr());
+            });
+            assert_eq!(outer.as_slice(), &[1]);
+        });
+    }
+}

@@ -129,6 +129,10 @@ pub struct GvtSample {
     pub gvt: u64,
     /// The rollback floor (earliest uncommitted group network-wide).
     pub floor: u64,
+    /// Network-wide rollbacks observed so far — the churn signal the
+    /// adaptive capture policy ([`crate::config::CapturePolicy::Auto`])
+    /// reacts to per node.
+    pub rollbacks: u64,
 }
 
 /// Collects GVT samples over a run and checks the Lemma-2 progress witness.
@@ -177,7 +181,22 @@ impl GvtMonitor {
         obs::counter!("gvt.samples").add(1);
         obs::counter!("gvt.bound").set(gvt);
         obs::counter!("gvt.floor").set(floor);
-        self.samples.push(GvtSample { at: net.sim().now(), gvt, floor });
+        let rollbacks = net.total_metrics().rollbacks;
+        obs::counter!("gvt.rollbacks").set(rollbacks);
+        self.samples.push(GvtSample { at: net.sim().now(), gvt, floor, rollbacks });
+    }
+
+    /// Rollbacks per sample interval over the most recent `window` samples —
+    /// the observed churn rate the adaptive capture interval responds to.
+    pub fn recent_rollback_rate(&self, window: usize) -> f64 {
+        let n = self.samples.len();
+        if n < 2 || window == 0 {
+            return 0.0;
+        }
+        let lo = n.saturating_sub(window + 1);
+        let spans = (n - 1 - lo) as f64;
+        let delta = self.samples[n - 1].rollbacks - self.samples[lo].rollbacks;
+        delta as f64 / spans.max(1.0)
     }
 
     /// The samples collected so far.

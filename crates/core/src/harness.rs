@@ -377,8 +377,8 @@ mod tests {
         for i in 0..4 {
             let expected = OspfProcess::expected_table(&g, &TopoMask::default(), NodeId(i));
             assert_eq!(
-                net.control_plane(NodeId(i)).routing_table(),
-                &expected,
+                *net.control_plane(NodeId(i)).routing_table(),
+                expected,
                 "node {i} table"
             );
         }

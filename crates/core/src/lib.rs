@@ -81,6 +81,7 @@
 #![warn(rust_2018_idioms)]
 
 pub mod bisect;
+pub mod bufpool;
 pub mod config;
 pub mod debugger;
 pub mod explore;

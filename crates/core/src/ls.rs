@@ -761,16 +761,17 @@ where
     fn encode(&self, buf: &mut Vec<u8>) {
         let start = buf.len();
         put_u64(buf, self.nodes.len() as u64);
-        let mut scratch = Vec::new();
-        for (snap, send_count) in &self.nodes {
-            // Length-prefixed: NodeSnapshot's own decoder expects to own
-            // the remainder of its buffer.
-            scratch.clear();
-            snap.encode(&mut scratch);
-            put_u64(buf, scratch.len() as u64);
-            buf.extend_from_slice(&scratch);
-            put_u64(buf, *send_count);
-        }
+        crate::bufpool::with_buf(|scratch| {
+            for (snap, send_count) in &self.nodes {
+                // Length-prefixed: NodeSnapshot's own decoder expects to own
+                // the remainder of its buffer.
+                scratch.clear();
+                snap.encode(scratch);
+                put_u64(buf, scratch.len() as u64);
+                buf.extend_from_slice(scratch);
+                put_u64(buf, *send_count);
+            }
+        });
         for &len in &self.log_lens {
             put_u64(buf, len as u64);
         }

@@ -29,6 +29,12 @@ pub struct RbMetrics {
     /// Rolled-back sends kept by lazy cancellation (replay regenerated an
     /// identical message, so no anti-message or re-send was needed).
     pub lazy_hits: u64,
+    /// Rollbacks resolved by jumping forward: the inserted straggler left
+    /// the state byte-identical, so the suffix after it was spliced back
+    /// without re-execution.
+    pub jumps: u64,
+    /// History entries whose re-execution those jumps skipped.
+    pub jumped_entries: u64,
 }
 
 impl RbMetrics {
@@ -54,6 +60,8 @@ impl RbMetrics {
         self.window_violations += other.window_violations;
         self.poisoned += other.poisoned;
         self.lazy_hits += other.lazy_hits;
+        self.jumps += other.jumps;
+        self.jumped_entries += other.jumped_entries;
     }
 }
 

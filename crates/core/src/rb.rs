@@ -15,12 +15,13 @@
 //! history event whose delivery advances the node's group counter and fires
 //! due protocol timers deterministically.
 
-use crate::config::DefinedConfig;
+use crate::config::{CapturePolicy, DefinedConfig};
 use crate::metrics::RbMetrics;
+use defined_obs as obs;
 use crate::order::{debug_digest, Annotation, MsgId, OrderKey};
 use crate::recorder::CommitRecord;
 use crate::snapshot::NodeSnapshot;
-use checkpoint::Checkpointer;
+use checkpoint::{Checkpointer, Snapshotable};
 use netsim::{NodeId, Process, ProcessCtx, SimDuration, SimTime, TimerId, TimerKey};
 use routing::{ControlPlane, Outbox};
 use std::collections::{BTreeMap, HashSet};
@@ -178,6 +179,14 @@ pub struct RbShim<P: ControlPlane> {
     committed_sends: Vec<MsgId>,
     ckpt: Checkpointer<NodeSnapshot<P>>,
     deliveries_since_ckpt: u32,
+    /// Current effective capture interval (fixed for
+    /// [`CapturePolicy::Every`]; moves within the configured bounds under
+    /// [`CapturePolicy::Auto`]).
+    capture_interval: u32,
+    /// Deliveries since the last adaptation decision.
+    adapt_window: u32,
+    /// `metrics.rollbacks` at the last adaptation decision.
+    adapt_rollbacks_base: u64,
     ext_seq: u64,
     ext_log: Vec<ExtLogEntry<P::Ext>>,
     send_seq: u64,
@@ -213,6 +222,7 @@ impl<P: ControlPlane> RbShim<P> {
     /// Wraps `cp` for node `me` under the shared run context.
     pub fn new(me: NodeId, cp: P, shared: Arc<RbShared>) -> Self {
         let strategy = shared.cfg.strategy;
+        let capture_interval = shared.cfg.capture.initial_interval();
         RbShim {
             me,
             shared,
@@ -221,6 +231,9 @@ impl<P: ControlPlane> RbShim<P> {
             committed: Vec::new(),
             committed_max_key: None,
             committed_sends: Vec::new(),
+            capture_interval,
+            adapt_window: 0,
+            adapt_rollbacks_base: 0,
             ckpt: Checkpointer::new(strategy),
             deliveries_since_ckpt: 0,
             ext_seq: 0,
@@ -385,8 +398,43 @@ impl<P: ControlPlane> RbShim<P> {
         self.history.push(entry);
     }
 
+    /// Re-evaluates the adaptive capture interval once per
+    /// [`CapturePolicy::ADAPT_WINDOW`] deliveries: a window that rolled
+    /// back doubles the interval (churn makes per-commit captures the
+    /// dominant cost), a quiet window shortens it by one delivery back
+    /// toward cheap rollbacks. The decrease is additive on purpose — under
+    /// sustained churn rollbacks land in only *some* windows, and a
+    /// symmetric halving would give the interval back as fast as it was
+    /// earned, pinning it near `min` exactly when captures dominate.
+    /// Inputs are this node's own delivered history and rollback count —
+    /// both replay identically, so the schedule is deterministic.
+    fn adapt_capture_interval(&mut self) {
+        let CapturePolicy::Auto { min, max } = self.shared.cfg.capture else {
+            return;
+        };
+        if self.adapt_window < CapturePolicy::ADAPT_WINDOW {
+            return;
+        }
+        self.adapt_window = 0;
+        let rolled = self.metrics.rollbacks - self.adapt_rollbacks_base;
+        self.adapt_rollbacks_base = self.metrics.rollbacks;
+        let next = if rolled > 0 {
+            self.capture_interval.saturating_mul(2).min(max.max(1))
+        } else {
+            (self.capture_interval - 1).max(min.max(1))
+        };
+        if next > self.capture_interval {
+            obs::counter!("ckpt.adapt.widen").add(1);
+        } else if next < self.capture_interval {
+            obs::counter!("ckpt.adapt.narrow").add(1);
+        }
+        self.capture_interval = next;
+        obs::hist!("ckpt.interval").record(self.capture_interval as u64);
+    }
+
     fn maybe_checkpoint(&mut self, entry: &mut Entry<P::Msg, P::Ext>, force: bool) {
-        let due = self.deliveries_since_ckpt.is_multiple_of(self.shared.cfg.checkpoint_every.max(1));
+        self.adapt_capture_interval();
+        let due = self.deliveries_since_ckpt.is_multiple_of(self.capture_interval.max(1));
         if force || due {
             let id = self.ckpt.checkpoint(&self.snap);
             entry.ckpt = Some(id);
@@ -400,20 +448,27 @@ impl<P: ControlPlane> RbShim<P> {
                 });
             }
             if self.shared.cfg.charge_overhead {
-                let dirty = match self.shared.cfg.strategy {
-                    checkpoint::Strategy::MemIntercept => Some(stats.last_dirty_pages),
-                    _ => None,
+                let ns = match self.shared.cfg.strategy {
+                    // MI copies only pool-fresh pages; already-pooled dirty
+                    // pages are priced as dedup hits, matching what the
+                    // store's `bytes_stored` records.
+                    checkpoint::Strategy::MemIntercept => self.shared.cfg.cost.capture_ns(
+                        self.shared.cfg.fork_timing,
+                        stats.last_dirty_pages,
+                        stats.last_fresh_pages,
+                    ),
+                    _ => self.shared.cfg.cost.checkpoint_ns(
+                        self.shared.cfg.fork_timing,
+                        bytes,
+                        None,
+                    ),
                 };
-                let ns = self.shared.cfg.cost.checkpoint_ns(
-                    self.shared.cfg.fork_timing,
-                    bytes,
-                    dirty,
-                );
                 self.pending_overhead += SimDuration::from_nanos(ns);
                 self.metrics.overhead_ns += ns;
             }
         }
         self.deliveries_since_ckpt += 1;
+        self.adapt_window += 1;
     }
 
     /// Executes one entry against the control plane and transmits its
@@ -425,7 +480,10 @@ impl<P: ControlPlane> RbShim<P> {
     ) {
         let mut emit = 0u32;
         debug_assert!(self.pending_sends.is_empty());
-        match entry.ev.clone() {
+        // Match by reference: events carry whole LSA/update payloads, and
+        // this runs once per (re-)delivery — the clone was a hot-path
+        // allocation for nothing.
+        match &entry.ev {
             LocalEvent::Start => {
                 let mut out = Outbox::new();
                 self.snap.cp.on_start(&mut out);
@@ -433,12 +491,12 @@ impl<P: ControlPlane> RbShim<P> {
             }
             LocalEvent::External(x) => {
                 let mut out = Outbox::new();
-                self.snap.cp.on_external(&x, &mut out);
+                self.snap.cp.on_external(x, &mut out);
                 self.dispatch(ctx, &entry.ann, out, &mut emit);
             }
             LocalEvent::Msg { from, payload } => {
                 let mut out = Outbox::new();
-                self.snap.cp.on_message(from, &payload, &mut out);
+                self.snap.cp.on_message(*from, payload, &mut out);
                 self.dispatch(ctx, &entry.ann, out, &mut emit);
             }
             LocalEvent::BeaconTick => {
@@ -510,7 +568,9 @@ impl<P: ControlPlane> RbShim<P> {
 
     /// Rolls back to the checkpoint covering `pos`, unsends invalidated
     /// messages, and replays the suffix (including `new_entry`) in key
-    /// order.
+    /// order. The replay goes through [`RbShim::redeliver_insert`], which
+    /// can jump forward over the tail when the straggler proves to be a
+    /// state no-op.
     fn rollback_insert(
         &mut self,
         ctx: &mut ProcessCtx<'_, Envelope<P::Msg>>,
@@ -520,11 +580,17 @@ impl<P: ControlPlane> RbShim<P> {
         let j = self.checkpoint_index_at_or_before(pos);
         self.metrics.rollbacks += 1;
         self.metrics.rolled_entries += (self.history.len() - j) as u64;
-        let pool = self.restore_to(j);
+        // Stash the pre-rollback head state; if the straggler leaves the
+        // replayed state byte-identical, this is exactly the state the
+        // suffix replay would rebuild.
+        let head = self.snap.clone();
+        let restored = self.history[j].ckpt.expect("target has checkpoint");
+        let inserted = new_entry.key;
+        let pool = self.restore_keeping(j);
         let mut suffix = self.history.split_off(j);
         suffix.push(new_entry);
         suffix.sort_by_key(|a| a.key);
-        self.redeliver(ctx, suffix, pool);
+        self.redeliver_insert(ctx, suffix, pool, inserted, restored, head);
     }
 
     /// Handles an anti-message: removes the listed entries (or poisons
@@ -566,12 +632,24 @@ impl<P: ControlPlane> RbShim<P> {
 
     /// Restores the snapshot at history index `j` and pools every message
     /// previously sent by entries `j..` for lazy-cancellation matching
-    /// during the replay. Nothing is unsent here; [`RbShim::redeliver`]
+    /// during the replay, then invalidates every checkpoint at or after
+    /// the restored-to one. Nothing is unsent here; [`RbShim::redeliver`]
     /// retracts only the sends the replay fails to regenerate.
     fn restore_to(&mut self, j: usize) -> LazyPool {
         let cid = self.history[j].ckpt.expect("target has checkpoint");
-        self.snap = self.ckpt.restore(cid).expect("checkpoint restorable");
+        let pool = self.restore_keeping(j);
         self.ckpt.truncate_from(cid);
+        pool
+    }
+
+    /// [`RbShim::restore_to`] minus the checkpoint invalidation: an
+    /// insert-rollback's replay reproduces states byte-for-byte until it
+    /// reaches the straggler, so the existing images stay valid and
+    /// [`RbShim::redeliver_insert`] truncates only once divergence is
+    /// proven.
+    fn restore_keeping(&mut self, j: usize) -> LazyPool {
+        let cid = self.history[j].ckpt.expect("target has checkpoint");
+        self.snap = self.ckpt.restore(cid).expect("checkpoint restorable");
         self.incarnation += 1;
         let mut pool = LazyPool::new();
         for e in &self.history[j..] {
@@ -610,6 +688,7 @@ impl<P: ControlPlane> RbShim<P> {
         entries: Vec<Entry<P::Msg, P::Ext>>,
         pool: LazyPool,
     ) {
+        let _span = obs::span!("rb.redeliver");
         self.lazy_pool = Some(pool);
         for (i, mut e) in entries.into_iter().enumerate() {
             e.ckpt = None;
@@ -617,6 +696,103 @@ impl<P: ControlPlane> RbShim<P> {
             self.deliver(ctx, &mut e);
             self.history.push(e);
         }
+        self.unsend_leftovers(ctx);
+    }
+
+    /// [`RbShim::redeliver`] specialised for straggler inserts, adding the
+    /// Time-Warp "jump forward" optimisation (lazy re-evaluation).
+    ///
+    /// The replay of the prefix — the entries between the restored-to
+    /// checkpoint and the straggler — has unchanged inputs, so determinism
+    /// reproduces every state and send exactly: the entries keep their
+    /// live checkpoint references (the restore did not truncate) and no
+    /// re-capture happens. The straggler is then delivered bracketed by
+    /// state probes. If it left the state byte-identical — duplicate
+    /// floods and stale acks usually do — every later entry would replay
+    /// to exactly its previous result, so the stashed head state is
+    /// reinstated and the tail spliced back, checkpoints and all, without
+    /// re-execution. Only on proven divergence are the tail's images
+    /// dropped and its entries re-executed. The decision depends only on
+    /// node-local replayed state, so it is identical across seeds, shard
+    /// counts, and farm job counts.
+    fn redeliver_insert(
+        &mut self,
+        ctx: &mut ProcessCtx<'_, Envelope<P::Msg>>,
+        mut entries: Vec<Entry<P::Msg, P::Ext>>,
+        pool: LazyPool,
+        inserted: OrderKey,
+        restored: checkpoint::CheckpointId,
+        head: NodeSnapshot<P>,
+    ) {
+        let k = entries
+            .iter()
+            .position(|e| e.key == inserted)
+            .expect("inserted entry is in the suffix");
+        if k == 0 {
+            // The straggler sorted ahead of the restored-to entry, so even
+            // that entry now replays from a changed state: no image can be
+            // kept. Invalidate them all and take the plain replay path.
+            self.ckpt.truncate_from(restored);
+            return self.redeliver(ctx, entries, pool);
+        }
+        let _span = obs::span!("rb.redeliver");
+        let tail = entries.split_off(k + 1);
+        let mut straggler = entries.pop().expect("prefix ends with the straggler");
+        self.lazy_pool = Some(pool);
+        // Phase 1 — the prefix: unchanged inputs, reproduced exactly; all
+        // sends land as lazy-pool hits and checkpoint refs stay live.
+        for mut e in entries {
+            self.deliver(ctx, &mut e);
+            self.history.push(e);
+        }
+        // Phase 2 — the straggler, bracketed by state probes (skipped when
+        // there is no tail to jump over).
+        straggler.ckpt = None;
+        let probe = !tail.is_empty();
+        let mut pre = Vec::new();
+        if probe {
+            self.snap.encode(&mut pre);
+        }
+        self.deliver(ctx, &mut straggler);
+        self.history.push(straggler);
+        if probe {
+            let mut post = Vec::new();
+            self.snap.encode(&mut post);
+            if pre == post {
+                // Jump forward: reinstate the head state and splice the
+                // tail back untouched. Every pool leftover is a tail send
+                // that stands as transmitted — nothing to unsend. (The
+                // straggler cannot have matched a tail send in the pool:
+                // annotations embed the parent entry's identity.)
+                self.metrics.jumps += 1;
+                self.metrics.jumped_entries += tail.len() as u64;
+                obs::counter!("rb.jump").add(1);
+                self.snap = head;
+                self.history.extend(tail);
+                self.lazy_pool = None;
+                return;
+            }
+        }
+        // Phase 3 — divergence: every image captured at or after the
+        // straggler's position is stale. Drop them (the earliest parks as
+        // the next capture's diff base) and replay the tail with captures
+        // back on the normal cadence. A live checkpoint still exists below
+        // the straggler (the prefix starts with one), so no forced
+        // capture is needed.
+        if let Some(dead) = tail.iter().find_map(|e| e.ckpt) {
+            self.ckpt.truncate_from(dead);
+        }
+        for mut e in tail {
+            e.ckpt = None;
+            self.maybe_checkpoint(&mut e, false);
+            self.deliver(ctx, &mut e);
+            self.history.push(e);
+        }
+        self.unsend_leftovers(ctx);
+    }
+
+    /// Retracts the pooled sends the replay did not regenerate.
+    fn unsend_leftovers(&mut self, ctx: &mut ProcessCtx<'_, Envelope<P::Msg>>) {
         let leftover = self.lazy_pool.take().expect("pool installed above");
         let mut per_peer: BTreeMap<NodeId, Vec<MsgId>> = BTreeMap::new();
         for ((to, _, _), ids) in leftover {

@@ -92,10 +92,14 @@ impl<P: ControlPlane> Snapshotable for NodeSnapshot<P> {
     fn decode(bytes: &[u8]) -> Option<Self> {
         // The control plane encodes first and is self-delimiting; decode it
         // by trial length. Rather than guess, re-encode to find the split.
+        // The probe is pure scratch — restores run hot under rollback, so
+        // it comes from the buffer pool rather than a fresh allocation.
         let cp = P::decode(bytes)?;
-        let mut probe = Vec::new();
-        cp.encode(&mut probe);
-        let rest = bytes.get(probe.len()..)?;
+        let split = crate::bufpool::with_buf(|probe| {
+            cp.encode(probe);
+            probe.len()
+        });
+        let rest = bytes.get(split..)?;
         let mut r = Reader::new(rest);
         let current_group = r.u64()?;
         let origin_seq = r.u64()?;

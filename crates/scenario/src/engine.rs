@@ -83,19 +83,23 @@ pub struct GvtReport {
     pub total_advance: u64,
     /// Rollbacks the production run performed, summed over nodes.
     pub rollbacks: u64,
+    /// The effective checkpoint-capture policy the run used, rendered
+    /// (e.g. `every 1` or `auto 1..64`).
+    pub capture: String,
 }
 
 impl GvtReport {
     /// One-line CLI rendering.
     pub fn render(&self) -> String {
         format!(
-            "gvt: bound {} -> {} over {} samples ({}), floor {}, {} rollback(s)",
+            "gvt: bound {} -> {} over {} samples ({}), floor {}, {} rollback(s), capture {}",
             self.first,
             self.last,
             self.samples,
             if self.monotone { "monotone" } else { "NOT monotone" },
             self.floor,
             self.rollbacks,
+            self.capture,
         )
     }
 }
@@ -325,6 +329,12 @@ impl Scenario {
         let g = self.topology.build();
         self.validate_on(&g)?;
         Ok(g)
+    }
+
+    /// The run configuration every engine path shares: the defaults plus
+    /// this scenario's checkpoint-capture policy.
+    fn run_config(&self) -> DefinedConfig {
+        DefinedConfig { capture: self.capture, ..DefinedConfig::default() }
     }
 
     /// [`validate`](Self::validate) against an already-built graph, so the
@@ -581,7 +591,7 @@ impl Scenario {
         P: ControlPlane + Clone + 'static,
         P::Ext: Wire,
     {
-        let mut net = RbNetwork::new(g, DefinedConfig::default(), self.seed, self.jitter_frac, {
+        let mut net = RbNetwork::new(g, self.run_config(), self.seed, self.jitter_frac, {
             move |id: NodeId| procs[id.index()].clone()
         });
         let mut streamer = match store {
@@ -652,6 +662,7 @@ impl Scenario {
             monotone: monitor.is_monotone(),
             total_advance: monitor.total_advance(),
             rollbacks: m.rollbacks,
+            capture: self.capture.to_string(),
         };
         let (rec, logs) = net.into_recording();
         if let Some(s) = streamer {
@@ -687,7 +698,7 @@ impl Scenario {
         P::Ext: Wire,
     {
         let rec = decode_for::<P>(g, bytes)?;
-        let mut ls = LockstepNet::new(g, DefinedConfig::default(), rec, move |id: NodeId| {
+        let mut ls = LockstepNet::new(g, self.run_config(), rec, move |id: NodeId| {
             procs[id.index()].clone()
         })
         .with_shards(shards);
@@ -709,7 +720,7 @@ impl Scenario {
         P::Ext: Wire,
     {
         let rec = decode_for::<P>(g, bytes)?;
-        let ls = LockstepNet::new(g, DefinedConfig::default(), rec, move |id: NodeId| {
+        let ls = LockstepNet::new(g, self.run_config(), rec, move |id: NodeId| {
             procs[id.index()].clone()
         })
         .with_shards(shards);
@@ -851,7 +862,7 @@ impl Scenario {
     {
         let rec = decode_for::<P>(g, bytes)?;
         let spawn = move |id: NodeId| procs[id.index()].clone();
-        let cfg = DefinedConfig::default();
+        let cfg = self.run_config();
         let node = self.probe.node().expect("probe checked");
         let read = |ls: &LockstepNet<P>| {
             outcome(&self.probe, ls.control_plane(node)).expect("probe fits the protocol")
@@ -897,7 +908,7 @@ impl Scenario {
     {
         let rec = decode_for::<P>(g, bytes)?;
         let spawn = move |id: NodeId| procs[id.index()].clone();
-        let cfg = DefinedConfig::default();
+        let cfg = self.run_config();
         let node = self.probe.node().expect("probe checked");
         let read = |ls: &LockstepNet<P>| {
             outcome(&self.probe, ls.control_plane(node)).expect("probe fits the protocol")
@@ -969,7 +980,7 @@ impl Scenario {
         let upto = r.upto.expect("strict open only passes finished stores");
         let last_group = r.recording.last_group;
         let mut ls =
-            LockstepNet::new(g, DefinedConfig::default(), r.recording, move |id: NodeId| {
+            LockstepNet::new(g, self.run_config(), r.recording, move |id: NodeId| {
                 procs[id.index()].clone()
             })
             .with_shards(shards);
@@ -1132,6 +1143,7 @@ mod tests {
                 b: NodeId(1),
             }],
             probe: Probe::OspfReachable { node: NodeId(2) },
+            capture: defined_core::config::CapturePolicy::default(),
         }
     }
 

@@ -58,6 +58,7 @@ pub use engine::{BisectSummary, ExploreReport, RecordedRun, VerifyReport};
 pub use registry::{bgp_fig4_processes, find, ospf_processes, registry, rip_processes};
 pub use spec::{ExtSpec, Fault, Injection, Probe, ProtocolSpec, TopologySpec};
 
+use defined_core::config::CapturePolicy;
 use netsim::SimDuration;
 
 /// A complete, runnable scenario description.
@@ -84,6 +85,10 @@ pub struct Scenario {
     pub faults: Vec<Fault>,
     /// Outcome probe evaluated after the production run.
     pub probe: Probe,
+    /// Checkpoint-capture policy for every run of this scenario (fixed
+    /// interval or churn-adaptive). Like `seed`, sweepable: the committed
+    /// execution must not depend on it.
+    pub capture: CapturePolicy,
 }
 
 impl Scenario {
@@ -91,6 +96,13 @@ impl Scenario {
     /// `--seed` override.
     pub fn with_seed(mut self, seed: u64) -> Self {
         self.seed = seed;
+        self
+    }
+
+    /// Returns the scenario with its checkpoint-capture policy replaced —
+    /// the CLI's `--ckpt-interval` override.
+    pub fn with_capture(mut self, capture: CapturePolicy) -> Self {
+        self.capture = capture;
         self
     }
 

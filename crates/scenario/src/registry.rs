@@ -3,6 +3,7 @@
 
 use crate::spec::{ExtSpec, Fault, Injection, Probe, ProtocolSpec, TopologySpec};
 use crate::Scenario;
+use defined_core::config::CapturePolicy;
 use netsim::{NodeId, SimDuration, SimTime};
 use routing::bgp::{fig4_paths, BgpProcess, DecisionMode, Role};
 use routing::ospf::{OspfConfig, OspfProcess};
@@ -90,6 +91,7 @@ fn rip_blackhole() -> Scenario {
         }],
         faults: vec![Fault::NodeDown { at: SimTime::from_secs(8), node: NodeId(1) }],
         probe: Probe::RipRoute { node: NodeId(0), prefix: 77 },
+        capture: CapturePolicy::default(),
     }
 }
 
@@ -119,6 +121,7 @@ fn bgp_med() -> Scenario {
         workload,
         faults: vec![],
         probe: Probe::BgpBest { node: NodeId(2), prefix: 9 },
+        capture: CapturePolicy::default(),
     }
 }
 
@@ -158,6 +161,7 @@ fn rip_count_to_infinity() -> Scenario {
             count: 2,
         }],
         probe: Probe::RipRoute { node: NodeId(0), prefix: 50 },
+        capture: CapturePolicy::default(),
     }
 }
 
@@ -179,6 +183,7 @@ fn ospf_flood_storm() -> Scenario {
             side: vec![NodeId(0)],
         }],
         probe: Probe::OspfReachable { node: NodeId(5) },
+        capture: CapturePolicy::default(),
     }
 }
 
@@ -213,6 +218,7 @@ fn bgp_churn() -> Scenario {
             Fault::NodeUp { at: ms(3200), node: roles.er3 },
         ],
         probe: Probe::BgpBest { node: NodeId(2), prefix: 9 },
+        capture: CapturePolicy::default(),
     }
 }
 
@@ -254,6 +260,7 @@ fn brite_convergence_race() -> Scenario {
         workload: vec![],
         faults,
         probe: Probe::OspfReachable { node: NodeId(0) },
+        capture: CapturePolicy::default(),
     }
 }
 
@@ -273,6 +280,7 @@ fn beacon_failover_stress() -> Scenario {
         workload: vec![],
         faults: vec![Fault::NodeDown { at: SimTime::from_secs(3), node: NodeId(0) }],
         probe: Probe::OspfReachable { node: NodeId(5) },
+        capture: CapturePolicy::default(),
     }
 }
 
@@ -298,6 +306,7 @@ fn rip_partition_heal() -> Scenario {
             side: vec![NodeId(0), NodeId(3)],
         }],
         probe: Probe::RipRoute { node: NodeId(0), prefix: 60 },
+        capture: CapturePolicy::default(),
     }
 }
 
@@ -321,6 +330,7 @@ fn ospf_loss_window() -> Scenario {
             p: 0.5,
         }],
         probe: Probe::OspfReachable { node: NodeId(2) },
+        capture: CapturePolicy::default(),
     }
 }
 
@@ -346,6 +356,7 @@ fn ba_hub_crash() -> Scenario {
         workload: vec![],
         faults: vec![Fault::NodeDown { at: ms(2500), node: hub }],
         probe: Probe::OspfReachable { node: witness },
+        capture: CapturePolicy::default(),
     }
 }
 
@@ -384,6 +395,7 @@ fn rip_star_flap_storm() -> Scenario {
             },
         ],
         probe: Probe::RipRoute { node: NodeId(1), prefix: 42 },
+        capture: CapturePolicy::default(),
     }
 }
 

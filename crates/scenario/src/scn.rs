@@ -24,6 +24,9 @@
 //!   `bgp buggy-incremental|correct-full`.
 //! * `seed <u64>` · `jitter <f64>` · `duration <time>` — run parameters
 //!   (duration required; seed defaults to 0, jitter to 0.5).
+//! * `ckpt-interval <n>|auto` — checkpoint-capture policy: capture every
+//!   n-th delivery, or adapt the interval to observed rollback churn
+//!   (defaults to every delivery).
 //! * `inject <time> <node> rip-connect <prefix>` ·
 //!   `… bgp-announce <prefix> <route_id> <as_path_len> <neighbor_as> <med>
 //!   <igp_dist>` · `… bgp-withdraw <prefix> <route_id>` — the workload.
@@ -39,6 +42,7 @@
 
 use crate::spec::{ExtSpec, Fault, Injection, Probe, ProtocolSpec, TopologySpec};
 use crate::{Scenario, ScenarioError};
+use defined_core::config::CapturePolicy;
 use netsim::{NodeId, SimDuration, SimTime};
 use routing::bgp::{DecisionMode, PathAttrs};
 use routing::rip::RefreshMode;
@@ -268,6 +272,7 @@ pub fn parse(text: &str) -> Result<Scenario, ScenarioError> {
     let mut seed = 0u64;
     let mut jitter = 0.5f64;
     let mut duration = None;
+    let mut capture = CapturePolicy::default();
     let mut workload = Vec::new();
     let mut faults = Vec::new();
     let mut probe = Probe::None;
@@ -299,6 +304,11 @@ pub fn parse(text: &str) -> Result<Scenario, ScenarioError> {
                 duration = Some(t.duration()?);
                 t.done()?;
             }
+            "ckpt-interval" => {
+                let tok = t.next("capture policy")?;
+                capture = tok.parse().map_err(|e| perr(lineno, format!("{e}")))?;
+                t.done()?;
+            }
             "inject" => workload.push(parse_inject(&mut t)?),
             "fault" => faults.push(parse_fault(&mut t)?),
             "probe" => probe = parse_probe(&mut t)?,
@@ -316,6 +326,7 @@ pub fn parse(text: &str) -> Result<Scenario, ScenarioError> {
         workload,
         faults,
         probe,
+        capture,
     };
     scenario.validate()?;
     Ok(scenario)
@@ -420,6 +431,26 @@ probe ospf-reachable 0
         )
         .unwrap_err();
         assert!(matches!(err, ScenarioError::Invalid(_)), "{err:?}");
+    }
+
+    #[test]
+    fn ckpt_interval_directive_parses_and_rejects() {
+        let base = "name x\ntopology ring 4 1ms\nprotocol ospf\nduration 2s\n";
+        let s = parse(base).expect("parses");
+        assert_eq!(s.capture, CapturePolicy::default());
+        let s = parse(&format!("{base}ckpt-interval 4\n")).expect("parses");
+        assert_eq!(s.capture, CapturePolicy::Every(4));
+        let s = parse(&format!("{base}ckpt-interval auto\n")).expect("parses");
+        assert_eq!(s.capture, CapturePolicy::auto());
+        // A malformed policy is a parse error on its line, not a panic.
+        let err = parse(&format!("{base}ckpt-interval 0\n")).unwrap_err();
+        match err {
+            ScenarioError::Parse { line, msg } => {
+                assert_eq!(line, 5);
+                assert!(msg.contains("capture policy"), "{msg}");
+            }
+            other => panic!("wrong error: {other:?}"),
+        }
     }
 
     #[test]

@@ -4,14 +4,25 @@
 //! half — the EXPERIMENTS.md fig8 row records what this prints).
 //!
 //! Run with: `cargo run --release --example obs_profile`
+//!
+//! Flags:
+//!
+//! * `--quick` — profile only n=20 (the CI-sized run);
+//! * `--check <pct>` — scale-regression guard: exit non-zero if the
+//!   `ckpt.capture` span's share of any profiled run exceeds `<pct>`
+//!   percent. CI runs `--quick --check` with the checked-in threshold so a
+//!   change that re-inflates the checkpoint hot path fails the build.
 
+use defined::core::config::CapturePolicy;
 use defined::core::{DefinedConfig, OrderingMode, RbNetwork};
 use defined::netsim::{NodeId, SimDuration, SimTime};
 use defined::obs;
 use defined::routing::ospf::{OspfConfig, OspfProcess};
 use defined::topology::brite;
+use std::process::ExitCode;
 
-/// The exact workload of `fig8_size/rb_oo_2s` in `crates/bench`.
+/// The exact workload of `fig8_size/rb_oo_2s` in `crates/bench`, under the
+/// production capture policy (churn-adaptive, page-diff checkpoints).
 fn rb_run(n: usize) -> defined::core::RbMetrics {
     let g = brite::barabasi_albert(n, 2, 80 + n as u64);
     let f = OspfProcess::for_graph(&g, OspfConfig::stress(n));
@@ -19,6 +30,7 @@ fn rb_run(n: usize) -> defined::core::RbMetrics {
     let cfg = DefinedConfig {
         ordering: OrderingMode::Optimized,
         strategy: defined::checkpoint::Strategy::MemIntercept,
+        capture: CapturePolicy::auto(),
         commit_horizon: Some(SimDuration::from_secs(2)),
         ..DefinedConfig::default()
     };
@@ -36,11 +48,32 @@ fn fmt_ns(ns: u64) -> String {
     }
 }
 
-fn main() {
+fn usage() -> ExitCode {
+    eprintln!("usage: obs_profile [--quick] [--check <max-capture-pct>]");
+    ExitCode::FAILURE
+}
+
+fn main() -> ExitCode {
+    let mut quick = false;
+    let mut check: Option<u64> = None;
+    let mut args = std::env::args().skip(1);
+    while let Some(a) = args.next() {
+        match a.as_str() {
+            "--quick" => quick = true,
+            "--check" => match args.next().map(|v| v.parse::<u64>()) {
+                Some(Ok(pct)) if pct <= 100 => check = Some(pct),
+                _ => return usage(),
+            },
+            _ => return usage(),
+        }
+    }
+
     obs::set_enabled(true);
     println!("== Profiling fig8_size/rb_oo_2s (RB production, 2 sim-seconds) ==");
 
-    for n in [20usize, 40] {
+    let sizes: &[usize] = if quick { &[20] } else { &[20, 40] };
+    let mut worst_capture_pct = 0u64;
+    for &n in sizes {
         let before = obs::global().snapshot();
         let metrics = {
             let _run = obs::span!("profile.rb_run");
@@ -79,10 +112,14 @@ fn main() {
         counters.sort_by_key(|(_, delta)| std::cmp::Reverse(*delta));
 
         println!(
-            "\nn={n}: {} wall, {} rollback(s), {} rolled entries",
+            "\nn={n}: {} wall, {} fast-path deliveries, {} rollback(s), \
+             {} rolled entries ({} skipped by {} jumps)",
             fmt_ns(total_ns),
+            metrics.fast_path,
             metrics.rollbacks,
-            metrics.rolled_entries
+            metrics.rolled_entries,
+            metrics.jumped_entries,
+            metrics.jumps
         );
         println!("  top spans (of {} run time):", fmt_ns(total_ns));
         for (name, count, ns) in spans.iter().take(3) {
@@ -93,5 +130,27 @@ fn main() {
         for (name, delta) in counters.iter().take(3) {
             println!("    {name:<28} +{delta}");
         }
+
+        // The guard metric: what share of the run the capture path took.
+        let capture_ns = spans
+            .iter()
+            .find(|(name, _, _)| name == "ckpt.capture")
+            .map_or(0, |(_, _, ns)| *ns);
+        let capture_pct = (capture_ns * 100).checked_div(total_ns).unwrap_or(0);
+        let stored = after.counter("ckpt.bytes_stored") - before.counter("ckpt.bytes_stored");
+        println!("  ckpt.capture share: {capture_pct}%  ckpt.bytes_stored: +{stored}");
+        worst_capture_pct = worst_capture_pct.max(capture_pct);
     }
+
+    if let Some(max_pct) = check {
+        if worst_capture_pct > max_pct {
+            eprintln!(
+                "FAIL: ckpt.capture took {worst_capture_pct}% of a profiled run \
+                 (threshold {max_pct}%) — the checkpoint hot path regressed"
+            );
+            return ExitCode::FAILURE;
+        }
+        println!("\ncheck ok: ckpt.capture share {worst_capture_pct}% <= {max_pct}%");
+    }
+    ExitCode::SUCCESS
 }

@@ -86,7 +86,7 @@ fn main() {
 
     // Show the converged routing state of one node.
     println!("\nnode 2 routing table after replay:");
-    for (dst, hop) in ls.control_plane(NodeId(2)).routing_table() {
+    for (dst, hop) in ls.control_plane(NodeId(2)).routing_table().iter() {
         println!("  to {dst} via {hop}");
     }
     println!(

@@ -12,6 +12,13 @@
 //! defined-dbg scenarios
 //! ```
 //!
+//! `record`, `debug`, `replay`, `explore`, and `bisect` additionally accept
+//! `--ckpt-interval <n>|auto`, overriding the scenario's checkpoint-capture
+//! policy: capture before every n-th delivery, or adapt the interval to the
+//! observed rollback churn (DESIGN.md §13). Like `--seed`, the policy is
+//! sweepable — the committed execution never depends on it — and the
+//! effective policy is echoed in the `gvt:` line.
+//!
 //! Every run verb additionally accepts the observability flags (DESIGN.md
 //! §11): `--profile` prints a human metric summary after the run,
 //! `--profile-json <path>` writes the machine-readable dump, and
@@ -79,6 +86,7 @@
 //! additionally replays the fresh recording `n`-way sharded and verifies
 //! the logs against the production commits before reporting success.
 
+use defined::core::config::CapturePolicy;
 use defined::scenario::{self, Scenario};
 use std::io::Read as _;
 use std::process::ExitCode;
@@ -97,6 +105,7 @@ fn usage() -> ExitCode {
          <scenario> is a registry name (see `defined-dbg scenarios`) or a .scn file path\n\
          recording files may be raw `record` output or a crash-safe .drec store (--out)\n\
          --jobs 0 / --shards 0 mean one worker per available core\n\
+         run verbs (except verify) also accept --ckpt-interval <n>|auto\n\
          run verbs also accept --profile, --profile-json <path>, --trace-out <path>"
     );
     ExitCode::FAILURE
@@ -130,19 +139,20 @@ fn list_scenarios() -> ExitCode {
 /// one code path for every subcommand (`record_typed` publishes the bound
 /// into the substrate; anything that recorded surfaces it here, and a
 /// pure replay with no production half prints nothing).
-fn print_gvt_line() {
+fn print_gvt_line(capture: CapturePolicy) {
     let snap = defined::obs::global().snapshot();
     if snap.counter("gvt.samples") == 0 {
         return;
     }
     println!(
-        "gvt: bound {} -> {} over {} samples ({}), floor {}, {} rollback(s)",
+        "gvt: bound {} -> {} over {} samples ({}), floor {}, {} rollback(s), capture {}",
         snap.counter("gvt.bound_first"),
         snap.counter("gvt.bound"),
         snap.counter("gvt.samples"),
         if snap.counter("gvt.regressions") == 0 { "monotone" } else { "NOT monotone" },
         snap.counter("gvt.floor"),
         snap.counter("rb.rollbacks"),
+        capture,
     );
 }
 
@@ -163,7 +173,7 @@ fn record(
     }
     let dest = out.or(path).expect("record has at least one output");
     println!("{} -> {dest}", run.summary(&scn.name));
-    print_gvt_line();
+    print_gvt_line(scn.capture);
     if let Some(outcome) = &run.outcome {
         println!("production outcome: {outcome}");
     }
@@ -223,7 +233,7 @@ fn debug(
     match scn.debug_transcript_sharded(&bytes, &script, shards) {
         Ok(transcript) => {
             print!("{transcript}");
-            print_gvt_line();
+            print_gvt_line(scn.capture);
             Ok(ExitCode::SUCCESS)
         }
         Err(e) => {
@@ -248,7 +258,7 @@ fn search_bytes(scn: &Scenario, rec_path: Option<&str>) -> Result<Vec<u8>, Strin
         None => {
             let run = scn.record_run().map_err(|e| e.to_string())?;
             println!("{}", run.summary(&scn.name));
-            print_gvt_line();
+            print_gvt_line(scn.capture);
             Ok(run.bytes)
         }
     }
@@ -431,11 +441,30 @@ fn main() -> ExitCode {
     let verb = args.first().cloned().unwrap_or_default();
     let run_verb =
         matches!(verb.as_str(), "record" | "debug" | "replay" | "explore" | "bisect" | "verify");
-    type Flags =
-        (Option<u64>, Option<u64>, Option<u64>, Option<u64>, Option<String>, Option<String>, ObsOpts);
+    type Flags = (
+        Option<u64>,
+        Option<u64>,
+        Option<u64>,
+        Option<u64>,
+        Option<String>,
+        Option<String>,
+        Option<CapturePolicy>,
+        ObsOpts,
+    );
     let flags: Result<Flags, String> = (|| {
         let seed = if verb == "record" { take_flag(&mut args, "seed")? } else { None };
         let out = if verb == "record" { take_path_flag(&mut args, "out")? } else { None };
+        // `--ckpt-interval N|auto` belongs to the verbs that build a
+        // network from the scenario; a malformed value is a typed parse
+        // error surfaced as a usage failure, never a panic.
+        let capture = if run_verb && verb != "verify" {
+            match take_path_flag(&mut args, "ckpt-interval")? {
+                Some(v) => Some(v.parse::<CapturePolicy>().map_err(|e| e.to_string())?),
+                None => None,
+            }
+        } else {
+            None
+        };
         let salts = if verb == "explore" { take_flag(&mut args, "salts")? } else { None };
         let jobs = if verb == "explore" || verb == "bisect" {
             take_flag(&mut args, "jobs")?
@@ -454,14 +483,19 @@ fn main() -> ExitCode {
         } else {
             ObsOpts::default()
         };
-        Ok((seed, salts, jobs, shards, out, scenario, obs))
+        Ok((seed, salts, jobs, shards, out, scenario, capture, obs))
     })();
-    let (seed, salts, jobs, shards, out, scenario_flag, obs_opts) = match flags {
+    let (seed, salts, jobs, shards, out, scenario_flag, capture, obs_opts) = match flags {
         Ok(f) => f,
         Err(e) => {
             eprintln!("defined-dbg: {e}");
             return ExitCode::FAILURE;
         }
+    };
+    // Applies the `--ckpt-interval` override to a resolved scenario.
+    let tuned = move |scn: Scenario| match capture {
+        Some(c) => scn.with_capture(c),
+        None => scn,
     };
     if obs_opts.trace_out.is_some() {
         defined::obs::set_tracing(true);
@@ -476,7 +510,7 @@ fn main() -> ExitCode {
         [cmd, scenario_arg, rest @ ..]
             if cmd == "record" && rest.len() <= 1 && (out.is_some() || rest.len() == 1) =>
         {
-            resolve(scenario_arg).and_then(|mut scn| {
+            resolve(scenario_arg).map(tuned).and_then(|mut scn| {
                 if let Some(s) = seed {
                     scn = scn.with_seed(s);
                 }
@@ -490,18 +524,19 @@ fn main() -> ExitCode {
         }
         [cmd, scenario_arg, path, rest @ ..] if cmd == "debug" && rest.len() <= 1 => {
             let script = rest.first().map(|s| s.as_str());
-            resolve(scenario_arg).and_then(|scn| debug(&scn, path, script, farm.shards))
+            resolve(scenario_arg).map(tuned).and_then(|scn| debug(&scn, path, script, farm.shards))
         }
         [cmd, scenario_arg, path] if cmd == "replay" => {
-            resolve(scenario_arg).and_then(|scn| replay(&scn, path, farm.shards))
+            resolve(scenario_arg).map(tuned).and_then(|scn| replay(&scn, path, farm.shards))
         }
         [cmd, scenario_arg, rest @ ..] if cmd == "explore" && rest.len() <= 1 => {
-            resolve(scenario_arg).and_then(|scn| {
+            resolve(scenario_arg).map(tuned).and_then(|scn| {
                 explore(&scn, rest.first().map(|s| s.as_str()), salts.unwrap_or(DEFAULT_SALTS), &farm)
             })
         }
         [cmd, scenario_arg, rest @ ..] if cmd == "bisect" && rest.len() <= 1 => {
             resolve(scenario_arg)
+                .map(tuned)
                 .and_then(|scn| bisect(&scn, rest.first().map(|s| s.as_str()), &farm))
         }
         [cmd, path] if cmd == "verify" => verify(path, scenario_flag.as_deref(), farm.shards),

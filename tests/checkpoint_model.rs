@@ -98,10 +98,25 @@ fn run_model(strategy: CkptStrategy, ops: &[Op], size: usize) {
         let got = cp.restore(defined::checkpoint::CheckpointId(id)).expect("retained");
         assert_eq!(&got, expect, "checkpoint {id} must survive the op sequence");
     }
-    // Memory accounting stays coherent.
+    // Memory accounting stays coherent. Physical may transiently exceed
+    // virtual by exactly the image parked between a rollback truncation and
+    // the next capture — never by more.
     let stats = cp.stats();
     assert_eq!(stats.retained, model.len());
-    assert!(stats.physical_bytes <= stats.virtual_bytes.max(1));
+    assert!(
+        stats.physical_bytes <= stats.virtual_bytes.max(1) + stats.parked_bytes,
+        "physical {} vs virtual {} + parked {}",
+        stats.physical_bytes,
+        stats.virtual_bytes,
+        stats.parked_bytes,
+    );
+    // Refcount-leak property: releasing every checkpoint (and draining the
+    // parked rollback image) must return every page ref to the pool.
+    cp.release_before(defined::checkpoint::CheckpointId(u64::MAX));
+    cp.truncate_from(defined::checkpoint::CheckpointId(0));
+    let pool = cp.pool_stats();
+    assert_eq!(pool.live_pages, 0, "leaked page refcounts");
+    assert_eq!(pool.resident_bytes, 0, "leaked resident bytes");
 }
 
 proptest! {
@@ -120,6 +135,41 @@ proptest! {
     #[test]
     fn mem_intercept_matches_model(ops in proptest::collection::vec(op(), 1..60)) {
         run_model(CkptStrategy::MemIntercept, &ops, 2_000);
+    }
+
+    /// Dedup-correctness: a page-deduplicated (MI) timeline fed the same
+    /// history as an owning (Fork) timeline restores byte-identical states
+    /// at every query position, across thinning — so thinning never frees a
+    /// page a retained checkpoint still references.
+    #[test]
+    fn deduped_timeline_matches_owning_timeline(
+        pokes in proptest::collection::vec((0usize..2_000, any::<u64>()), 8..40),
+        queries in proptest::collection::vec(any::<u64>(), 8),
+    ) {
+        use defined::checkpoint::{RetentionPolicy, Timeline};
+        let policy = RetentionPolicy { max_retained: 6 }; // Force thinning.
+        let mut mi: Timeline<Table> = Timeline::new(CkptStrategy::MemIntercept, policy);
+        let mut fork: Timeline<Table> = Timeline::new(CkptStrategy::Fork, policy);
+        let mut state = Table { cells: (0..2_000).collect() };
+        for (step, &(i, v)) in pokes.iter().enumerate() {
+            let n = state.cells.len();
+            state.cells[i % n] = v;
+            let pos = (step as u64 + 1) * 3;
+            mi.record(pos, &state);
+            fork.record(pos, &state);
+        }
+        let enc = |s: &Table| {
+            let mut b = Vec::new();
+            s.encode(&mut b);
+            b
+        };
+        let max_pos = pokes.len() as u64 * 3 + 5;
+        let retained: Vec<u64> = mi.positions().collect();
+        for q in queries.iter().map(|q| q % max_pos).chain(retained) {
+            let a = mi.restore_at_or_before(q).map(|(p, s)| (p, enc(&s)));
+            let b = fork.restore_at_or_before(q).map(|(p, s)| (p, enc(&s)));
+            prop_assert_eq!(a, b, "deduped restore diverged at position {}", q);
+        }
     }
 
     /// MI's page sharing: under localized mutation, physical stays far

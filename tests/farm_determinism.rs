@@ -177,6 +177,34 @@ fn canonical_sweep_is_invariant() {
     ospf_case(&salts);
 }
 
+/// Adaptive capture composes with the farm: a recording taken under
+/// `--ckpt-interval auto` yields explore and bisect reports identical to
+/// the fixed-interval serial reference, at every job count.
+#[test]
+fn adaptive_capture_reports_are_job_count_invariant() {
+    use defined::core::config::CapturePolicy;
+    let fixed = scenario::find("rip-blackhole").expect("registry scenario");
+    let auto = fixed.clone().with_capture(CapturePolicy::auto());
+    let run = auto.record_run().expect("records under adaptive capture");
+    let serial = FarmConfig::serial();
+    let explore_ref = fixed.explore_run(&run.bytes, 8, &serial).expect("explores").render();
+    let bisect_ref =
+        fixed.bisect_run(&run.bytes, &serial).expect("bisects").expect("has groups").render();
+    for jobs in [1usize, 2] {
+        let farm = FarmConfig::with_jobs(jobs);
+        assert_eq!(
+            auto.explore_run(&run.bytes, 8, &farm).expect("explores").render(),
+            explore_ref,
+            "adaptive capture changed the explore report at jobs={jobs}"
+        );
+        assert_eq!(
+            auto.bisect_run(&run.bytes, &farm).expect("bisects").expect("has groups").render(),
+            bisect_ref,
+            "adaptive capture changed the bisect report at jobs={jobs}"
+        );
+    }
+}
+
 /// End-to-end through the scenario engine: `explore_run` / `bisect_run`
 /// render identical reports for jobs ∈ {1, 2, 8}.
 #[test]

@@ -120,6 +120,7 @@ fn disabled_collection_records_nothing() {
         "ls.waves",
         "wire.bytes_encoded",
         "gvt.samples",
+        "ckpt.pool.bytes_deduped",
         "store.bytes_written",
         "store.fsync",
     ] {
@@ -152,6 +153,7 @@ fn enabled_collection_covers_the_whole_stack() {
         "ls.delivered",
         "farm.jobs_claimed",
         "ckpt.captures",
+        "ckpt.pool.misses",
         "gvt.samples",
         "wire.bytes_encoded",
         "wire.bytes_decoded",
@@ -169,6 +171,15 @@ fn enabled_collection_covers_the_whole_stack() {
             > before.spans.get("ls.wave").map_or(0, |s| s.count),
         "span ls.wave did not record"
     );
+    // The page-pool dedup counters move together: every hit saves a page's
+    // worth of bytes, so one cannot advance without the other. (Whether any
+    // hit fires depends on the scenario's state size — rip-blackhole's
+    // single-page node states may never dedup — so only consistency is
+    // pinned here; `tests/checkpoint_model.rs` proves the sharing itself.)
+    let hits = after.counter("ckpt.pool.hits") - before.counter("ckpt.pool.hits");
+    let deduped =
+        after.counter("ckpt.pool.bytes_deduped") - before.counter("ckpt.pool.bytes_deduped");
+    assert_eq!(hits > 0, deduped > 0, "pool hits ({hits}) vs bytes_deduped ({deduped}) diverge");
     assert!(
         after.histograms.get("ls.wave_events").map_or(0, |h| h.count)
             > before.histograms.get("ls.wave_events").map_or(0, |h| h.count),

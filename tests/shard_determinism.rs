@@ -83,6 +83,30 @@ fn farm_searches_are_shard_invariant() {
     }
 }
 
+/// The churn-adaptive capture policy (`--ckpt-interval auto`) is a pure
+/// cost knob like the shard count: the recording it produces is
+/// byte-identical to the fixed-interval one, and every sharded replay of it
+/// matches the serial fixed-interval commit logs.
+#[test]
+fn adaptive_capture_is_shard_count_invariant() {
+    use defined::core::config::CapturePolicy;
+    let fixed = scenario::find("ospf-loss-window").expect("registry scenario");
+    let auto = fixed.clone().with_capture(CapturePolicy::auto());
+    let run = auto.record_run().expect("records under adaptive capture");
+    let run_fixed = fixed.record_run().expect("records under fixed capture");
+    assert_eq!(run.bytes, run_fixed.bytes, "capture policy leaked into the recording");
+    let serial = fixed.replay_logs(&run_fixed.bytes).expect("serial replay");
+    assert_eq!(
+        auto.replay_logs(&run.bytes).expect("adaptive replay"),
+        serial,
+        "capture policy changed the committed logs"
+    );
+    for shards in [2usize, 4] {
+        let sharded = auto.replay_logs_sharded(&run.bytes, shards).expect("sharded replay");
+        assert_eq!(sharded, serial, "adaptive capture diverges at shards={shards}");
+    }
+}
+
 /// `--shards 0` (auto) resolves to the available core count and still
 /// reproduces the serial logs — the resolution path used by the CLI.
 #[test]

@@ -8,6 +8,7 @@
 //! (commit logs and debug transcripts alike) is byte-identical to the
 //! replay of that in-memory prefix.
 
+use defined::core::config::CapturePolicy;
 use defined::core::recorder::{trim_log, Recording};
 use defined::netsim::{NodeId, SimDuration, SimTime};
 use defined::routing::rip::RefreshMode;
@@ -40,6 +41,7 @@ fn small_ospf() -> Scenario {
             p: 0.5,
         }],
         probe: Probe::OspfReachable { node: NodeId(2) },
+        capture: CapturePolicy::default(),
     }
 }
 
@@ -68,6 +70,7 @@ fn small_rip() -> Scenario {
         ],
         faults: vec![],
         probe: Probe::RipRoute { node: NodeId(0), prefix: 42 },
+        capture: CapturePolicy::default(),
     }
 }
 

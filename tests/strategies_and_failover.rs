@@ -1,6 +1,7 @@
 //! Integration tests for checkpoint-strategy equivalence, recorded-loss
 //! replay, beacon-source failover, and checkpoint-granularity correctness.
 
+use defined::core::config::CapturePolicy;
 use defined::core::ls::first_divergence;
 use defined::core::recorder::trim_log;
 use defined::core::{DefinedConfig, LockstepNet, RbNetwork};
@@ -51,8 +52,15 @@ fn checkpoint_granularity_preserves_execution() {
     let mut logs = Vec::new();
     let mut upto = u64::MAX;
     let mut rollback_entries = Vec::new();
-    for k in [1u32, 4, 16] {
-        let cfg = DefinedConfig { checkpoint_every: k, ..DefinedConfig::default() };
+    let policies = [
+        CapturePolicy::Every(1),
+        CapturePolicy::Every(4),
+        CapturePolicy::Every(16),
+        // The churn-adaptive policy must commit the same execution too.
+        CapturePolicy::auto(),
+    ];
+    for capture in policies {
+        let cfg = DefinedConfig { capture, ..DefinedConfig::default() };
         let net = run(&g, cfg, 9);
         upto = upto.min(net.completed_group(2));
         rollback_entries.push(net.total_metrics().rolled_entries);
